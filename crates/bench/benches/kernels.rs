@@ -1,0 +1,67 @@
+//! Linear-algebra kernel benchmarks: the primitives every IDES operation
+//! reduces to. Useful for spotting regressions in the from-scratch kernels
+//! and for the exact-vs-truncated SVD ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ides_linalg::qr::qr;
+use ides_linalg::svd::{svd, svd_truncated, TruncatedSvdOptions};
+use ides_linalg::{random, Matrix};
+
+fn test_matrix(n: usize) -> Matrix {
+    let mut rng = random::seeded_rng(99);
+    // Distance-matrix-like: positive, zero diagonal, cluster structure.
+    let base = random::uniform(n, 8, 0.5, 2.0, &mut rng);
+    let mut m = base.matmul_tr(&base).unwrap().scale(10.0);
+    for i in 0..n {
+        m[(i, i)] = 0.0;
+    }
+    m
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| a.matmul(a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    for n in [32usize, 64, 110] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::new("exact_jacobi", n), &a, |b, a| {
+            b.iter(|| svd(a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("truncated_d10", n), &a, |b, a| {
+            b.iter(|| svd_truncated(a, 10, TruncatedSvdOptions::default()).unwrap())
+        });
+    }
+    // The truncated path is the one that must scale to P2PSim size.
+    let big = test_matrix(512);
+    group.bench_function("truncated_d10/512", |b| {
+        b.iter(|| svd_truncated(&big, 10, TruncatedSvdOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    group.sample_size(10);
+    for n in [32usize, 110] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| qr(a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_svd, bench_qr);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! NMF iteration-budget ablation (DESIGN.md §5): the paper claims "two
+//! hundred iterations suffice". This bench times NMF at several iteration
+//! budgets and init strategies so the time/accuracy trade-off can be read
+//! off together with the error traces from the fig3 experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ides_datasets::generators::nlanr_like;
+use ides_mf::nmf::{fit, NmfConfig, NmfInit};
+
+fn bench_nmf(c: &mut Criterion) {
+    let ds = nlanr_like(110, 66).expect("dataset");
+    let mut group = c.benchmark_group("nmf");
+    group.sample_size(10);
+    for iterations in [50usize, 200, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("svd_init", iterations),
+            &iterations,
+            |b, &iterations| {
+                let cfg = NmfConfig { iterations, ..NmfConfig::new(10) };
+                b.iter(|| fit(&ds.matrix, cfg).expect("nmf fit"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random_init", iterations),
+            &iterations,
+            |b, &iterations| {
+                let cfg =
+                    NmfConfig { iterations, init: NmfInit::Random, ..NmfConfig::new(10) };
+                b.iter(|| fit(&ds.matrix, cfg).expect("nmf fit"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nmf);
+criterion_main!(benches);

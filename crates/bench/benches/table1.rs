@@ -1,0 +1,78 @@
+//! Criterion companion to Table 1: model-build time for IDES/SVD,
+//! IDES/NMF, ICS and GNP (landmark fit + all ordinary-host joins).
+//!
+//! The `table1` experiment binary prints the one-shot wall-clock numbers at
+//! paper scale; this bench gives statistically robust timings at a reduced
+//! scale so the *ratios* (the reproduced result) are trustworthy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ides::eval::{evaluate_gnp, evaluate_ics, evaluate_ides};
+use ides::system::{split_landmarks, IdesConfig};
+use ides_datasets::generators::{gnp_like, nlanr_like};
+use ides_datasets::GeneratedDataset;
+use ides_mf::gnp::GnpConfig;
+
+struct Case {
+    name: &'static str,
+    ds: GeneratedDataset,
+    landmarks: Vec<usize>,
+    ordinary: Vec<usize>,
+}
+
+fn cases() -> Vec<Case> {
+    let gnp = gnp_like(19, 77).expect("gnp dataset");
+    let (gl, go) = split_landmarks(19, 15, 1);
+    let nlanr = nlanr_like(60, 78).expect("nlanr dataset");
+    let (nl, no) = split_landmarks(60, 20, 1);
+    vec![
+        Case { name: "gnp19", ds: gnp, landmarks: gl, ordinary: go },
+        Case { name: "nlanr60", ds: nlanr, landmarks: nl, ordinary: no },
+    ]
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let dim = 8;
+    let mut group = c.benchmark_group("table1_build");
+    group.sample_size(10);
+    for case in cases() {
+        group.bench_with_input(
+            BenchmarkId::new("ides_svd", case.name),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    evaluate_ides(&case.ds.matrix, &case.landmarks, &case.ordinary, IdesConfig::new(dim))
+                        .expect("ides/svd")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ides_nmf", case.name),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    evaluate_ides(&case.ds.matrix, &case.landmarks, &case.ordinary, IdesConfig::nmf(dim))
+                        .expect("ides/nmf")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ics", case.name), &case, |b, case| {
+            b.iter(|| {
+                evaluate_ics(&case.ds.matrix, &case.landmarks, &case.ordinary, dim).expect("ics")
+            })
+        });
+        // GNP is orders of magnitude slower (that *is* Table 1's point);
+        // keep its budget small so the bench suite completes.
+        let gnp_cfg = GnpConfig { landmark_evals: 20_000, host_evals: 1_000, ..GnpConfig::new(dim) };
+        group.bench_with_input(BenchmarkId::new("gnp", case.name), &case, |b, case| {
+            b.iter(|| {
+                evaluate_gnp(&case.ds.matrix, &case.landmarks, &case.ordinary, gnp_cfg)
+                    .expect("gnp")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

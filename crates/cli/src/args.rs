@@ -1,0 +1,115 @@
+//! Minimal flag parser for the CLI (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--flag value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional (non-flag) arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` pairs; bare `--key` stores an empty string.
+    pub flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Args {
+        let command = argv.next().unwrap_or_default();
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let rest: Vec<String> = argv.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let a = &rest[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let value = if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                    i += 1;
+                    rest[i].clone()
+                } else {
+                    String::new()
+                };
+                flags.insert(key.to_string(), value);
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Args { command, positional, flags }
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed flag with a default; exits with a message on parse failure.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.flags.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} expects a {}", std::any::type_name::<T>());
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// True if the bare flag is present.
+    #[allow(dead_code)] // exercised by unit tests; kept for CLI extensions
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_positionals() {
+        let a = parse("gen nlanr out.json");
+        assert_eq!(a.command, "gen");
+        assert_eq!(a.positional, vec!["nlanr", "out.json"]);
+    }
+
+    #[test]
+    fn parses_flags_with_values() {
+        let a = parse("factor m.json --dim 8 --algo nmf");
+        assert_eq!(a.get_parsed("dim", 0usize), 8);
+        assert_eq!(a.get("algo", "svd"), "nmf");
+        assert_eq!(a.get("missing", "x"), "x");
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse("stats m.json --verbose");
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("");
+        assert_eq!(a.command, "");
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("cmd --a --b 2");
+        assert!(a.has("a"));
+        assert_eq!(a.get("a", "zz"), "");
+        assert_eq!(a.get_parsed("b", 0i32), 2);
+    }
+}

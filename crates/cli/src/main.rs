@@ -1,0 +1,322 @@
+//! `ides-cli` — command-line frontend to the IDES reproduction.
+//!
+//! ```text
+//! ides-cli gen <nlanr|gnp|agnp|p2psim|plrtt> --out m.json [--hosts N] [--seed S] [--format json|text]
+//! ides-cli stats <matrix.{json,txt}>
+//! ides-cli factor <matrix> --dim D [--algo svd|nmf|als] --out model.json
+//! ides-cli reconstruct <matrix> --dim D [--algo ...]      # reconstruction error report
+//! ides-cli join <model.json> --out-row "a b c ..." [--in-row "..."]
+//! ides-cli predict <model.json> <i> <j>
+//! ides-cli eval <matrix> --landmarks M --dim D [--algo svd|nmf] [--seed S]
+//! ```
+
+mod args;
+
+use std::path::Path;
+use std::process::exit;
+
+use args::Args;
+use ides::system::{split_landmarks, IdesConfig};
+use ides_datasets::{generators, io, stats, DistanceMatrix};
+use ides_mf::metrics::{reconstruction_errors, Cdf};
+use ides_mf::model::DistanceEstimator;
+use ides_mf::{als, nmf, svd_model, FactorModel};
+
+fn main() {
+    let args = Args::from_env();
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "factor" => cmd_factor(&args),
+        "reconstruct" => cmd_reconstruct(&args),
+        "join" => cmd_join(&args),
+        "predict" => cmd_predict(&args),
+        "eval" => cmd_eval(&args),
+        "" | "help" | "-h" | "--help" => {
+            print!("{}", HELP);
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{}", HELP);
+            exit(2);
+        }
+    }
+}
+
+const HELP: &str = "\
+ides-cli — Internet Distance Estimation Service (Mao & Saul, IMC 2004)
+
+commands:
+  gen <set> --out FILE        generate a synthetic data set
+                              (nlanr|gnp|agnp|p2psim|plrtt; --hosts N, --seed S,
+                               --format json|text)
+  stats <matrix>              structural statistics (TIV, asymmetry, rank)
+  factor <matrix> --dim D     factor into X·Yᵀ (--algo svd|nmf|als) and save
+                              with --out model.json
+  reconstruct <matrix> --dim D  reconstruction-error report per algorithm
+  join <model> --out-row \"..\"  solve a host join from landmark measurements
+  predict <model> i j         estimated distance between model hosts i and j
+  eval <matrix> --landmarks M --dim D   full prediction experiment
+";
+
+fn load_matrix(path_str: &str) -> DistanceMatrix {
+    let path = Path::new(path_str);
+    let result = if path.extension().is_some_and(|e| e == "json") {
+        io::load_json(path)
+    } else {
+        io::load_text(
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("matrix"),
+            path,
+        )
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("error: cannot load {path_str}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_gen(args: &Args) {
+    let Some(set) = args.positional.first() else {
+        eprintln!("usage: ides-cli gen <nlanr|gnp|agnp|p2psim|plrtt> --out FILE");
+        exit(2);
+    };
+    let seed: u64 = args.get_parsed("seed", 20041025);
+    let ds = match set.as_str() {
+        "nlanr" => generators::nlanr_like(args.get_parsed("hosts", 110), seed),
+        "gnp" => generators::gnp_like(args.get_parsed("hosts", 19), seed),
+        "agnp" => generators::agnp_like(
+            args.get_parsed("hosts", 869),
+            args.get_parsed("cols", 19),
+            seed,
+        ),
+        "p2psim" => generators::p2psim_like(args.get_parsed("hosts", 1143), seed),
+        "plrtt" | "pl-rtt" => generators::plrtt_like(args.get_parsed("hosts", 169), seed),
+        other => {
+            eprintln!("unknown data set {other:?}");
+            exit(2);
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("generation failed: {e}");
+        exit(1);
+    });
+    let out = args.get("out", "matrix.json");
+    let path = Path::new(&out);
+    let save = match args.get("format", "json").as_str() {
+        "json" => io::save_json(&ds.matrix, path),
+        "text" => io::save_text(&ds.matrix, path),
+        other => {
+            eprintln!("unknown format {other:?} (json|text)");
+            exit(2);
+        }
+    };
+    save.unwrap_or_else(|e| {
+        eprintln!("write failed: {e}");
+        exit(1);
+    });
+    let (r, c) = ds.matrix.shape();
+    println!("wrote {r}x{c} matrix to {out}");
+}
+
+fn cmd_stats(args: &Args) {
+    let Some(path) = args.positional.first() else {
+        eprintln!("usage: ides-cli stats <matrix>");
+        exit(2);
+    };
+    let m = load_matrix(path);
+    let s = stats::summarize(&m);
+    println!("name:               {}", s.name);
+    println!("shape:              {}x{}", s.shape.0, s.shape.1);
+    println!("mean distance:      {:.2} ms", s.mean_rtt_ms);
+    println!("observed:           {:.2}%", s.observed_fraction * 100.0);
+    println!("triangle violations: {:.1}% of pairs have a shorter 1-hop detour", s.tiv_fraction * 100.0);
+    println!("asymmetry index:    {:.4}", s.asymmetry);
+    println!("effective rank(95%): {}", s.effective_rank_95);
+}
+
+/// Fits the requested algorithm, returning the model.
+fn fit_model(m: &DistanceMatrix, dim: usize, algo: &str, seed: u64) -> FactorModel {
+    let result = match algo {
+        "svd" => svd_model::fit(m, svd_model::SvdConfig::new(dim)),
+        "nmf" => nmf::fit(m, nmf::NmfConfig { seed, ..nmf::NmfConfig::new(dim) })
+            .map(|f| f.model),
+        "als" => als::fit(m, als::AlsConfig { seed, ..als::AlsConfig::new(dim) })
+            .map(|f| f.model),
+        other => {
+            eprintln!("unknown algorithm {other:?} (svd|nmf|als)");
+            exit(2);
+        }
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("factorization failed: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_factor(args: &Args) {
+    let Some(path) = args.positional.first() else {
+        eprintln!("usage: ides-cli factor <matrix> --dim D [--algo svd|nmf|als] --out model.json");
+        exit(2);
+    };
+    let m = load_matrix(path);
+    let dim: usize = args.get_parsed("dim", 10);
+    let algo = args.get("algo", "svd");
+    let model = fit_model(&m, dim, &algo, args.get_parsed("seed", 1729));
+    let out = args.get("out", "model.json");
+    let json = serde_json::to_string(&model).expect("model serialization");
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("write failed: {e}");
+        exit(1);
+    });
+    let errs = reconstruction_errors(&model, &m);
+    let cdf = Cdf::new(errs);
+    println!(
+        "factored {}x{} at d={dim} ({algo}); reconstruction median {:.4}, p90 {:.4}; wrote {out}",
+        m.rows(),
+        m.cols(),
+        cdf.median(),
+        cdf.p90()
+    );
+}
+
+fn cmd_reconstruct(args: &Args) {
+    let Some(path) = args.positional.first() else {
+        eprintln!("usage: ides-cli reconstruct <matrix> --dim D");
+        exit(2);
+    };
+    let m = load_matrix(path);
+    let dim: usize = args.get_parsed("dim", 10);
+    println!("{:<6} {:>10} {:>10} {:>10}", "algo", "median", "p90", "mean");
+    for algo in ["svd", "nmf", "als"] {
+        if algo == "svd" && !m.is_complete() {
+            println!("{algo:<6} {:>10} (needs complete matrix)", "-");
+            continue;
+        }
+        let model = fit_model(&m, dim, algo, 1729);
+        let cdf = Cdf::new(reconstruction_errors(&model, &m));
+        println!("{algo:<6} {:>10.4} {:>10.4} {:>10.4}", cdf.median(), cdf.p90(), cdf.mean());
+    }
+}
+
+fn load_model(path: &str) -> FactorModel {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(1);
+    });
+    serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a model file: {e}");
+        exit(1);
+    })
+}
+
+fn parse_row(s: &str, label: &str) -> Vec<f64> {
+    s.split_whitespace()
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{label} contains a non-number: {t:?}");
+                exit(2);
+            })
+        })
+        .collect()
+}
+
+fn cmd_join(args: &Args) {
+    let Some(path) = args.positional.first() else {
+        eprintln!("usage: ides-cli join <model.json> --out-row \"d1 d2 ...\" [--in-row \"...\"]");
+        exit(2);
+    };
+    let model = load_model(path);
+    let out_row = parse_row(&args.get("out-row", ""), "out-row");
+    if out_row.is_empty() {
+        eprintln!("error: --out-row is required (distances to each landmark)");
+        exit(2);
+    }
+    let in_row = {
+        let s = args.get("in-row", "");
+        if s.is_empty() { out_row.clone() } else { parse_row(&s, "in-row") }
+    };
+    let host = ides::projection::join_host(
+        model.x(),
+        model.y(),
+        &out_row,
+        &in_row,
+        ides::projection::JoinOptions::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("join failed: {e}");
+        exit(1);
+    });
+    println!("outgoing: {:?}", host.outgoing);
+    println!("incoming: {:?}", host.incoming);
+    for i in 0..model.x().rows() {
+        let est = host.distance_to(model.incoming(i));
+        println!("  estimated distance to landmark {i}: {est:.3}");
+    }
+}
+
+fn cmd_predict(args: &Args) {
+    if args.positional.len() < 3 {
+        eprintln!("usage: ides-cli predict <model.json> <i> <j>");
+        exit(2);
+    }
+    let model = load_model(&args.positional[0]);
+    let i: usize = args.positional[1].parse().unwrap_or_else(|_| {
+        eprintln!("error: i must be an index");
+        exit(2);
+    });
+    let j: usize = args.positional[2].parse().unwrap_or_else(|_| {
+        eprintln!("error: j must be an index");
+        exit(2);
+    });
+    if i >= model.n_from() || j >= model.n_to() {
+        eprintln!(
+            "error: index out of range (model covers {}x{})",
+            model.n_from(),
+            model.n_to()
+        );
+        exit(2);
+    }
+    println!("{:.4}", model.estimate(i, j));
+}
+
+fn cmd_eval(args: &Args) {
+    let Some(path) = args.positional.first() else {
+        eprintln!("usage: ides-cli eval <matrix> --landmarks M --dim D [--algo svd|nmf]");
+        exit(2);
+    };
+    let m = load_matrix(path);
+    if !m.is_square() {
+        eprintln!("error: eval needs a square matrix");
+        exit(1);
+    }
+    let landmarks_n: usize = args.get_parsed("landmarks", 20);
+    let dim: usize = args.get_parsed("dim", 8);
+    let seed: u64 = args.get_parsed("seed", 20041025);
+    let config = match args.get("algo", "svd").as_str() {
+        "svd" => IdesConfig::new(dim),
+        "nmf" => IdesConfig::nmf(dim),
+        other => {
+            eprintln!("unknown algorithm {other:?} (svd|nmf)");
+            exit(2);
+        }
+    };
+    let n = m.rows();
+    if landmarks_n + 2 > n {
+        eprintln!("error: {landmarks_n} landmarks but only {n} hosts");
+        exit(1);
+    }
+    let (landmarks, ordinary) = split_landmarks(n, landmarks_n, seed);
+    let r = ides::eval::evaluate_ides(&m, &landmarks, &ordinary, config).unwrap_or_else(|e| {
+        eprintln!("evaluation failed: {e}");
+        exit(1);
+    });
+    let cdf = r.cdf();
+    println!("landmarks:        {landmarks_n}");
+    println!("hosts joined:     {}", r.hosts_joined);
+    println!("pairs evaluated:  {}", r.pairs_evaluated);
+    println!("build time:       {:.3}s", r.build_seconds);
+    println!("median rel error: {:.4}", cdf.median());
+    println!("p90 rel error:    {:.4}", cdf.p90());
+    println!("fraction <= 0.1:  {:.3}", cdf.fraction_below(0.1));
+    println!("fraction <= 0.5:  {:.3}", cdf.fraction_below(0.5));
+}

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `ides-cli` binary: gen → stats → factor →
+//! predict → join → eval over real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ides-cli"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ides_cli_test_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn gen_stats_factor_predict_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let matrix = dir.join("m.json");
+    let model = dir.join("model.json");
+
+    let out = bin()
+        .args(["gen", "gnp", "--hosts", "15", "--seed", "3", "--out"])
+        .arg(&matrix)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("15x15"));
+
+    let out = bin().arg("stats").arg(&matrix).output().expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("shape:              15x15"), "{text}");
+    assert!(text.contains("triangle violations"));
+
+    let out = bin()
+        .args(["factor"])
+        .arg(&matrix)
+        .args(["--dim", "6", "--algo", "svd", "--out"])
+        .arg(&model)
+        .output()
+        .expect("run factor");
+    assert!(out.status.success(), "factor failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let out = bin()
+        .arg("predict")
+        .arg(&model)
+        .args(["0", "5"])
+        .output()
+        .expect("run predict");
+    assert!(out.status.success());
+    let predicted: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().expect("a number");
+    assert!(predicted.is_finite() && predicted > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn text_format_and_reconstruct() {
+    let dir = tmpdir("text");
+    let matrix = dir.join("m.txt");
+    let out = bin()
+        .args(["gen", "gnp", "--hosts", "12", "--format", "text", "--out"])
+        .arg(&matrix)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+
+    let out = bin()
+        .arg("reconstruct")
+        .arg(&matrix)
+        .args(["--dim", "5"])
+        .output()
+        .expect("run reconstruct");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for algo in ["svd", "nmf", "als"] {
+        assert!(text.contains(algo), "missing {algo} row: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn join_reproduces_landmark_distances() {
+    let dir = tmpdir("join");
+    let matrix = dir.join("m.json");
+    let model = dir.join("model.json");
+    bin()
+        .args(["gen", "gnp", "--hosts", "10", "--seed", "9", "--out"])
+        .arg(&matrix)
+        .output()
+        .expect("gen");
+    bin()
+        .arg("factor")
+        .arg(&matrix)
+        .args(["--dim", "8", "--out"])
+        .arg(&model)
+        .output()
+        .expect("factor");
+    let out = bin()
+        .arg("join")
+        .arg(&model)
+        .args(["--out-row", "10 20 30 40 50 60 70 80 90 100"])
+        .output()
+        .expect("join");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("outgoing:"));
+    assert!(text.contains("estimated distance to landmark 0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eval_subcommand_reports() {
+    let dir = tmpdir("eval");
+    let matrix = dir.join("m.json");
+    bin()
+        .args(["gen", "nlanr", "--hosts", "40", "--seed", "5", "--out"])
+        .arg(&matrix)
+        .output()
+        .expect("gen");
+    let out = bin()
+        .arg("eval")
+        .arg(&matrix)
+        .args(["--landmarks", "15", "--dim", "6"])
+        .output()
+        .expect("eval");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("hosts joined:     25"), "{text}");
+    assert!(text.contains("median rel error"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_help() {
+    let out = bin().arg("bogus").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    for args in [vec!["gen"], vec!["stats"], vec!["factor"], vec!["predict", "x.json"]] {
+        let out = bin().args(&args).output().expect("run");
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}

@@ -1,0 +1,314 @@
+//! The `DistanceMatrix` type: an (optionally rectangular, optionally
+//! incomplete) matrix of measured network distances.
+
+use serde::{Deserialize, Serialize};
+
+use ides_linalg::Matrix;
+
+use crate::error::{DatasetError, Result};
+
+/// A matrix of measured network distances with a missing-entry mask.
+///
+/// Rows are "from" hosts and columns are "to" hosts; square matrices use
+/// the same host set on both axes (footnote 3 of the paper allows the
+/// rectangular case, which the AGNP data set exercises). An entry is
+/// *observed* iff `mask[(i,j)] == 1.0`; unobserved entries hold `0.0` in
+/// `values` and must be ignored by consumers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    values: Matrix,
+    mask: Matrix,
+    name: String,
+}
+
+impl DistanceMatrix {
+    /// Wraps a fully observed matrix.
+    ///
+    /// Rejects negative or non-finite distances.
+    pub fn full(name: impl Into<String>, values: Matrix) -> Result<Self> {
+        let mask = Matrix::filled(values.rows(), values.cols(), 1.0);
+        Self::with_mask(name, values, mask)
+    }
+
+    /// Wraps a matrix with an explicit observation mask.
+    ///
+    /// `mask` entries must be 0 or 1; observed entries must be finite and
+    /// nonnegative.
+    pub fn with_mask(name: impl Into<String>, values: Matrix, mask: Matrix) -> Result<Self> {
+        if values.shape() != mask.shape() {
+            return Err(DatasetError::ShapeMismatch {
+                values: values.shape(),
+                mask: mask.shape(),
+            });
+        }
+        for (i, j, m) in mask.iter_entries() {
+            if m != 0.0 && m != 1.0 {
+                return Err(DatasetError::InvalidMask { row: i, col: j, value: m });
+            }
+            let v = values[(i, j)];
+            if m == 1.0 && (!v.is_finite() || v < 0.0) {
+                return Err(DatasetError::InvalidDistance { row: i, col: j, value: v });
+            }
+        }
+        Ok(DistanceMatrix { values, mask, name: name.into() })
+    }
+
+    /// Dataset name (used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of "from" hosts (rows).
+    pub fn rows(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Number of "to" hosts (columns).
+    pub fn cols(&self) -> usize {
+        self.values.cols()
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.values.shape()
+    }
+
+    /// True when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.values.is_square()
+    }
+
+    /// The observed distance from `i` to `j`, or `None` when missing.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if self.mask[(i, j)] == 1.0 {
+            Some(self.values[(i, j)])
+        } else {
+            None
+        }
+    }
+
+    /// Underlying value matrix (missing entries are 0).
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Observation mask (1 = observed).
+    pub fn mask(&self) -> &Matrix {
+        &self.mask
+    }
+
+    /// True when every entry is observed.
+    pub fn is_complete(&self) -> bool {
+        self.mask.as_slice().iter().all(|&m| m == 1.0)
+    }
+
+    /// Fraction of observed entries.
+    pub fn observed_fraction(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 1.0;
+        }
+        self.mask.sum() / (self.rows() * self.cols()) as f64
+    }
+
+    /// Count of missing entries.
+    pub fn missing_count(&self) -> usize {
+        self.mask.as_slice().iter().filter(|&&m| m == 0.0).count()
+    }
+
+    /// Restricts to the given row and column index sets.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> DistanceMatrix {
+        DistanceMatrix {
+            values: self.values.select_rows(rows).select_cols(cols),
+            mask: self.mask.select_rows(rows).select_cols(cols),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Drops rows/columns containing missing entries until the matrix is
+    /// complete — the paper's preprocessing ("parts of the data sets were
+    /// filtered out to eliminate missing elements").
+    ///
+    /// Greedy: repeatedly removes the row or column with the most missing
+    /// entries. Requires a square matrix (row `i` and column `i` are the
+    /// same host and are removed together); returns the kept host indices
+    /// alongside the filtered matrix.
+    pub fn filter_complete(&self) -> Result<(DistanceMatrix, Vec<usize>)> {
+        if !self.is_square() {
+            return Err(DatasetError::NotSquare { got: self.shape() });
+        }
+        let n = self.rows();
+        let mut alive: Vec<bool> = vec![true; n];
+        // Incremental greedy: build each host's list of missing-pair
+        // partners once, then repeatedly remove the host with the most
+        // missing pairs, decrementing its partners' counts.
+        let mut partners: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, j, m) in self.mask.iter_entries() {
+            if m == 0.0 {
+                partners[i].push(j);
+                partners[j].push(i);
+            }
+        }
+        let mut miss: Vec<usize> = partners.iter().map(|p| p.len()).collect();
+        loop {
+            let worst = (0..n)
+                .filter(|&i| alive[i] && miss[i] > 0)
+                .max_by_key(|&i| miss[i]);
+            let Some(worst) = worst else { break };
+            alive[worst] = false;
+            for &p in &partners[worst] {
+                if alive[p] {
+                    miss[p] = miss[p].saturating_sub(1);
+                }
+            }
+        }
+        let kept: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        Ok((self.submatrix(&kept, &kept), kept))
+    }
+
+    /// Iterator over observed `(i, j, distance)` triples.
+    pub fn observed_entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.mask
+            .iter_entries()
+            .filter(|&(_, _, m)| m == 1.0)
+            .map(|(i, j, _)| (i, j, self.values[(i, j)]))
+    }
+
+    /// Mean of observed off-diagonal distances.
+    pub fn mean_distance(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, j, v) in self.observed_entries() {
+            if i != j {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistanceMatrix {
+        let v = Matrix::from_vec(3, 3, vec![0.0, 1.0, 2.0, 1.5, 0.0, 3.0, 2.5, 3.5, 0.0]).unwrap();
+        DistanceMatrix::full("t", v).unwrap()
+    }
+
+    #[test]
+    fn full_matrix_is_complete() {
+        let d = sample();
+        assert!(d.is_complete());
+        assert_eq!(d.observed_fraction(), 1.0);
+        assert_eq!(d.missing_count(), 0);
+        assert_eq!(d.get(0, 1), Some(1.0));
+        assert_eq!(d.get(1, 0), Some(1.5)); // asymmetric entries allowed
+    }
+
+    #[test]
+    fn negative_distance_rejected() {
+        let v = Matrix::from_vec(2, 2, vec![0.0, -1.0, 1.0, 0.0]).unwrap();
+        assert!(DistanceMatrix::full("bad", v).is_err());
+    }
+
+    #[test]
+    fn nan_rejected_only_when_observed() {
+        let v = Matrix::from_vec(2, 2, vec![0.0, f64::NAN, 1.0, 0.0]).unwrap();
+        assert!(DistanceMatrix::full("bad", v.clone()).is_err());
+        let mut mask = Matrix::filled(2, 2, 1.0);
+        mask[(0, 1)] = 0.0;
+        // NaN behind the mask... still invalid because values must be 0 when
+        // masked? We allow it: the entry is unobserved, so only mask matters.
+        let mut v2 = v;
+        v2[(0, 1)] = 0.0;
+        let d = DistanceMatrix::with_mask("ok", v2, mask).unwrap();
+        assert_eq!(d.get(0, 1), None);
+        assert_eq!(d.missing_count(), 1);
+    }
+
+    #[test]
+    fn invalid_mask_value_rejected() {
+        let v = Matrix::zeros(2, 2);
+        let mut mask = Matrix::filled(2, 2, 1.0);
+        mask[(1, 1)] = 0.5;
+        assert!(DistanceMatrix::with_mask("bad", v, mask).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let v = Matrix::zeros(2, 2);
+        let mask = Matrix::filled(2, 3, 1.0);
+        assert!(DistanceMatrix::with_mask("bad", v, mask).is_err());
+    }
+
+    #[test]
+    fn submatrix_preserves_values() {
+        let d = sample();
+        let s = d.submatrix(&[0, 2], &[0, 2]);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.get(0, 1), Some(2.0));
+        assert_eq!(s.get(1, 0), Some(2.5));
+    }
+
+    #[test]
+    fn filter_complete_removes_offending_host() {
+        // Host 2 has two missing measurements; filtering must remove it.
+        let v = Matrix::from_vec(3, 3, vec![0.0, 1.0, 0.0, 1.0, 0.0, 5.0, 0.0, 5.0, 0.0]).unwrap();
+        let mut mask = Matrix::filled(3, 3, 1.0);
+        mask[(0, 2)] = 0.0;
+        mask[(2, 0)] = 0.0;
+        let d = DistanceMatrix::with_mask("m", v, mask).unwrap();
+        let (filtered, kept) = d.filter_complete().unwrap();
+        assert_eq!(kept, vec![0, 1]);
+        assert!(filtered.is_complete());
+        assert_eq!(filtered.shape(), (2, 2));
+    }
+
+    #[test]
+    fn filter_complete_noop_when_complete() {
+        let d = sample();
+        let (filtered, kept) = d.filter_complete().unwrap();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(filtered.shape(), (3, 3));
+    }
+
+    #[test]
+    fn filter_rejects_rectangular() {
+        let d = DistanceMatrix::full("r", Matrix::zeros(2, 3)).unwrap();
+        assert!(d.filter_complete().is_err());
+    }
+
+    #[test]
+    fn observed_entries_iteration() {
+        let v = Matrix::from_vec(2, 2, vec![0.0, 7.0, 0.0, 0.0]).unwrap();
+        let mut mask = Matrix::filled(2, 2, 1.0);
+        mask[(1, 0)] = 0.0;
+        let d = DistanceMatrix::with_mask("m", v, mask).unwrap();
+        let entries: Vec<_> = d.observed_entries().collect();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.contains(&(0, 1, 7.0)));
+        assert!(!entries.iter().any(|&(i, j, _)| i == 1 && j == 0));
+    }
+
+    #[test]
+    fn mean_distance_ignores_diagonal_and_missing() {
+        let d = sample();
+        let expected = (1.0 + 2.0 + 1.5 + 3.0 + 2.5 + 3.5) / 6.0;
+        assert!((d.mean_distance() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DistanceMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shape(), d.shape());
+        assert_eq!(back.get(2, 1), d.get(2, 1));
+        assert_eq!(back.name(), "t");
+    }
+}

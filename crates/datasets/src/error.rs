@@ -1,0 +1,59 @@
+//! Error type for dataset construction and IO.
+
+use thiserror::Error;
+
+/// Result alias using [`DatasetError`].
+pub type Result<T> = std::result::Result<T, DatasetError>;
+
+/// Errors from dataset construction, filtering, and IO.
+#[derive(Debug, Error)]
+pub enum DatasetError {
+    /// Value and mask matrices differ in shape.
+    #[error("values matrix is {}x{} but mask is {}x{}", values.0, values.1, mask.0, mask.1)]
+    ShapeMismatch {
+        /// Shape of the values matrix.
+        values: (usize, usize),
+        /// Shape of the mask matrix.
+        mask: (usize, usize),
+    },
+    /// Mask entries must be exactly 0 or 1.
+    #[error("mask entry at ({row},{col}) is {value}, expected 0 or 1")]
+    InvalidMask {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// The invalid mask value.
+        value: f64,
+    },
+    /// Observed distances must be finite and nonnegative.
+    #[error("distance at ({row},{col}) is {value}, expected finite and >= 0")]
+    InvalidDistance {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// The invalid distance.
+        value: f64,
+    },
+    /// Operation requires a square matrix.
+    #[error("operation requires a square matrix, got {}x{}", got.0, got.1)]
+    NotSquare {
+        /// Shape actually supplied.
+        got: (usize, usize),
+    },
+    /// Underlying IO failure.
+    #[error("io error: {0}")]
+    Io(#[from] std::io::Error),
+    /// JSON (de)serialization failure.
+    #[error("serialization error: {0}")]
+    Json(#[from] serde_json::Error),
+    /// Malformed text-format matrix file.
+    #[error("parse error at line {line}: {message}")]
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}

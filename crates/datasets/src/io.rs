@@ -1,0 +1,182 @@
+//! Reading and writing distance matrices.
+//!
+//! Two formats:
+//! * **JSON** via serde — lossless, includes the mask and name.
+//! * **Plain text** — one row per line, whitespace-separated, `?` for a
+//!   missing entry; the format used by common RTT matrix dumps.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use ides_linalg::Matrix;
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{DatasetError, Result};
+
+/// Writes the matrix to a JSON file.
+pub fn save_json(d: &DistanceMatrix, path: &Path) -> Result<()> {
+    let json = serde_json::to_string(d)?;
+    let mut f = fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a matrix from a JSON file produced by [`save_json`].
+pub fn load_json(path: &Path) -> Result<DistanceMatrix> {
+    let data = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&data)?)
+}
+
+/// Serializes to the plain-text row format.
+pub fn to_text(d: &DistanceMatrix) -> String {
+    let mut out = String::new();
+    for i in 0..d.rows() {
+        for j in 0..d.cols() {
+            if j > 0 {
+                out.push(' ');
+            }
+            match d.get(i, j) {
+                Some(v) => out.push_str(&format!("{v}")),
+                None => out.push('?'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the plain-text row format. All rows must have the same number of
+/// fields; `?` (or `nan`) marks a missing entry.
+pub fn from_text(name: &str, text: &str) -> Result<DistanceMatrix> {
+    let mut rows: Vec<Vec<Option<f64>>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for field in line.split_whitespace() {
+            if field == "?" || field.eq_ignore_ascii_case("nan") {
+                row.push(None);
+            } else {
+                let v: f64 = field.parse().map_err(|_| DatasetError::Parse {
+                    line: lineno + 1,
+                    message: format!("not a number: {field:?}"),
+                })?;
+                row.push(Some(v));
+            }
+        }
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(DatasetError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected {} fields, found {}", first.len(), row.len()),
+                });
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(DatasetError::Parse { line: 0, message: "empty matrix".into() });
+    }
+    let (r, c) = (rows.len(), rows[0].len());
+    let mut values = Matrix::zeros(r, c);
+    let mut mask = Matrix::zeros(r, c);
+    for (i, row) in rows.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            if let Some(v) = cell {
+                values[(i, j)] = *v;
+                mask[(i, j)] = 1.0;
+            }
+        }
+    }
+    DistanceMatrix::with_mask(name, values, mask)
+}
+
+/// Writes the plain-text format to a file.
+pub fn save_text(d: &DistanceMatrix, path: &Path) -> Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_text(d).as_bytes())?;
+    Ok(())
+}
+
+/// Reads the plain-text format from a file.
+pub fn load_text(name: &str, path: &Path) -> Result<DistanceMatrix> {
+    let text = fs::read_to_string(path)?;
+    from_text(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistanceMatrix {
+        let v = Matrix::from_vec(2, 3, vec![0.0, 1.5, 2.0, 3.0, 0.0, 4.5]).unwrap();
+        let mut mask = Matrix::filled(2, 3, 1.0);
+        mask[(0, 2)] = 0.0;
+        let mut v = v;
+        v[(0, 2)] = 0.0;
+        DistanceMatrix::with_mask("sample", v, mask).unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let d = sample();
+        let text = to_text(&d);
+        assert!(text.contains('?'));
+        let back = from_text("sample", &text).unwrap();
+        assert_eq!(back.shape(), d.shape());
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(back.get(i, j), d.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn text_parses_comments_and_blanks() {
+        let text = "# header\n\n0 1\n1 0\n";
+        let d = from_text("x", text).unwrap();
+        assert_eq!(d.shape(), (2, 2));
+        assert_eq!(d.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn text_rejects_ragged() {
+        assert!(from_text("x", "0 1\n2\n").is_err());
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(from_text("x", "0 abc\n").is_err());
+        assert!(from_text("x", "").is_err());
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let dir = std::env::temp_dir().join("ides_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let d = sample();
+        save_json(&d, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.shape(), d.shape());
+        assert_eq!(back.get(1, 2), d.get(1, 2));
+        assert_eq!(back.name(), "sample");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn text_file_roundtrip() {
+        let dir = std::env::temp_dir().join("ides_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.txt");
+        let d = sample();
+        save_text(&d, &path).unwrap();
+        let back = load_text("sample", &path).unwrap();
+        assert_eq!(back.shape(), d.shape());
+        assert_eq!(back.get(0, 2), None);
+        fs::remove_file(&path).unwrap();
+    }
+}

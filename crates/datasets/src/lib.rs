@@ -1,0 +1,30 @@
+//! # ides-datasets
+//!
+//! Distance-matrix data sets for the IDES reproduction: the
+//! [`DistanceMatrix`] container (rectangular and missing-entry aware, per
+//! footnote 3 and §4.2 of the paper), synthetic stand-ins for the paper's
+//! five measurement data sets, structural statistics (triangle-inequality
+//! violations, asymmetry, effective rank), and text/JSON IO.
+//!
+//! ```
+//! use ides_datasets::generators::gnp_like;
+//! use ides_datasets::stats;
+//!
+//! let ds = gnp_like(19, 7).unwrap();
+//! assert_eq!(ds.matrix.shape(), (19, 19));
+//! let summary = stats::summarize(&ds.matrix);
+//! assert!(summary.mean_rtt_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distance_matrix;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod stats;
+
+pub use distance_matrix::DistanceMatrix;
+pub use error::{DatasetError, Result};
+pub use generators::GeneratedDataset;

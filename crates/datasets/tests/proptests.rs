@@ -1,0 +1,112 @@
+//! Property-based tests for the dataset layer.
+
+use ides_datasets::{io, DistanceMatrix};
+use ides_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random square distance matrix with a random mask.
+fn masked_matrix(n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (
+        prop::collection::vec(0.0f64..500.0, n * n),
+        prop::collection::vec(prop::bool::ANY, n * n),
+    )
+        .prop_map(move |(vals, mask_bits)| {
+            let mut values = Matrix::zeros(n, n);
+            let mut mask = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let k = i * n + j;
+                    if i == j {
+                        mask[(i, j)] = 1.0; // diagonal always observed (zero)
+                    } else if mask_bits[k] {
+                        values[(i, j)] = vals[k];
+                        mask[(i, j)] = 1.0;
+                    }
+                }
+            }
+            DistanceMatrix::with_mask("prop", values, mask).expect("valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Text round-trip preserves every observed entry and every hole.
+    #[test]
+    fn text_roundtrip(d in masked_matrix(6)) {
+        let text = io::to_text(&d);
+        let back = io::from_text("prop", &text).unwrap();
+        prop_assert_eq!(back.shape(), d.shape());
+        for i in 0..6 {
+            for j in 0..6 {
+                match (d.get(i, j), back.get(i, j)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                    (a, b) => prop_assert!(false, "mask mismatch at ({},{}) {:?} vs {:?}", i, j, a, b),
+                }
+            }
+        }
+    }
+
+    /// JSON round-trip is lossless.
+    #[test]
+    fn json_roundtrip(d in masked_matrix(5)) {
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DistanceMatrix = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.shape(), d.shape());
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert_eq!(d.get(i, j), back.get(i, j));
+            }
+        }
+    }
+
+    /// filter_complete always yields a complete matrix whose entries match
+    /// the original at the kept indices.
+    #[test]
+    fn filter_complete_postconditions(d in masked_matrix(8)) {
+        let (filtered, kept) = d.filter_complete().unwrap();
+        prop_assert!(filtered.is_complete());
+        prop_assert_eq!(filtered.rows(), kept.len());
+        for (fi, &oi) in kept.iter().enumerate() {
+            for (fj, &oj) in kept.iter().enumerate() {
+                prop_assert_eq!(filtered.get(fi, fj), d.get(oi, oj));
+            }
+        }
+        // Kept indices are strictly increasing (stable order).
+        for w in kept.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// filter_complete never removes a host from an already complete matrix.
+    #[test]
+    fn filter_complete_is_noop_on_complete(vals in prop::collection::vec(0.0f64..100.0, 25)) {
+        let mut values = Matrix::from_vec(5, 5, vals).unwrap();
+        for i in 0..5 {
+            values[(i, i)] = 0.0;
+        }
+        let d = DistanceMatrix::full("c", values).unwrap();
+        let (filtered, kept) = d.filter_complete().unwrap();
+        prop_assert_eq!(kept.len(), 5);
+        prop_assert_eq!(filtered.shape(), (5, 5));
+    }
+
+    /// observed_fraction and missing_count agree.
+    #[test]
+    fn observation_accounting(d in masked_matrix(7)) {
+        let total = 49.0;
+        let frac = d.observed_fraction();
+        let missing = d.missing_count() as f64;
+        prop_assert!(((total - missing) / total - frac).abs() < 1e-12);
+    }
+
+    /// Submatrix of a submatrix composes.
+    #[test]
+    fn submatrix_composes(d in masked_matrix(8)) {
+        let first = d.submatrix(&[0, 2, 4, 6], &[1, 3, 5, 7]);
+        let second = first.submatrix(&[1, 3], &[0, 2]);
+        prop_assert_eq!(second.get(0, 0), d.get(2, 1));
+        prop_assert_eq!(second.get(1, 1), d.get(6, 5));
+    }
+}

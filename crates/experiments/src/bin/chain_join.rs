@@ -1,0 +1,125 @@
+//! Relaxed-architecture chain joins (§5.2 extension experiment).
+//!
+//! The relaxed architecture lets an ordinary host join through *any* `k`
+//! nodes with known vectors — landmarks or previously joined hosts. That
+//! raises a systems question the paper leaves open: does accuracy degrade
+//! as joins chain deeper (error accumulating through hosts that joined
+//! through hosts that joined ...)?
+//!
+//! This experiment joins hosts one at a time. Each host measures `k`
+//! reference nodes sampled uniformly from the landmarks plus everyone who
+//! joined before it, then reports prediction error grouped by join depth
+//! (depth 0 = used landmarks only; depth d = deepest reference had depth
+//! d−1).
+
+use ides::projection::HostVectors;
+use ides::system::{split_landmarks, IdesConfig, InformationServer};
+use ides_experiments::{seed, Dataset};
+use ides_linalg::Matrix;
+use ides_mf::metrics::{modified_relative_error, Cdf};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const K: usize = 16;
+const DIM: usize = 8;
+
+fn main() {
+    println!("# Chain joins: prediction error vs join depth (NLANR-like, k = {K}, d = {DIM})");
+    let ds = Dataset::Nlanr.generate(seed());
+    let data = &ds.matrix;
+    let n = data.rows();
+    let m = 20.min(n - 2);
+    let (landmarks, ordinary) = split_landmarks(n, m, seed());
+    let lm = data.submatrix(&landmarks, &landmarks);
+    let server = InformationServer::build(&lm, IdesConfig::new(DIM)).expect("server build");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed() ^ 0xC4A1);
+
+    // Reference pool: (host index in data, vectors, depth).
+    let mut pool: Vec<(usize, HostVectors, usize)> = landmarks
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (h, server.landmark_vectors(i), 0usize))
+        .collect();
+
+    let mut joined: Vec<(usize, HostVectors, usize)> = Vec::new();
+    let mut order = ordinary.clone();
+    order.shuffle(&mut rng);
+    for &h in &order {
+        // Sample k distinct references from the pool.
+        let mut idx: Vec<usize> = (0..pool.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(K.min(pool.len()));
+        let refs: Vec<HostVectors> = idx.iter().map(|&i| pool[i].1.clone()).collect();
+        let d_out: Vec<f64> = idx
+            .iter()
+            .map(|&i| data.get(h, pool[i].0).expect("complete matrix"))
+            .collect();
+        let d_in: Vec<f64> = idx
+            .iter()
+            .map(|&i| data.get(pool[i].0, h).expect("complete matrix"))
+            .collect();
+        let depth = idx.iter().map(|&i| pool[i].2).max().unwrap_or(0) + 1;
+        match server.join_via_references(&refs, &d_out, &d_in) {
+            Ok(v) => {
+                pool.push((h, v.clone(), depth));
+                joined.push((h, v, depth));
+            }
+            Err(e) => {
+                eprintln!("join failed for host {h}: {e}");
+            }
+        }
+    }
+
+    // Errors on ordinary pairs, grouped by the max depth of the two hosts.
+    let max_depth = joined.iter().map(|&(_, _, d)| d).max().unwrap_or(1);
+    let mut by_depth: Vec<Vec<f64>> = vec![Vec::new(); max_depth + 1];
+    for (i, (hi, vi, di)) in joined.iter().enumerate() {
+        for (j, (hj, vj, dj)) in joined.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(actual) = data.get(*hi, *hj) {
+                if actual > 0.0 {
+                    let depth = (*di).max(*dj);
+                    by_depth[depth]
+                        .push(modified_relative_error(actual, vi.distance_to_host(vj)));
+                }
+            }
+        }
+    }
+    println!("# depth pairs median p90");
+    for (depth, errs) in by_depth.iter().enumerate() {
+        if errs.is_empty() {
+            continue;
+        }
+        let cdf = Cdf::new(errs.clone());
+        println!("{depth} {} {:.4} {:.4}", cdf.len(), cdf.median(), cdf.p90());
+    }
+
+    // Baseline: everyone joins through all landmarks directly.
+    let mut direct = Vec::new();
+    for &h in &ordinary {
+        let d_out: Vec<f64> =
+            landmarks.iter().map(|&l| data.get(h, l).expect("complete")).collect();
+        let d_in: Vec<f64> =
+            landmarks.iter().map(|&l| data.get(l, h).expect("complete")).collect();
+        if let Ok(v) = server.join(&d_out, &d_in) {
+            direct.push((h, v));
+        }
+    }
+    let mut errs = Vec::new();
+    for (i, (hi, vi)) in direct.iter().enumerate() {
+        for (j, (hj, vj)) in direct.iter().enumerate() {
+            if i != j {
+                if let Some(actual) = data.get(*hi, *hj) {
+                    if actual > 0.0 {
+                        errs.push(modified_relative_error(actual, vi.distance_to_host(vj)));
+                    }
+                }
+            }
+        }
+    }
+    let cdf = Cdf::new(errs);
+    println!("# baseline (all {m} landmarks measured directly): median {:.4} p90 {:.4}", cdf.median(), cdf.p90());
+    let _ = Matrix::zeros(0, 0);
+}

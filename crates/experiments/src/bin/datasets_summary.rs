@@ -1,0 +1,14 @@
+//! Prints the structural statistics of all five synthetic data sets —
+//! the sanity check that the substrate reproduces the phenomena the paper
+//! relies on (triangle-inequality violations, asymmetry, low effective
+//! rank). Not a paper figure, but the evidence behind DESIGN.md §2.
+
+use ides_experiments::{print_summary, seed, Dataset};
+
+fn main() {
+    println!("# Data set summaries (synthetic stand-ins; see DESIGN.md §2)");
+    for dataset in Dataset::all() {
+        let ds = dataset.generate(seed());
+        print_summary(&ds);
+    }
+}

@@ -1,0 +1,70 @@
+//! Coordinate staleness under network drift (deployment extension).
+//!
+//! IDES hosts compute their vectors once; real RTTs drift. This experiment
+//! layers a smooth ±20 % diurnal drift over an NLANR-like topology, joins
+//! all ordinary hosts at epoch 0, then re-scores their *cached* vectors
+//! against the drifted ground truth at later epochs — with a re-joined
+//! (fresh-measurement) control at each epoch. The gap between cached and
+//! fresh curves is the price of staleness and tells an operator how often
+//! hosts should re-join.
+
+use ides::system::{IdesConfig, InformationServer};
+use ides_datasets::DistanceMatrix;
+use ides_experiments::seed;
+use ides_linalg::Matrix;
+use ides_mf::metrics::{modified_relative_error, Cdf};
+use ides_netsim::drift::DriftModel;
+
+fn main() {
+    let dim = 8;
+    println!("# Staleness: cached vs re-joined vectors under ±20% drift (NLANR-like, d={dim})");
+    let ds = ides_datasets::generators::nlanr_like(80, seed()).expect("dataset");
+    let topo = &ds.topology;
+    let drift = DriftModel::new(0.2, 24.0, seed());
+
+    let landmarks: Vec<usize> = (0..20).collect();
+    let ordinary: Vec<usize> = (20..80).collect();
+
+    // Landmark matrix + joins at epoch 0 (no drift yet).
+    let at_epoch = |epoch: f64| -> (InformationServer, Vec<(usize, ides::HostVectors)>) {
+        let lm_vals = Matrix::from_fn(20, 20, |i, j| {
+            drift.rtt(topo, landmarks[i], landmarks[j], epoch)
+        });
+        let lm = DistanceMatrix::full("lm", lm_vals).expect("landmark matrix");
+        let server = InformationServer::build(&lm, IdesConfig::new(dim)).expect("server");
+        let joined = ordinary
+            .iter()
+            .map(|&h| {
+                let row: Vec<f64> =
+                    landmarks.iter().map(|&l| drift.rtt(topo, h, l, epoch)).collect();
+                (h, server.join(&row, &row).expect("join"))
+            })
+            .collect();
+        (server, joined)
+    };
+
+    let (_, cached) = at_epoch(0.0);
+
+    println!("# epoch drift_deviation cached_median fresh_median");
+    let all_hosts: Vec<usize> = (0..80).collect();
+    for epoch in [0.0, 2.0, 4.0, 6.0, 9.0, 12.0, 18.0, 24.0] {
+        let deviation = drift.deviation(topo, &all_hosts, epoch);
+        let (_, fresh) = at_epoch(epoch);
+        let score = |joined: &[(usize, ides::HostVectors)]| -> f64 {
+            let mut errs = Vec::new();
+            for (a, (hi, vi)) in joined.iter().enumerate() {
+                for (b, (hj, vj)) in joined.iter().enumerate() {
+                    if a == b {
+                        continue;
+                    }
+                    let actual = drift.rtt(topo, *hi, *hj, epoch);
+                    if actual > 0.0 {
+                        errs.push(modified_relative_error(actual, vi.distance_to_host(vj)));
+                    }
+                }
+            }
+            Cdf::new(errs).median()
+        };
+        println!("{epoch:.1} {deviation:.4} {:.4} {:.4}", score(&cached), score(&fresh));
+    }
+}

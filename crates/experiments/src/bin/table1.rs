@@ -1,0 +1,61 @@
+//! Table 1: model-build wall time for IDES/SVD, IDES/NMF, ICS and GNP over
+//! the GNP-, NLANR- and P2PSim-like data sets.
+//!
+//! "Build" covers the landmark factorization plus joining every ordinary
+//! host, i.e. everything needed before distance queries are dot products.
+//!
+//! Expected shape (paper): IDES and ICS complete in well under a second
+//! (MatLab: 0.01–0.17 s); GNP takes minutes because Simplex Downhill
+//! converges slowly. Absolute numbers differ (Rust vs MatLab, synthetic vs
+//! real data); the orders-of-magnitude gap is the reproduced result.
+
+use ides::eval::{evaluate_gnp, evaluate_ics, evaluate_ides};
+use ides::system::{split_landmarks, IdesConfig};
+use ides_experiments::{seed, Dataset};
+use ides_mf::gnp::GnpConfig;
+
+fn main() {
+    let dim = 8;
+    println!("# Table 1: model build time (landmark fit + all host joins), d = {dim}");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "dataset", "IDES/SVD", "IDES/NMF", "ICS", "GNP");
+    for dataset in [Dataset::Gnp, Dataset::Nlanr, Dataset::P2pSim] {
+        let ds = dataset.generate(seed());
+        let data = if ds.matrix.is_complete() {
+            ds.matrix.clone()
+        } else {
+            ds.matrix.filter_complete().expect("square dataset").0
+        };
+        let n = data.rows();
+        let m = match dataset {
+            Dataset::Gnp => 15.min(n - 2),
+            _ => 20.min(n - 2),
+        };
+        let (landmarks, ordinary) = split_landmarks(n, m, seed());
+
+        let svd = evaluate_ides(&data, &landmarks, &ordinary, IdesConfig::new(dim))
+            .expect("IDES/SVD evaluation");
+        let nmf = evaluate_ides(&data, &landmarks, &ordinary, IdesConfig::nmf(dim))
+            .expect("IDES/NMF evaluation");
+        let ics = evaluate_ics(&data, &landmarks, &ordinary, dim).expect("ICS evaluation");
+        let gnp = evaluate_gnp(&data, &landmarks, &ordinary, GnpConfig::new(dim))
+            .expect("GNP evaluation");
+
+        println!(
+            "{:<10} {:>11.3}s {:>11.3}s {:>11.3}s {:>11.3}s",
+            dataset.name(),
+            svd.build_seconds,
+            nmf.build_seconds,
+            ics.build_seconds,
+            gnp.build_seconds
+        );
+        println!(
+            "#   medians: SVD {:.3}  NMF {:.3}  ICS {:.3}  GNP {:.3}  ({} hosts joined, {} pairs)",
+            svd.cdf().median(),
+            nmf.cdf().median(),
+            ics.cdf().median(),
+            gnp.cdf().median(),
+            svd.hosts_joined,
+            svd.pairs_evaluated
+        );
+    }
+}

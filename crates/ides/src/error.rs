@@ -1,0 +1,34 @@
+//! Error type for the IDES system layer.
+
+use thiserror::Error;
+
+/// Result alias using [`IdesError`].
+pub type Result<T> = std::result::Result<T, IdesError>;
+
+/// Errors from the IDES system.
+#[derive(Debug, Error)]
+pub enum IdesError {
+    /// Model fitting failed.
+    #[error("model error: {0}")]
+    Model(#[from] ides_mf::MfError),
+    /// Linear algebra failure during a host join.
+    #[error("linear algebra error: {0}")]
+    Linalg(#[from] ides_linalg::LinalgError),
+    /// Dataset problem.
+    #[error("dataset error: {0}")]
+    Dataset(#[from] ides_datasets::DatasetError),
+    /// Invalid configuration or input.
+    #[error("invalid input: {0}")]
+    InvalidInput(String),
+    /// Not enough observed reference nodes to solve the join (need >= d).
+    #[error("only {observed} reference nodes observed, need at least {needed}")]
+    TooFewObservations {
+        /// Reference nodes with usable measurements.
+        observed: usize,
+        /// Minimum required (the model dimension).
+        needed: usize,
+    },
+    /// Protocol-level failure in the simulated wire exchange.
+    #[error("protocol error: {0}")]
+    Protocol(String),
+}

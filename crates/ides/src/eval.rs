@@ -1,0 +1,358 @@
+//! Prediction-accuracy evaluation harness (§6 of the paper).
+//!
+//! Drives the three systems the paper compares — IDES (SVD or NMF), ICS
+//! (Lipschitz+PCA) and GNP (Simplex Downhill) — through the same protocol:
+//! build a model from the landmark-to-landmark matrix, join every ordinary
+//! host from its measured distances to/from the landmarks, then score
+//! predictions on ordinary-to-ordinary pairs **that were never measured by
+//! the model** using the modified relative error (Eq. 10).
+
+use std::time::Instant;
+
+use ides_datasets::DistanceMatrix;
+use ides_mf::gnp::{GnpConfig, GnpModel};
+use ides_mf::lipschitz::LipschitzPca;
+use ides_mf::metrics::{modified_relative_error, Cdf};
+
+use crate::error::{IdesError, Result};
+use crate::projection::HostVectors;
+use crate::system::{IdesConfig, InformationServer};
+
+/// Result of one prediction experiment.
+#[derive(Debug, Clone)]
+pub struct PredictionResult {
+    /// Modified relative errors over the evaluated pairs.
+    pub errors: Vec<f64>,
+    /// Wall-clock seconds to build the model (landmark fit + all host joins).
+    pub build_seconds: f64,
+    /// Number of ordinary hosts joined.
+    pub hosts_joined: usize,
+    /// Number of evaluated (predicted) pairs.
+    pub pairs_evaluated: usize,
+}
+
+impl PredictionResult {
+    /// CDF over the prediction errors.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::new(self.errors.clone())
+    }
+}
+
+/// Measured landmark rows for one ordinary host: distances to and from
+/// each landmark (parallel to the landmark index list).
+fn landmark_rows(
+    data: &DistanceMatrix,
+    host: usize,
+    landmarks: &[usize],
+) -> Option<(Vec<f64>, Vec<f64>)> {
+    let mut d_out = Vec::with_capacity(landmarks.len());
+    let mut d_in = Vec::with_capacity(landmarks.len());
+    for &l in landmarks {
+        d_out.push(data.get(host, l)?);
+        d_in.push(data.get(l, host)?);
+    }
+    Some((d_out, d_in))
+}
+
+/// Runs the IDES prediction experiment on a square data set.
+///
+/// `landmarks` and `ordinary` index hosts of `data`; hosts whose landmark
+/// measurements are incomplete are skipped (consistent with the paper's
+/// filtering).
+pub fn evaluate_ides(
+    data: &DistanceMatrix,
+    landmarks: &[usize],
+    ordinary: &[usize],
+    config: IdesConfig,
+) -> Result<PredictionResult> {
+    let start = Instant::now();
+    let lm = data.submatrix(landmarks, landmarks);
+    let server = InformationServer::build(&lm, config)?;
+
+    let mut joined: Vec<(usize, HostVectors)> = Vec::with_capacity(ordinary.len());
+    for &h in ordinary {
+        if let Some((d_out, d_in)) = landmark_rows(data, h, landmarks) {
+            let v = server.join(&d_out, &d_in)?;
+            joined.push((h, v));
+        }
+    }
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    let mut errors = Vec::new();
+    for (i, (hi, vi)) in joined.iter().enumerate() {
+        for (j, (hj, vj)) in joined.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(actual) = data.get(*hi, *hj) {
+                if actual > 0.0 {
+                    errors.push(modified_relative_error(actual, vi.distance_to_host(vj)));
+                }
+            }
+        }
+    }
+    Ok(PredictionResult {
+        pairs_evaluated: errors.len(),
+        hosts_joined: joined.len(),
+        errors,
+        build_seconds,
+    })
+}
+
+/// Runs the ICS (Lipschitz+PCA) prediction experiment: the landmark matrix
+/// is embedded by PCA; ordinary hosts are embedded from their Lipschitz
+/// rows (distances to landmarks).
+pub fn evaluate_ics(
+    data: &DistanceMatrix,
+    landmarks: &[usize],
+    ordinary: &[usize],
+    dim: usize,
+) -> Result<PredictionResult> {
+    let start = Instant::now();
+    let lm = data.submatrix(landmarks, landmarks);
+    let model = LipschitzPca::fit(&lm, dim)?;
+    let mut joined: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ordinary.len());
+    for &h in ordinary {
+        if let Some((d_out, _d_in)) = landmark_rows(data, h, landmarks) {
+            let coords = model.embed(&d_out)?;
+            joined.push((h, coords));
+        }
+    }
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    let mut errors = Vec::new();
+    for (i, (hi, ci)) in joined.iter().enumerate() {
+        for (j, (hj, cj)) in joined.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(actual) = data.get(*hi, *hj) {
+                if actual > 0.0 {
+                    errors.push(modified_relative_error(actual, LipschitzPca::distance(ci, cj)));
+                }
+            }
+        }
+    }
+    Ok(PredictionResult {
+        pairs_evaluated: errors.len(),
+        hosts_joined: joined.len(),
+        errors,
+        build_seconds,
+    })
+}
+
+/// Runs the GNP prediction experiment (Simplex Downhill embedding).
+pub fn evaluate_gnp(
+    data: &DistanceMatrix,
+    landmarks: &[usize],
+    ordinary: &[usize],
+    config: GnpConfig,
+) -> Result<PredictionResult> {
+    let start = Instant::now();
+    let lm = data.submatrix(landmarks, landmarks);
+    let model = GnpModel::fit_landmarks(&lm, config)
+        .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
+    let mut joined: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ordinary.len());
+    for &h in ordinary {
+        if let Some((d_out, _)) = landmark_rows(data, h, landmarks) {
+            let coords = model
+                .fit_host(&d_out, config, h as u64)
+                .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
+            joined.push((h, coords));
+        }
+    }
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    let mut errors = Vec::new();
+    for (i, (hi, ci)) in joined.iter().enumerate() {
+        for (j, (hj, cj)) in joined.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(actual) = data.get(*hi, *hj) {
+                if actual > 0.0 {
+                    errors.push(modified_relative_error(actual, GnpModel::distance(ci, cj)));
+                }
+            }
+        }
+    }
+    Ok(PredictionResult {
+        pairs_evaluated: errors.len(),
+        hosts_joined: joined.len(),
+        errors,
+        build_seconds,
+    })
+}
+
+/// §6.2 robustness experiment: each ordinary host independently fails to
+/// observe a random `unobserved_fraction` of the landmarks and joins
+/// through the remainder ([`InformationServer::join_partial`]).
+///
+/// Returns the modified relative errors over ordinary-pair predictions.
+pub fn evaluate_ides_with_failures(
+    data: &DistanceMatrix,
+    landmarks: &[usize],
+    ordinary: &[usize],
+    config: IdesConfig,
+    unobserved_fraction: f64,
+    seed: u64,
+) -> Result<PredictionResult> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    if !(0.0..1.0).contains(&unobserved_fraction) {
+        return Err(IdesError::InvalidInput("unobserved fraction must be in [0, 1)".into()));
+    }
+    let start = Instant::now();
+    let lm = data.submatrix(landmarks, landmarks);
+    let server = InformationServer::build(&lm, config)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let m = landmarks.len();
+    let keep = m - ((m as f64 * unobserved_fraction).round() as usize).min(m);
+
+    let mut joined: Vec<(usize, HostVectors)> = Vec::new();
+    for &h in ordinary {
+        let Some((d_out_full, d_in_full)) = landmark_rows(data, h, landmarks) else { continue };
+        // Independent random observed subset per host.
+        let mut idx: Vec<usize> = (0..m).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(keep.max(1));
+        idx.sort_unstable();
+        let d_out: Vec<f64> = idx.iter().map(|&i| d_out_full[i]).collect();
+        let d_in: Vec<f64> = idx.iter().map(|&i| d_in_full[i]).collect();
+        // With very few observations the plain solve is singular; the
+        // evaluation mirrors the paper by still attempting the join (ridge
+        // fallback keeps it defined).
+        let result = server.join_partial(&idx, &d_out, &d_in).or_else(|_| {
+            let mut cfg = server.join_options();
+            cfg.ridge = 1e-6;
+            let x = server.model().x().select_rows(&idx);
+            let y = server.model().y().select_rows(&idx);
+            crate::projection::join_host(&x, &y, &d_out, &d_in, cfg)
+        });
+        if let Ok(v) = result {
+            joined.push((h, v));
+        }
+    }
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    let mut errors = Vec::new();
+    for (i, (hi, vi)) in joined.iter().enumerate() {
+        for (j, (hj, vj)) in joined.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(actual) = data.get(*hi, *hj) {
+                if actual > 0.0 {
+                    errors.push(modified_relative_error(actual, vi.distance_to_host(vj)));
+                }
+            }
+        }
+    }
+    Ok(PredictionResult {
+        pairs_evaluated: errors.len(),
+        hosts_joined: joined.len(),
+        errors,
+        build_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::split_landmarks;
+    use ides_datasets::generators::{gnp_like, nlanr_like};
+
+    #[test]
+    fn ides_beats_ics_on_nlanr_like() {
+        // Fig. 6(b): IDES more accurate than ICS on the NLANR-style set.
+        let ds = nlanr_like(60, 21).unwrap();
+        let (landmarks, ordinary) = split_landmarks(60, 20, 5);
+        let ides = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8)).unwrap();
+        let ics = evaluate_ics(&ds.matrix, &landmarks, &ordinary, 8).unwrap();
+        let ides_med = ides.cdf().median();
+        let ics_med = ics.cdf().median();
+        assert!(
+            ides_med < ics_med,
+            "IDES median {ides_med} should beat ICS median {ics_med}"
+        );
+        assert_eq!(ides.hosts_joined, 40);
+        assert_eq!(ides.pairs_evaluated, 40 * 39);
+    }
+
+    #[test]
+    fn nmf_variant_runs_and_is_accurate() {
+        let ds = nlanr_like(50, 22).unwrap();
+        let (landmarks, ordinary) = split_landmarks(50, 20, 6);
+        let r = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::nmf(8)).unwrap();
+        assert!(r.cdf().median() < 0.5, "NMF median {}", r.cdf().median());
+    }
+
+    #[test]
+    fn failure_experiment_degrades_gracefully() {
+        // Fig. 7 shape: more unobserved landmarks => error does not improve,
+        // and with 0% failures it matches the basic architecture.
+        let ds = nlanr_like(60, 23).unwrap();
+        let (landmarks, ordinary) = split_landmarks(60, 20, 8);
+        let base = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8)).unwrap();
+        let f0 =
+            evaluate_ides_with_failures(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8), 0.0, 1)
+                .unwrap();
+        assert!((base.cdf().median() - f0.cdf().median()).abs() < 1e-9);
+        let f6 =
+            evaluate_ides_with_failures(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8), 0.6, 1)
+                .unwrap();
+        assert!(
+            f6.cdf().median() >= f0.cdf().median() * 0.8,
+            "60% failures median {} vs baseline {}",
+            f6.cdf().median(),
+            f0.cdf().median()
+        );
+    }
+
+    #[test]
+    fn gnp_evaluation_runs() {
+        let ds = gnp_like(19, 24).unwrap();
+        let (landmarks, ordinary) = split_landmarks(19, 15, 9);
+        let cfg = GnpConfig { landmark_evals: 20_000, host_evals: 2_000, ..GnpConfig::new(6) };
+        let r = evaluate_gnp(&ds.matrix, &landmarks, &ordinary, cfg).unwrap();
+        assert_eq!(r.hosts_joined, 4);
+        assert_eq!(r.pairs_evaluated, 12);
+        assert!(r.cdf().median().is_finite());
+    }
+
+    #[test]
+    fn ides_is_much_faster_than_gnp() {
+        // Table 1's headline: IDES builds in well under the GNP time.
+        let ds = gnp_like(19, 25).unwrap();
+        let (landmarks, ordinary) = split_landmarks(19, 15, 11);
+        let ides = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8)).unwrap();
+        let gnp = evaluate_gnp(
+            &ds.matrix,
+            &landmarks,
+            &ordinary,
+            GnpConfig { landmark_evals: 40_000, host_evals: 2_000, ..GnpConfig::new(8) },
+        )
+        .unwrap();
+        assert!(
+            ides.build_seconds * 5.0 < gnp.build_seconds,
+            "IDES {}s vs GNP {}s",
+            ides.build_seconds,
+            gnp.build_seconds
+        );
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let ds = gnp_like(10, 26).unwrap();
+        let (landmarks, ordinary) = split_landmarks(10, 8, 12);
+        assert!(evaluate_ides_with_failures(
+            &ds.matrix,
+            &landmarks,
+            &ordinary,
+            IdesConfig::new(4),
+            1.0,
+            0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # ides — Internet Distance Estimation Service
+//!
+//! The system layer of the reproduction of Mao & Saul, *Modeling Distances
+//! in Large-Scale Networks by Matrix Factorization* (IMC 2004), §5–§6.
+//!
+//! IDES classifies hosts into **landmarks** — well-positioned nodes whose
+//! pairwise distance matrix an information server measures and factors by
+//! SVD or NMF — and **ordinary hosts**, which join by measuring distances
+//! to/from the landmarks (or, in the relaxed architecture, any `k ≥ d`
+//! nodes with known vectors) and solving two small least-squares problems
+//! (Eqs. 13–16) for their own outgoing/incoming vectors. Distance queries
+//! then reduce to dot products with no further measurement.
+//!
+//! * [`system`] — landmark selection, [`system::InformationServer`], joins.
+//! * [`projection`] — the least-squares host join with QR / normal-equation
+//!   / nonnegative solvers.
+//! * [`eval`] — the §6 evaluation harness (IDES vs ICS vs GNP, landmark
+//!   failure injection).
+//! * [`protocol`] — the wire protocol simulated over `ides-netsim`
+//!   (framed serde messages, ping-based RTT measurement, deterministic
+//!   discrete-event timing).
+//!
+//! ```
+//! use ides::system::{IdesConfig, InformationServer};
+//! use ides_datasets::DistanceMatrix;
+//! use ides_netsim::topology::figure1_distance_matrix;
+//!
+//! // §5.1 worked example: 4 landmarks, host H1 joins with distances
+//! // [0.5, 1.5, 1.5, 2.5]; its distance to a mirrored host H2 is
+//! // predicted as 3.25 (true distance 3).
+//! let lm = DistanceMatrix::full("fig1", figure1_distance_matrix()).unwrap();
+//! let server = InformationServer::build(&lm, IdesConfig::new(3)).unwrap();
+//! let h1 = server.join(&[0.5, 1.5, 1.5, 2.5], &[0.5, 1.5, 1.5, 2.5]).unwrap();
+//! let h2 = server.join(&[2.5, 1.5, 1.5, 0.5], &[2.5, 1.5, 1.5, 0.5]).unwrap();
+//! assert!((h1.distance_to_host(&h2) - 3.25).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod eval;
+pub mod projection;
+pub mod protocol;
+pub mod system;
+
+pub use error::{IdesError, Result};
+pub use projection::{HostVectors, JoinOptions, JoinSolver};
+pub use system::{Algorithm, IdesConfig, InformationServer};

@@ -1,0 +1,267 @@
+//! Host-join least squares (§5.1, Eqs. 11–14; §5.2, Eqs. 15–16).
+//!
+//! An ordinary host measures distances to and from a set of reference
+//! nodes with known vectors (all landmarks in the basic architecture, any
+//! `k ≥ d` nodes in the relaxed one) and solves two small least-squares
+//! problems for its own outgoing and incoming vectors:
+//!
+//! ```text
+//! X_new = argmin Σᵢ (Dᵒᵘᵗᵢ − U · Y_i)²   =>  (Dᵒᵘᵗ Y)(YᵀY)⁻¹
+//! Y_new = argmin Σᵢ (Dᶦⁿᵢ  − X_i · U)²   =>  (Dᶦⁿ X)(XᵀX)⁻¹
+//! ```
+
+use ides_linalg::{nnls, qr, solve, Matrix};
+use ides_mf::FactorModel;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{IdesError, Result};
+
+/// Which least-squares solver computes the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinSolver {
+    /// Householder-QR least squares (numerically preferred).
+    Qr,
+    /// The paper's literal normal equations `(AᵀA)⁻¹Aᵀb` (Eqs. 13–14).
+    NormalEquations,
+    /// Nonnegative least squares — guarantees nonnegative predictions when
+    /// the landmark model came from NMF (§5.1).
+    NonNegative,
+}
+
+/// Options for a host join.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// Solver choice.
+    pub solver: JoinSolver,
+    /// Ridge term added when the system is ill-conditioned (0 disables).
+    pub ridge: f64,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions { solver: JoinSolver::Qr, ridge: 0.0 }
+    }
+}
+
+/// A joined host's coordinates: its outgoing and incoming vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostVectors {
+    /// Outgoing vector `X_new` (length `d`).
+    pub outgoing: Vec<f64>,
+    /// Incoming vector `Y_new` (length `d`).
+    pub incoming: Vec<f64>,
+}
+
+impl HostVectors {
+    /// Estimated distance from this host to one with incoming vector `y`.
+    pub fn distance_to(&self, incoming_of_other: &[f64]) -> f64 {
+        FactorModel::dot(&self.outgoing, incoming_of_other)
+    }
+
+    /// Estimated distance from a host with outgoing vector `x` to this one.
+    pub fn distance_from(&self, outgoing_of_other: &[f64]) -> f64 {
+        FactorModel::dot(outgoing_of_other, &self.incoming)
+    }
+
+    /// Estimated distance from this host to another joined host.
+    pub fn distance_to_host(&self, other: &HostVectors) -> f64 {
+        self.distance_to(&other.incoming)
+    }
+}
+
+/// Solves the join for one ordinary host.
+///
+/// * `x_refs` / `y_refs`: outgoing / incoming vectors of the `k` reference
+///   nodes as rows (`k x d`).
+/// * `d_out[i]`: measured distance *to* reference `i`.
+/// * `d_in[i]`: measured distance *from* reference `i`.
+///
+/// Requires `k >= d` (the paper's solvability condition); returns
+/// [`IdesError::TooFewObservations`] otherwise (unless a positive ridge
+/// term makes the smaller system well-posed).
+pub fn join_host(
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    d_out: &[f64],
+    d_in: &[f64],
+    opts: JoinOptions,
+) -> Result<HostVectors> {
+    let k = x_refs.rows();
+    let d = x_refs.cols();
+    if y_refs.shape() != (k, d) {
+        return Err(IdesError::InvalidInput(format!(
+            "reference vector shapes disagree: X {:?}, Y {:?}",
+            x_refs.shape(),
+            y_refs.shape()
+        )));
+    }
+    if d_out.len() != k || d_in.len() != k {
+        return Err(IdesError::InvalidInput(format!(
+            "expected {k} out/in measurements, got {}/{}",
+            d_out.len(),
+            d_in.len()
+        )));
+    }
+    if k < d && opts.ridge <= 0.0 {
+        return Err(IdesError::TooFewObservations { observed: k, needed: d });
+    }
+
+    // X_new solves min ‖Y_refs · X_newᵀ − d_out‖ (each reference's incoming
+    // vector dotted with X_new approximates the outgoing distance).
+    let outgoing = solve_one(y_refs, d_out, opts)?;
+    let incoming = solve_one(x_refs, d_in, opts)?;
+    Ok(HostVectors { outgoing, incoming })
+}
+
+fn solve_one(a: &Matrix, b: &[f64], opts: JoinOptions) -> Result<Vec<f64>> {
+    if opts.ridge > 0.0 {
+        return Ok(solve::lstsq_ridge(a, b, opts.ridge)?);
+    }
+    let x = match opts.solver {
+        JoinSolver::Qr => qr::lstsq(a, b).or_else(|_| solve::lstsq_normal(a, b))?,
+        JoinSolver::NormalEquations => solve::lstsq_normal(a, b)?,
+        JoinSolver::NonNegative => nnls::nnls(a, b)?,
+    };
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ides_mf::svd_model::{fit_matrix, SvdConfig};
+    use ides_netsim::topology::figure1_distance_matrix;
+
+    /// The §5.1 worked example: landmark vectors from the Figure-1 matrix,
+    /// host H1 with distances [0.5, 1.5, 1.5, 2.5] to all four landmarks.
+    #[test]
+    fn paper_section5_basic_example() {
+        let d = figure1_distance_matrix();
+        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let douts = [0.5, 1.5, 1.5, 2.5];
+        let h1 = join_host(model.x(), model.y(), &douts, &douts, JoinOptions::default()).unwrap();
+        // Distances to landmarks are exactly preserved.
+        for (i, &expected) in douts.iter().enumerate() {
+            let est = h1.distance_to(model.incoming(i));
+            assert!((est - expected).abs() < 1e-9, "to L{i}: {est} vs {expected}");
+            let est = h1.distance_from(model.outgoing(i));
+            assert!((est - expected).abs() < 1e-9, "from L{i}: {est} vs {expected}");
+        }
+        // H2 mirrors H1; the predicted H1–H2 distance is 3.25 (true 3).
+        let d2 = [2.5, 1.5, 1.5, 0.5];
+        let h2 = join_host(model.x(), model.y(), &d2, &d2, JoinOptions::default()).unwrap();
+        let est = h1.distance_to_host(&h2);
+        assert!((est - 3.25).abs() < 1e-9, "H1->H2 {est}");
+        let est_rev = h2.distance_to_host(&h1);
+        assert!((est_rev - 3.25).abs() < 1e-9, "H2->H1 {est_rev}");
+    }
+
+    /// The §5.2 relaxed example: H2 joins through L2, L4 and the
+    /// already-joined H1 instead of all landmarks.
+    #[test]
+    fn paper_section5_relaxed_example() {
+        let d = figure1_distance_matrix();
+        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        // H1 joins through L1, L2, L3 (measured distances 0.5, 1.5, 1.5).
+        let x_sub = model.x().select_rows(&[0, 1, 2]);
+        let y_sub = model.y().select_rows(&[0, 1, 2]);
+        let m1 = [0.5, 1.5, 1.5];
+        let h1 = join_host(&x_sub, &y_sub, &m1, &m1, JoinOptions::default()).unwrap();
+        // The unmeasured distance H1–L4 is predicted exactly (2.5).
+        let est = h1.distance_to(model.incoming(3));
+        assert!((est - 2.5).abs() < 1e-9, "H1->L4 {est}");
+
+        // H2 joins through L2, L4, H1 with distances [1.5, 0.5, 3].
+        let x_refs = Matrix::from_rows(&[
+            model.outgoing(1).to_vec(),
+            model.outgoing(3).to_vec(),
+            h1.outgoing.clone(),
+        ])
+        .unwrap();
+        let y_refs = Matrix::from_rows(&[
+            model.incoming(1).to_vec(),
+            model.incoming(3).to_vec(),
+            h1.incoming.clone(),
+        ])
+        .unwrap();
+        let m2 = [1.5, 0.5, 3.0];
+        let h2 = join_host(&x_refs, &y_refs, &m2, &m2, JoinOptions::default()).unwrap();
+        // Paper: H2–L1 ≈ 2.3 (true 2.5) and H2–L3 ≈ 1.3 (true 1.5); the
+        // worst relative error in the example is 15 %.
+        let to_l1 = h2.distance_to(model.incoming(0));
+        assert!((to_l1 - 2.5).abs() <= 0.25, "H2->L1 {to_l1}");
+        let to_l3 = h2.distance_to(model.incoming(2));
+        assert!((to_l3 - 1.5).abs() <= 0.25, "H2->L3 {to_l3}");
+    }
+
+    #[test]
+    fn too_few_references_rejected() {
+        let x = Matrix::zeros(2, 3);
+        let y = Matrix::zeros(2, 3);
+        let err = join_host(&x, &y, &[1.0, 2.0], &[1.0, 2.0], JoinOptions::default());
+        assert!(matches!(err, Err(IdesError::TooFewObservations { observed: 2, needed: 3 })));
+        // But a ridge term makes it solvable.
+        let ok = join_host(
+            &x,
+            &y,
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            JoinOptions { ridge: 0.1, ..Default::default() },
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn solver_variants_agree_on_well_posed_interior_problem() {
+        let d = figure1_distance_matrix();
+        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let m = [0.5, 1.5, 1.5, 2.5];
+        let qr = join_host(model.x(), model.y(), &m, &m, JoinOptions::default()).unwrap();
+        let ne = join_host(
+            model.x(),
+            model.y(),
+            &m,
+            &m,
+            JoinOptions { solver: JoinSolver::NormalEquations, ..Default::default() },
+        )
+        .unwrap();
+        for (a, b) in qr.outgoing.iter().zip(ne.outgoing.iter()) {
+            assert!((a - b).abs() < 1e-8, "QR {:?} vs NE {:?}", qr.outgoing, ne.outgoing);
+        }
+    }
+
+    #[test]
+    fn nonnegative_solver_gives_nonnegative_predictions() {
+        // With NMF landmark vectors (nonnegative) and NNLS join, all
+        // predicted distances are nonnegative by construction.
+        let ds = ides_datasets::generators::gnp_like(12, 3).unwrap();
+        let sub: Vec<usize> = (0..8).collect();
+        let landmarks = ds.matrix.submatrix(&sub, &sub);
+        let nmf = ides_mf::nmf::fit(&landmarks, ides_mf::nmf::NmfConfig::new(4)).unwrap();
+        let model = nmf.model;
+        // Host 9 joins via its measured rows.
+        let d_out: Vec<f64> = sub.iter().map(|&l| ds.matrix.get(9, l).unwrap()).collect();
+        let d_in: Vec<f64> = sub.iter().map(|&l| ds.matrix.get(l, 9).unwrap()).collect();
+        let host = join_host(
+            model.x(),
+            model.y(),
+            &d_out,
+            &d_in,
+            JoinOptions { solver: JoinSolver::NonNegative, ..Default::default() },
+        )
+        .unwrap();
+        assert!(host.outgoing.iter().all(|&v| v >= 0.0));
+        assert!(host.incoming.iter().all(|&v| v >= 0.0));
+        for l in 0..8 {
+            assert!(host.distance_to(model.incoming(l)) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let x = Matrix::zeros(4, 2);
+        let y = Matrix::zeros(3, 2);
+        assert!(join_host(&x, &y, &[0.0; 4], &[0.0; 4], JoinOptions::default()).is_err());
+        let y = Matrix::zeros(4, 2);
+        assert!(join_host(&x, &y, &[0.0; 3], &[0.0; 4], JoinOptions::default()).is_err());
+    }
+}

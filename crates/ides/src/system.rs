@@ -1,0 +1,411 @@
+//! The IDES system (§5.1): landmark set, information server, host joins.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use ides_datasets::DistanceMatrix;
+use ides_linalg::Matrix;
+use ides_mf::nmf::{self, NmfConfig};
+use ides_mf::svd_model::{self, SvdConfig};
+use ides_mf::{DistanceEstimator, FactorModel};
+
+use crate::error::{IdesError, Result};
+use crate::projection::{join_host, HostVectors, JoinOptions, JoinSolver};
+
+/// Which factorization algorithm the information server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Singular value decomposition (global optimum; complete data only).
+    Svd,
+    /// Nonnegative matrix factorization (local optimum; handles missing
+    /// entries; guarantees nonnegative reconstructions).
+    Nmf,
+}
+
+/// IDES configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IdesConfig {
+    /// Model dimensionality `d` (paper: `d ≈ 10` is the sweet spot, `d = 8`
+    /// in the prediction experiments).
+    pub dim: usize,
+    /// Factorization algorithm.
+    pub algorithm: Algorithm,
+    /// NMF iteration budget (ignored for SVD).
+    pub nmf_iterations: usize,
+    /// Options for ordinary-host joins.
+    pub join: JoinOptions,
+    /// Seed for NMF initialization.
+    pub seed: u64,
+}
+
+impl IdesConfig {
+    /// Defaults matching the paper's prediction experiments (d = 8, SVD).
+    pub fn new(dim: usize) -> Self {
+        IdesConfig {
+            dim,
+            algorithm: Algorithm::Svd,
+            nmf_iterations: 200,
+            join: JoinOptions::default(),
+            seed: 20041025,
+        }
+    }
+
+    /// Same but with NMF as the factorizer.
+    pub fn nmf(dim: usize) -> Self {
+        IdesConfig { algorithm: Algorithm::Nmf, ..IdesConfig::new(dim) }
+    }
+}
+
+/// The information server: holds the factored landmark model and answers
+/// vector queries / join requests.
+#[derive(Debug, Clone)]
+pub struct InformationServer {
+    model: FactorModel,
+    config: IdesConfig,
+}
+
+impl InformationServer {
+    /// Builds the server from the measured landmark-to-landmark matrix.
+    ///
+    /// SVD requires a complete matrix; NMF accepts missing entries (the
+    /// masked updates of Eqs. 8–9).
+    pub fn build(landmark_matrix: &DistanceMatrix, config: IdesConfig) -> Result<Self> {
+        if !landmark_matrix.is_square() {
+            return Err(IdesError::InvalidInput("landmark matrix must be square".into()));
+        }
+        let m = landmark_matrix.rows();
+        if config.dim == 0 || config.dim > m {
+            return Err(IdesError::InvalidInput(format!(
+                "dimension {} out of range for {m} landmarks",
+                config.dim
+            )));
+        }
+        let model = match config.algorithm {
+            Algorithm::Svd => svd_model::fit(landmark_matrix, SvdConfig::new(config.dim))?,
+            Algorithm::Nmf => {
+                let cfg = NmfConfig {
+                    iterations: config.nmf_iterations,
+                    seed: config.seed,
+                    ..NmfConfig::new(config.dim)
+                };
+                nmf::fit(landmark_matrix, cfg)?.model
+            }
+        };
+        Ok(InformationServer { model, config })
+    }
+
+    /// Number of landmarks.
+    pub fn landmark_count(&self) -> usize {
+        self.model.n_from()
+    }
+
+    /// Model dimensionality.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The landmark factor model (outgoing/incoming vectors).
+    pub fn model(&self) -> &FactorModel {
+        &self.model
+    }
+
+    /// Landmark `i`'s vectors as a [`HostVectors`] (for the relaxed
+    /// architecture where landmarks and joined hosts are interchangeable).
+    pub fn landmark_vectors(&self, i: usize) -> HostVectors {
+        HostVectors {
+            outgoing: self.model.outgoing(i).to_vec(),
+            incoming: self.model.incoming(i).to_vec(),
+        }
+    }
+
+    /// Joins an ordinary host from its measured distances to (`d_out`) and
+    /// from (`d_in`) **all** landmarks — the basic architecture (Eqs. 13–14).
+    pub fn join(&self, d_out: &[f64], d_in: &[f64]) -> Result<HostVectors> {
+        join_host(self.model.x(), self.model.y(), d_out, d_in, self.config.join)
+    }
+
+    /// Joins a host that only observed the landmark subset `observed`
+    /// (indices into the landmark set); `d_out`/`d_in` are parallel to
+    /// `observed`. Robustness path of §6.2.
+    pub fn join_partial(
+        &self,
+        observed: &[usize],
+        d_out: &[f64],
+        d_in: &[f64],
+    ) -> Result<HostVectors> {
+        if observed.len() != d_out.len() || observed.len() != d_in.len() {
+            return Err(IdesError::InvalidInput(
+                "observed indices and measurements must have equal length".into(),
+            ));
+        }
+        let x = self.model.x().select_rows(observed);
+        let y = self.model.y().select_rows(observed);
+        join_host(&x, &y, d_out, d_in, self.config.join)
+    }
+
+    /// Joins a host through arbitrary reference nodes (landmarks *or*
+    /// previously joined hosts) — the relaxed architecture (Eqs. 15–16).
+    pub fn join_via_references(
+        &self,
+        references: &[HostVectors],
+        d_out: &[f64],
+        d_in: &[f64],
+    ) -> Result<HostVectors> {
+        if references.is_empty() {
+            return Err(IdesError::TooFewObservations { observed: 0, needed: self.dim() });
+        }
+        let x_rows: Vec<Vec<f64>> = references.iter().map(|r| r.outgoing.clone()).collect();
+        let y_rows: Vec<Vec<f64>> = references.iter().map(|r| r.incoming.clone()).collect();
+        let x = Matrix::from_rows(&x_rows)?;
+        let y = Matrix::from_rows(&y_rows)?;
+        join_host(&x, &y, d_out, d_in, self.config.join)
+    }
+
+    /// The configured join options.
+    pub fn join_options(&self) -> JoinOptions {
+        self.config.join
+    }
+}
+
+/// Selects `m` random landmark indices out of `n` hosts (the paper selects
+/// landmarks randomly, citing [21] that random placement is effective once
+/// 20+ landmarks are used).
+pub fn select_random_landmarks(n: usize, m: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(m);
+    idx.sort_unstable();
+    idx
+}
+
+/// Spread-maximizing landmark selection (extension; ablation for DESIGN.md):
+/// greedy k-center on the measured distances — first landmark is the host
+/// with the largest total distance, each next maximizes the minimum
+/// distance to the already chosen set.
+pub fn select_spread_landmarks(data: &DistanceMatrix, m: usize) -> Vec<usize> {
+    let n = data.rows();
+    let m = m.min(n);
+    if m == 0 {
+        return Vec::new();
+    }
+    let dist = |a: usize, b: usize| -> f64 {
+        match (data.get(a, b), data.get(b, a)) {
+            (Some(x), Some(y)) => 0.5 * (x + y),
+            (Some(x), None) | (None, Some(x)) => x,
+            (None, None) => 0.0,
+        }
+    };
+    // Start from the host with the largest row sum (most "peripheral").
+    let first = (0..n)
+        .max_by(|&a, &b| {
+            let sa: f64 = (0..n).map(|j| dist(a, j)).sum();
+            let sb: f64 = (0..n).map(|j| dist(b, j)).sum();
+            sa.partial_cmp(&sb).expect("finite distances")
+        })
+        .expect("nonempty matrix");
+    let mut chosen = vec![first];
+    while chosen.len() < m {
+        let next = (0..n)
+            .filter(|i| !chosen.contains(i))
+            .max_by(|&a, &b| {
+                let da = chosen.iter().map(|&c| dist(a, c)).fold(f64::INFINITY, f64::min);
+                let db = chosen.iter().map(|&c| dist(b, c)).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("hosts remain");
+        chosen.push(next);
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Convenience used by evaluation code: splits the hosts of a square data
+/// set into `(landmarks, ordinary)` by random selection.
+pub fn split_landmarks(n: usize, m: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let landmarks = select_random_landmarks(n, m, seed);
+    let ordinary: Vec<usize> = (0..n).filter(|i| !landmarks.contains(i)).collect();
+    (landmarks, ordinary)
+}
+
+/// Ensure the chosen solver matches the algorithm (the paper pairs NNLS
+/// joins with NMF landmark models so predictions stay nonnegative).
+pub fn recommended_solver(algorithm: Algorithm) -> JoinSolver {
+    match algorithm {
+        Algorithm::Svd => JoinSolver::Qr,
+        Algorithm::Nmf => JoinSolver::NonNegative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ides_datasets::generators::gnp_like;
+    use ides_netsim::topology::figure1_distance_matrix;
+
+    fn figure1_dataset() -> DistanceMatrix {
+        DistanceMatrix::full("fig1", figure1_distance_matrix()).unwrap()
+    }
+
+    #[test]
+    fn server_builds_with_svd_and_nmf() {
+        let data = figure1_dataset();
+        let svd = InformationServer::build(&data, IdesConfig::new(3)).unwrap();
+        assert_eq!(svd.landmark_count(), 4);
+        assert_eq!(svd.dim(), 3);
+        let nmf = InformationServer::build(&data, IdesConfig::nmf(3)).unwrap();
+        assert_eq!(nmf.dim(), 3);
+        // NMF landmark reconstruction should also be accurate here.
+        let recon = nmf.model().reconstruct();
+        let err = (&recon - &figure1_distance_matrix()).frobenius_norm();
+        assert!(err < 0.8, "NMF reconstruction error {err}");
+    }
+
+    #[test]
+    fn nmf_server_accepts_missing_entries_svd_rejects() {
+        let mut values = figure1_distance_matrix();
+        values[(0, 3)] = 0.0;
+        let mut mask = Matrix::filled(4, 4, 1.0);
+        mask[(0, 3)] = 0.0;
+        let data = DistanceMatrix::with_mask("fig1-missing", values, mask).unwrap();
+        assert!(InformationServer::build(&data, IdesConfig::new(3)).is_err());
+        let server = InformationServer::build(&data, IdesConfig::nmf(3)).unwrap();
+        let recon = server.model().reconstruct();
+        // Observed entries are reconstructed accurately...
+        for i in 0..4 {
+            for j in 0..4 {
+                if (i, j) == (0, 3) || i == j {
+                    continue;
+                }
+                let actual = figure1_distance_matrix()[(i, j)];
+                assert!(
+                    (recon[(i, j)] - actual).abs() < 0.4,
+                    "observed D[{i}][{j}]: {} vs {actual}",
+                    recon[(i, j)]
+                );
+            }
+        }
+        // ...and the missing D[0][3] (true value 2) gets a plausible
+        // nonnegative imputation (a 4x4 with one mask hole does not pin the
+        // value uniquely, so only sanity bounds apply).
+        let est = recon[(0, 3)];
+        assert!((0.0..=4.0).contains(&est), "imputed D[0][3] = {est}");
+    }
+
+    #[test]
+    fn join_roundtrip_on_dataset() {
+        let ds = gnp_like(19, 5).unwrap();
+        let (landmarks, ordinary) = split_landmarks(19, 15, 99);
+        let lm = ds.matrix.submatrix(&landmarks, &landmarks);
+        let server = InformationServer::build(&lm, IdesConfig::new(8)).unwrap();
+        // Join one ordinary host and check its landmark distances are
+        // approximately reproduced.
+        let h = ordinary[0];
+        let d_out: Vec<f64> = landmarks.iter().map(|&l| ds.matrix.get(h, l).unwrap()).collect();
+        let d_in: Vec<f64> = landmarks.iter().map(|&l| ds.matrix.get(l, h).unwrap()).collect();
+        let host = server.join(&d_out, &d_in).unwrap();
+        let mut total_rel = 0.0;
+        for (i, &actual) in d_out.iter().enumerate() {
+            let est = host.distance_to(&server.landmark_vectors(i).incoming);
+            total_rel += (est - actual).abs() / actual;
+        }
+        let mean_rel = total_rel / d_out.len() as f64;
+        assert!(mean_rel < 0.25, "mean relative landmark error {mean_rel}");
+    }
+
+    #[test]
+    fn partial_join_with_enough_landmarks_still_works() {
+        let ds = gnp_like(19, 6).unwrap();
+        let (landmarks, ordinary) = split_landmarks(19, 15, 7);
+        let lm = ds.matrix.submatrix(&landmarks, &landmarks);
+        let server = InformationServer::build(&lm, IdesConfig::new(4)).unwrap();
+        let h = ordinary[0];
+        // Observe only 8 of 15 landmarks.
+        let observed: Vec<usize> = (0..15).step_by(2).collect();
+        let d_out: Vec<f64> =
+            observed.iter().map(|&i| ds.matrix.get(h, landmarks[i]).unwrap()).collect();
+        let d_in: Vec<f64> =
+            observed.iter().map(|&i| ds.matrix.get(landmarks[i], h).unwrap()).collect();
+        let host = server.join_partial(&observed, &d_out, &d_in).unwrap();
+        // Distances to *unobserved* landmarks should still be predicted
+        // within a reasonable factor.
+        let unobserved: Vec<usize> = (0..15).filter(|i| !observed.contains(i)).collect();
+        let mut rels = Vec::new();
+        for &i in &unobserved {
+            let actual = ds.matrix.get(h, landmarks[i]).unwrap();
+            let est = host.distance_to(&server.landmark_vectors(i).incoming).max(0.0);
+            rels.push((est - actual).abs() / actual);
+        }
+        rels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rels[rels.len() / 2];
+        assert!(median < 0.5, "median relative error to unobserved landmarks {median}");
+    }
+
+    #[test]
+    fn join_partial_validates_lengths() {
+        let data = figure1_dataset();
+        let server = InformationServer::build(&data, IdesConfig::new(3)).unwrap();
+        assert!(server.join_partial(&[0, 1], &[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn random_landmark_selection_properties() {
+        let sel = select_random_landmarks(100, 20, 1);
+        assert_eq!(sel.len(), 20);
+        let mut sorted = sel.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "landmarks must be distinct");
+        assert!(sel.iter().all(|&i| i < 100));
+        // Deterministic per seed.
+        assert_eq!(sel, select_random_landmarks(100, 20, 1));
+        assert_ne!(sel, select_random_landmarks(100, 20, 2));
+    }
+
+    #[test]
+    fn spread_selection_covers_clusters() {
+        // Two far-apart clusters: spread selection with m=2 must pick one
+        // host from each.
+        let n = 10;
+        let values = Matrix::from_fn(n, n, |i, j| {
+            let ci = i / 5;
+            let cj = j / 5;
+            if i == j {
+                0.0
+            } else if ci == cj {
+                1.0
+            } else {
+                100.0
+            }
+        });
+        let data = DistanceMatrix::full("clusters", values).unwrap();
+        let sel = select_spread_landmarks(&data, 2);
+        assert_eq!(sel.len(), 2);
+        assert_ne!(sel[0] / 5, sel[1] / 5, "landmarks in same cluster: {sel:?}");
+    }
+
+    #[test]
+    fn split_landmarks_partitions() {
+        let (lm, ord) = split_landmarks(50, 10, 3);
+        assert_eq!(lm.len(), 10);
+        assert_eq!(ord.len(), 40);
+        for l in &lm {
+            assert!(!ord.contains(l));
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let data = figure1_dataset();
+        assert!(InformationServer::build(&data, IdesConfig::new(0)).is_err());
+        assert!(InformationServer::build(&data, IdesConfig::new(5)).is_err());
+        let rect = DistanceMatrix::full("r", Matrix::zeros(2, 3)).unwrap();
+        assert!(InformationServer::build(&rect, IdesConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn recommended_solver_pairs() {
+        assert_eq!(recommended_solver(Algorithm::Svd), JoinSolver::Qr);
+        assert_eq!(recommended_solver(Algorithm::Nmf), JoinSolver::NonNegative);
+    }
+}

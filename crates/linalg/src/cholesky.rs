@@ -1,0 +1,148 @@
+//! Cholesky decomposition for symmetric positive-definite systems.
+//!
+//! Used for the normal-equations path of the IDES host-join solve
+//! (Eqs. 13–14 of the paper compute `(Dᵒᵘᵗ Y)(YᵀY)⁻¹`; `YᵀY` is SPD when
+//! `Y` has full column rank).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Cholesky factor `L` with `A = L Lᵀ`, `L` lower triangular.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Factors a symmetric positive-definite matrix.
+///
+/// Only the lower triangle of `a` is read. Returns
+/// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
+/// encountered.
+pub fn cholesky(a: &Matrix) -> Result<Cholesky> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { got: a.shape(), op: "cholesky" });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(Cholesky { l })
+}
+
+impl Cholesky {
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via the two triangular solves `L y = b`, `Lᵀ x = y`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+                op: "cholesky_solve",
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_multi(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.l.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.l.rows(), 0),
+                got: b.shape(),
+                op: "cholesky_solve_multi",
+            });
+        }
+        let mut x = Matrix::zeros(self.l.rows(), b.cols());
+        for j in 0..b.cols() {
+            let xj = self.solve(&b.col(j))?;
+            x.set_col(j, &xj);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_spd() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0])
+            .unwrap();
+        let c = cholesky(&a).unwrap();
+        let expected =
+            Matrix::from_vec(3, 3, vec![2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0]).unwrap();
+        assert!(c.l().approx_eq(&expected, 1e-12));
+        // L Lᵀ reconstructs A.
+        let recon = c.l().matmul_tr(c.l()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_spd_system() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let c = cholesky(&a).unwrap();
+        let x = c.solve(&[10.0, 8.0]).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 10.0).abs() < 1e-12);
+        assert!((ax[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotPositiveDefinite)));
+        let zero = Matrix::zeros(2, 2);
+        assert!(cholesky(&zero).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_multi_consistency() {
+        let b = Matrix::from_fn(4, 3, |i, j| ((i + j) as f64 * 0.4).cos());
+        let g = &b.matmul_tr(&b).unwrap() + &Matrix::identity(4).scale(0.5);
+        let c = cholesky(&g).unwrap();
+        let rhs = Matrix::from_fn(4, 2, |i, j| (i as f64 + 1.0) * (j as f64 - 0.5));
+        let x = c.solve_multi(&rhs).unwrap();
+        assert!(g.matmul(&x).unwrap().approx_eq(&rhs, 1e-10));
+    }
+}

@@ -1,0 +1,185 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Used by the Lipschitz+PCA baseline (ICS / Virtual Landmark), which
+//! diagonalizes the covariance matrix of the Lipschitz coordinates.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = Q Λ Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEig {
+    /// Eigenvalues in non-increasing order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, in the order of `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEig {
+    /// Reconstructs `Q Λ Qᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let q = &self.eigenvectors;
+        let mut ql = q.clone();
+        for i in 0..ql.rows() {
+            for (j, &l) in self.eigenvalues.iter().enumerate() {
+                ql[(i, j)] *= l;
+            }
+        }
+        ql.matmul_tr(q).expect("square by construction")
+    }
+}
+
+const MAX_SWEEPS: usize = 100;
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix.
+///
+/// The input must be symmetric; only the upper triangle is read. Returns
+/// [`LinalgError::NotSquare`] for non-square input. Convergence is
+/// guaranteed in theory for symmetric matrices; the iteration cap exists as
+/// a defensive bound.
+pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { got: a.shape(), op: "symmetric_eig" });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEig { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) });
+    }
+    let mut m = a.clone();
+    m.symmetrize(); // tolerate tiny asymmetry from accumulated round-off
+    let mut q = Matrix::identity(n);
+
+    let off_norm = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        (2.0 * s).sqrt()
+    };
+    let tol = 1e-14 * m.frobenius_norm().max(1e-300);
+
+    let mut converged = false;
+    for _ in 0..MAX_SWEEPS {
+        if off_norm(&m) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for qq in (p + 1)..n {
+                let apq = m[(p, qq)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(qq, qq)];
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Apply the rotation J(p, q, θ) on both sides: M <- Jᵀ M J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, qq)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, qq)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(qq, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(qq, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors: Q <- Q J.
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkq = q[(k, qq)];
+                    q[(k, p)] = c * qkp - s * qkq;
+                    q[(k, qq)] = s * qkp + c * qkq;
+                }
+            }
+        }
+    }
+    if !converged && off_norm(&m) > tol * 100.0 {
+        return Err(LinalgError::NoConvergence { op: "symmetric_eig (Jacobi)", iterations: MAX_SWEEPS });
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+    let mut vecs = Matrix::zeros(n, n);
+    for (dst, &(_, src)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vecs[(i, dst)] = q[(i, src)];
+        }
+    }
+    Ok(SymmetricEig { eigenvalues, eigenvectors: vecs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eig_diagonal() {
+        let a = Matrix::from_diag(&[1.0, 5.0, 3.0]);
+        let e = symmetric_eig(&a).unwrap();
+        assert!((e.eigenvalues[0] - 5.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eig_2x2_known() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = symmetric_eig(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn eig_reconstruction_random_symmetric() {
+        let mut a = Matrix::from_fn(7, 7, |i, j| ((i * 7 + j) as f64 * 0.37).sin());
+        a.symmetrize();
+        let e = symmetric_eig(&a).unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-9));
+        // Eigenvectors orthonormal.
+        let qtq = e.eigenvectors.tr_matmul(&e.eigenvectors).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(7), 1e-10));
+        // Trace preserved.
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eig_rejects_non_square() {
+        assert!(symmetric_eig(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn eig_empty() {
+        let e = symmetric_eig(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn eig_psd_matrix_nonnegative_eigenvalues() {
+        // Gram matrices are PSD; all eigenvalues must be >= 0.
+        let b = Matrix::from_fn(6, 3, |i, j| ((i + j) as f64 * 0.7).cos());
+        let g = b.matmul_tr(&b).unwrap();
+        let e = symmetric_eig(&g).unwrap();
+        for &l in &e.eigenvalues {
+            assert!(l > -1e-10, "eigenvalue {l} negative");
+        }
+        // Rank of G is at most 3.
+        assert!(e.eigenvalues[3].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # ides-linalg
+//!
+//! Self-contained dense linear algebra for the IDES reproduction
+//! (Mao & Saul, *Modeling Distances in Large-Scale Networks by Matrix
+//! Factorization*, IMC 2004).
+//!
+//! Everything the paper's algorithms need — and nothing more — implemented
+//! in plain safe Rust with no external BLAS/LAPACK:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrices with BLAS-like kernels,
+//! * [`qr`] — Householder QR and QR least squares,
+//! * [`svd`] — one-sided Jacobi SVD plus truncated subspace-iteration SVD,
+//! * [`eig`] — cyclic-Jacobi symmetric eigendecomposition (for PCA),
+//! * [`lu`], [`cholesky`] — exact solves for the host-join normal equations,
+//! * [`nnls`] — Lawson–Hanson nonnegative least squares (§5.1 option),
+//! * [`pca`] — the projection used by the ICS / Virtual Landmark baselines,
+//! * [`random`] — seeded random matrices for NMF initialization.
+//!
+//! ```
+//! use ides_linalg::{Matrix, svd::svd};
+//!
+//! // The 4-host example from §4.1 of the paper.
+//! let d = Matrix::from_vec(4, 4, vec![
+//!     0.0, 1.0, 1.0, 2.0,
+//!     1.0, 0.0, 2.0, 1.0,
+//!     1.0, 2.0, 0.0, 1.0,
+//!     2.0, 1.0, 1.0, 0.0,
+//! ]).unwrap();
+//! let f = svd(&d).unwrap();
+//! assert!((f.singular_values[0] - 4.0).abs() < 1e-9);
+//! assert!(f.singular_values[3].abs() < 1e-9); // rank 3 => exact d=3 factorization
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cholesky;
+pub mod eig;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod nnls;
+pub mod pca;
+pub mod qr;
+pub mod random;
+pub mod solve;
+pub mod svd;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;

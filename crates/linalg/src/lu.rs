@@ -1,0 +1,221 @@
+//! LU decomposition with partial pivoting; exact solves and inverses.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU decomposition `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: strict lower triangle holds `L` (unit diagonal
+    /// implied), upper triangle holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+/// Factors a square matrix with partial pivoting.
+pub fn lu(a: &Matrix) -> Result<Lu> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { got: a.shape(), op: "lu" });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Pivot: largest absolute value in column k at or below row k.
+        let mut pivot_row = k;
+        let mut pivot_val = m[(k, k)].abs();
+        for i in (k + 1)..n {
+            if m[(i, k)].abs() > pivot_val {
+                pivot_val = m[(i, k)].abs();
+                pivot_row = i;
+            }
+        }
+        if pivot_val == 0.0 {
+            return Err(LinalgError::Singular { op: "lu" });
+        }
+        if pivot_row != k {
+            for j in 0..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        let pivot = m[(k, k)];
+        for i in (k + 1)..n {
+            let factor = m[(i, k)] / pivot;
+            m[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let mkj = m[(k, j)];
+                m[(i, j)] -= factor * mkj;
+            }
+        }
+    }
+    Ok(Lu { lu: m, perm, sign })
+}
+
+impl Lu {
+    /// Solves `A x = b` using the precomputed factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+                op: "lu_solve",
+            });
+        }
+        // Forward substitution with permuted b (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution on U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            let d = self.lu[(i, i)];
+            if d == 0.0 {
+                return Err(LinalgError::Singular { op: "lu_solve" });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 0),
+                got: b.shape(),
+                op: "lu_solve_multi",
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let xj = self.solve(&b.col(j))?;
+            x.set_col(j, &xj);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        self.solve_multi(&Matrix::identity(n))
+    }
+}
+
+/// Convenience: solve `A x = b` in one call.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    lu(a)?.solve(b)
+}
+
+/// Convenience: invert a square matrix.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    lu(a)?.inverse()
+}
+
+/// Convenience: determinant of a square matrix (0 if singular).
+pub fn det(a: &Matrix) -> Result<f64> {
+    match lu(a) {
+        Ok(f) => Ok(f.det()),
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(lu(&a), Err(LinalgError::Singular { .. })));
+        assert_eq!(det(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_vec(3, 3, vec![6.0, 1.0, 1.0, 4.0, -2.0, 5.0, 2.0, 8.0, 7.0]).unwrap();
+        assert!((det(&a).unwrap() - (-306.0)).abs() < 1e-9);
+        assert!((det(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 7.0, 2.0, 3.0, 6.0, 1.0, 2.0, 5.0, 3.0]).unwrap();
+        let ainv = inverse(&a).unwrap();
+        let prod = a.matmul(&ainv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn solve_multi_matches_columns() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 1.0, 1.0, 2.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![9.0, 1.0, 8.0, 0.0]).unwrap();
+        let f = lu(&a).unwrap();
+        let x = f.solve_multi(&b).unwrap();
+        for j in 0..2 {
+            let xj = f.solve(&b.col(j)).unwrap();
+            assert_eq!(x.col(j), xj);
+        }
+        // Verify A X = B.
+        assert!(a.matmul(&x).unwrap().approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(lu(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let a = Matrix::identity(3);
+        let f = lu(&a).unwrap();
+        assert!(f.solve(&[1.0, 2.0]).is_err());
+    }
+}

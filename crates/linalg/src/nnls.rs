@@ -1,0 +1,176 @@
+//! Non-negative least squares (Lawson–Hanson active-set method).
+//!
+//! The paper (§5.1) notes that the host-join least-squares problems
+//! (Eqs. 11–12) can be solved under nonnegativity constraints so that
+//! predicted distances stay nonnegative when the landmark matrix was
+//! factored by NMF. This module provides that constrained solver.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::qr;
+
+/// Solves `min ‖A x − b‖₂` subject to `x ≥ 0` by Lawson–Hanson.
+///
+/// Terminates in finitely many steps for full-rank `A`; `max_iterations`
+/// bounds pathological cycling on degenerate input.
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (m, 1),
+            got: (b.len(), 1),
+            op: "nnls",
+        });
+    }
+    let max_iterations = 3 * n + 30;
+    let mut x = vec![0.0; n];
+    let mut passive: Vec<bool> = vec![false; n];
+
+    // Gradient of ½‖Ax−b‖² is Aᵀ(Ax−b); w = −gradient = Aᵀ(b−Ax).
+    let gradient = |x: &[f64]| -> Result<Vec<f64>> {
+        let ax = a.matvec(x)?;
+        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        a.tr_matvec(&resid)
+    };
+
+    let tol = 1e-10 * a.max_abs().max(1.0) * b.iter().fold(1.0_f64, |m, &v| m.max(v.abs()));
+
+    for _outer in 0..max_iterations {
+        let w = gradient(&x)?;
+        // Most-violating inactive variable.
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).expect("finite gradient"));
+        let Some(t) = candidate else { break };
+        if w[t] <= tol {
+            break; // KKT satisfied.
+        }
+        passive[t] = true;
+
+        // Inner loop: solve the unconstrained LS on the passive set and
+        // backtrack if any passive variable would go negative.
+        loop {
+            let passive_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let ap = a.select_cols(&passive_idx);
+            let z = qr::lstsq(&ap, b).or_else(|_| {
+                // Rank-deficient passive set: use pseudo-inverse path.
+                crate::solve::lstsq_normal(&ap, b)
+            })?;
+            if z.iter().all(|&v| v > tol) {
+                for (k, &j) in passive_idx.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                for (j, xv) in x.iter_mut().enumerate() {
+                    if !passive[j] {
+                        *xv = 0.0;
+                    }
+                }
+                break;
+            }
+            // Line search towards z, stopping where the first variable hits 0.
+            let mut alpha = f64::INFINITY;
+            for (k, &j) in passive_idx.iter().enumerate() {
+                if z[k] <= tol {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (k, &j) in passive_idx.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+            }
+            // Move variables that reached zero back to the active set.
+            for &j in &passive_idx {
+                if x[j] <= tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            if passive.iter().all(|&p| !p) {
+                break;
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_optimum_already_nonnegative() {
+        // When the LS optimum is nonnegative, NNLS must return it.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = nnls(&a, &b).unwrap();
+        let expected = qr::lstsq(&a, &b).unwrap();
+        assert!(expected.iter().all(|&v| v >= 0.0), "test premise");
+        for (u, v) in x.iter().zip(expected.iter()) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn clamps_negative_coefficient() {
+        // Unconstrained solution has a negative coefficient; NNLS should
+        // zero it and refit.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.0, 1.0]).unwrap();
+        let b = vec![1.0, 2.0]; // unconstrained: x = [-1, 2]
+        let unc = qr::lstsq(&a, &b).unwrap();
+        assert!(unc[0] < 0.0, "test premise");
+        let x = nnls(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0), "{x:?}");
+        // With x0 forced to 0, best x1 minimizes (x1-1)^2 + (x1-2)^2 = 1.5.
+        assert!(x[0].abs() < 1e-9);
+        assert!((x[1] - 1.5).abs() < 1e-8, "{x:?}");
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 + 1.0);
+        let x = nnls(&a, &[0.0; 4]).unwrap();
+        assert!(x.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn residual_never_worse_than_zero_vector() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 4 + j) as f64 * 0.63).sin());
+        let b: Vec<f64> = (0..6).map(|i| (i as f64 * 0.8).cos() * 2.0).collect();
+        let x = nnls(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        let ax = a.matvec(&x).unwrap();
+        let r2: f64 = b.iter().zip(ax.iter()).map(|(&bi, &ai)| (bi - ai) * (bi - ai)).sum();
+        let b2: f64 = b.iter().map(|&v| v * v).sum();
+        assert!(r2 <= b2 + 1e-9);
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i + 2 * j) as f64 * 0.45).cos() + 0.2);
+        let b: Vec<f64> = (0..8).map(|i| 1.0 + (i as f64 * 0.3).sin()).collect();
+        let x = nnls(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &ai)| bi - ai).collect();
+        let w = a.tr_matvec(&resid).unwrap();
+        for j in 0..3 {
+            if x[j] > 1e-8 {
+                // Active (positive) coordinates: gradient must vanish.
+                assert!(w[j].abs() < 1e-6, "w[{j}] = {} with x[{j}] = {}", w[j], x[j]);
+            } else {
+                // Zero coordinates: gradient must not be ascent direction.
+                assert!(w[j] <= 1e-6, "w[{j}] = {} at bound", w[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        assert!(nnls(&a, &[1.0]).is_err());
+    }
+}

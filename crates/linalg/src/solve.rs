@@ -1,0 +1,154 @@
+//! High-level solvers built on the factorizations: pseudo-inverse,
+//! normal-equations least squares, and ridge regularization.
+
+use crate::cholesky::cholesky;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+use crate::svd::{svd, Svd};
+
+/// Moore–Penrose pseudo-inverse via SVD.
+///
+/// Singular values below `rcond * s_max` are treated as zero. Use
+/// `rcond = 1e-12` for well-scaled data.
+pub fn pinv(a: &Matrix, rcond: f64) -> Result<Matrix> {
+    let Svd { u, singular_values, v } = svd(a)?;
+    let smax = singular_values.first().copied().unwrap_or(0.0);
+    let cutoff = rcond * smax;
+    // pinv(A) = V S⁺ Uᵀ.
+    let mut vs = v.clone();
+    for j in 0..vs.cols() {
+        let s = singular_values[j];
+        let inv = if s > cutoff { 1.0 / s } else { 0.0 };
+        for i in 0..vs.rows() {
+            vs[(i, j)] *= inv;
+        }
+    }
+    vs.matmul_tr(&u)
+}
+
+/// Least squares via the **normal equations**: `x = (AᵀA)⁻¹ Aᵀ b`.
+///
+/// This is the formulation written in Eqs. (13–14) of the paper. It squares
+/// the condition number, so [`qr::lstsq`] is preferred for ill-conditioned
+/// systems; both are exposed so the experiment harness can ablate the two.
+/// Falls back to the SVD pseudo-inverse when `AᵀA` is singular (e.g. when
+/// fewer than `d` reference nodes are observed).
+pub fn lstsq_normal(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), 1),
+            got: (b.len(), 1),
+            op: "lstsq_normal",
+        });
+    }
+    let ata = a.tr_matmul(a)?;
+    let atb = a.tr_matvec(b)?;
+    match cholesky(&ata) {
+        Ok(c) => c.solve(&atb),
+        Err(_) => {
+            // Rank-deficient: minimum-norm solution via pseudo-inverse.
+            let p = pinv(a, 1e-12)?;
+            p.matvec(b)
+        }
+    }
+}
+
+/// Ridge-regularized least squares: `x = (AᵀA + λI)⁻¹ Aᵀ b`.
+///
+/// With `lambda > 0` the system is always SPD, so this never fails for
+/// finite input. Used by the robust host-join path when very few landmarks
+/// are observed.
+pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), 1),
+            got: (b.len(), 1),
+            op: "lstsq_ridge",
+        });
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::InvalidArgument("ridge lambda must be nonnegative"));
+    }
+    let mut ata = a.tr_matmul(a)?;
+    for i in 0..ata.rows() {
+        ata[(i, i)] += lambda;
+    }
+    let atb = a.tr_matvec(b)?;
+    match cholesky(&ata) {
+        Ok(c) => c.solve(&atb),
+        Err(_) => lstsq_normal(a, b),
+    }
+}
+
+/// QR-based least squares re-exported beside the normal-equations variant.
+pub use crate::qr::{lstsq as lstsq_qr, lstsq_multi as lstsq_qr_multi};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 7.0, 2.0, 6.0]).unwrap();
+        let p = pinv(&a, 1e-12).unwrap();
+        assert!(a.matmul(&p).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn pinv_penrose_conditions() {
+        // Rank-deficient rectangular matrix; verify all four Penrose axioms.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]).unwrap(); // rank 1
+        let p = pinv(&a, 1e-12).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-9), "A P A != A");
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.approx_eq(&p, 1e-9), "P A P != P");
+        let ap = a.matmul(&p).unwrap();
+        assert!(ap.approx_eq(&ap.transpose(), 1e-9), "(AP)ᵀ != AP");
+        let pa = p.matmul(&a).unwrap();
+        assert!(pa.approx_eq(&pa.transpose(), 1e-9), "(PA)ᵀ != PA");
+    }
+
+    #[test]
+    fn normal_equations_match_qr_when_well_conditioned() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i * 3 + j) as f64 * 0.9).sin() + (j == 0) as u8 as f64);
+        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 1.3).cos()).collect();
+        let x1 = lstsq_normal(&a, &b).unwrap();
+        let x2 = crate::qr::lstsq(&a, &b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-8, "{x1:?} vs {x2:?}");
+        }
+    }
+
+    #[test]
+    fn normal_equations_rank_deficient_falls_back() {
+        // Columns identical: AᵀA singular; minimum-norm solution splits the
+        // coefficient evenly between the two columns.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let b = vec![2.0, 4.0, 6.0];
+        let x = lstsq_normal(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let a = Matrix::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        let x0 = lstsq_ridge(&a, &b, 0.0).unwrap();
+        let x1 = lstsq_ridge(&a, &b, 1.0).unwrap();
+        for i in 0..3 {
+            assert!((x0[i] - b[i]).abs() < 1e-12);
+            assert!((x1[i] - b[i] / 2.0).abs() < 1e-12); // (I + I)⁻¹ b
+        }
+        assert!(lstsq_ridge(&a, &b, -1.0).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let a = Matrix::zeros(3, 2);
+        assert!(lstsq_normal(&a, &[1.0]).is_err());
+        assert!(lstsq_ridge(&a, &[1.0], 0.1).is_err());
+    }
+}

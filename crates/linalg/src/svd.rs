@@ -1,0 +1,442 @@
+//! Singular value decomposition.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`svd`] — full SVD by **one-sided Jacobi** rotations. Slower than
+//!   bidiagonalization approaches but simple, numerically robust, and highly
+//!   accurate for small singular values; adequate for the matrix sizes in
+//!   the IDES experiments (up to ~1200²).
+//! * [`svd_truncated`] — rank-`d` **subspace (orthogonal) iteration**, the
+//!   right tool when only the leading `d ≪ n` singular triples are needed
+//!   (the common case in distance-matrix factorization).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::qr::qr;
+
+/// Result of a singular value decomposition `A = U S Vᵀ`.
+///
+/// `u` is `m x k`, `v` is `n x k` (both with orthonormal columns) and
+/// `singular_values` holds the `k` singular values in non-increasing order,
+/// where `k = min(m, n)` for a full SVD or the requested rank for a
+/// truncated one.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m x k`.
+    pub u: Matrix,
+    /// Singular values in non-increasing order, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns), `n x k`.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `U S Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for (j, &s) in self.singular_values.iter().enumerate() {
+                us[(i, j)] *= s;
+            }
+        }
+        us.matmul_tr(&self.v).expect("shapes agree by construction")
+    }
+
+    /// Truncates the decomposition to the leading `d` triples.
+    pub fn truncate(&self, d: usize) -> Svd {
+        let d = d.min(self.singular_values.len());
+        let cols: Vec<usize> = (0..d).collect();
+        Svd {
+            u: self.u.select_cols(&cols),
+            singular_values: self.singular_values[..d].to_vec(),
+            v: self.v.select_cols(&cols),
+        }
+    }
+
+    /// Numerical rank: number of singular values above `tol * s_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values.iter().filter(|&&s| s > tol * smax).count()
+    }
+}
+
+/// Maximum number of one-sided Jacobi sweeps before giving up.
+const MAX_JACOBI_SWEEPS: usize = 60;
+
+/// Computes the full SVD of `a` by one-sided Jacobi rotations.
+///
+/// Works for any shape; internally operates on the transposed matrix when
+/// `m < n` and swaps `u`/`v` back at the end.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok(Svd { u: Matrix::zeros(m, 0), singular_values: vec![], v: Matrix::zeros(n, 0) });
+    }
+    if m < n {
+        let t = svd(&a.transpose())?;
+        return Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u });
+    }
+
+    // Work on columns of W (a copy of A); V accumulates the rotations.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = 1e-14;
+    // Scale tolerance by the Frobenius norm so convergence is relative.
+    let fnorm = w.frobenius_norm();
+    if fnorm == 0.0 {
+        // Zero matrix: U = any orthonormal basis (identity block), S = 0.
+        let mut u = Matrix::zeros(m, n);
+        for i in 0..n {
+            u[(i, i)] = 1.0;
+        }
+        return Ok(Svd { u, singular_values: vec![0.0; n], v });
+    }
+    let tol = eps * fnorm * fnorm;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_JACOBI_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Compute the 2x2 Gram block for columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                off = off.max(apq.abs());
+                if apq.abs() <= tol {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the off-diagonal Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate columns p and q of W and V.
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off <= tol {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence { op: "svd (one-sided Jacobi)", iterations: MAX_JACOBI_SWEEPS });
+    }
+
+    // Singular values are the column norms of W; U = W with normalized columns.
+    let mut triples: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm = (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    triples.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("norms are finite"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut sv = Vec::with_capacity(n);
+    let smax = triples[0].0;
+    let rank_tol = 1e-13 * smax;
+    let mut degenerate: Vec<usize> = Vec::new();
+    for (dst, &(norm, src)) in triples.iter().enumerate() {
+        sv.push(norm);
+        if norm > rank_tol {
+            for i in 0..m {
+                u[(i, dst)] = w[(i, src)] / norm;
+            }
+        } else {
+            degenerate.push(dst);
+        }
+        for i in 0..n {
+            v_sorted[(i, dst)] = v[(i, src)];
+        }
+    }
+    // For (numerically) zero singular values the Jacobi columns vanish;
+    // complete U to an orthonormal set by Gram-Schmidt against the
+    // coordinate basis so the documented invariant UᵀU = I always holds.
+    for &dst in &degenerate {
+        for trial in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[trial] = 1.0;
+            // Orthogonalize against all previously filled columns (twice,
+            // for numerical safety).
+            for _ in 0..2 {
+                for j in 0..n {
+                    if j == dst {
+                        continue;
+                    }
+                    let dot: f64 = (0..m).map(|i| cand[i] * u[(i, j)]).sum();
+                    for (i, c) in cand.iter_mut().enumerate() {
+                        *c -= dot * u[(i, j)];
+                    }
+                }
+            }
+            let norm: f64 = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.5 {
+                for (i, c) in cand.iter().enumerate() {
+                    u[(i, dst)] = c / norm;
+                }
+                break;
+            }
+        }
+    }
+    Ok(Svd { u, singular_values: sv, v: v_sorted })
+}
+
+/// Options for [`svd_truncated`].
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedSvdOptions {
+    /// Extra subspace columns carried during iteration (improves accuracy of
+    /// the trailing requested triples). Default 8.
+    pub oversample: usize,
+    /// Maximum subspace iterations. Default 200.
+    pub max_iterations: usize,
+    /// Relative convergence tolerance on singular-value change. Default 1e-10.
+    pub tolerance: f64,
+}
+
+impl Default for TruncatedSvdOptions {
+    fn default() -> Self {
+        TruncatedSvdOptions { oversample: 8, max_iterations: 200, tolerance: 1e-10 }
+    }
+}
+
+/// Computes the leading `d` singular triples of `a` by subspace iteration
+/// on `AᵀA` with QR re-orthonormalization.
+///
+/// Deterministic: the start basis is a fixed quasi-random (but seedless)
+/// matrix, so repeated runs give identical results.
+pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<Svd> {
+    let (m, n) = a.shape();
+    let k = d.min(m).min(n);
+    if k == 0 {
+        return Ok(Svd { u: Matrix::zeros(m, 0), singular_values: vec![], v: Matrix::zeros(n, 0) });
+    }
+    // If the requested rank is close to full, the exact algorithm is cheaper.
+    let p = (k + opts.oversample).min(n).min(m);
+    if p * 2 >= n.min(m) {
+        return Ok(svd(a)?.truncate(k));
+    }
+
+    // Deterministic pseudo-random start basis (Weyl sequence).
+    let mut v = Matrix::from_fn(n, p, |i, j| {
+        let x = ((i as f64 + 1.0) * 0.754877666 + (j as f64 + 1.0) * 0.569840296).fract();
+        2.0 * x - 1.0
+    });
+    v = qr(&v)?.q;
+
+    let mut prev_sv: Vec<f64> = vec![f64::INFINITY; k];
+    for _it in 0..opts.max_iterations {
+        // v <- orth(Aᵀ (A v))
+        let av = a.matmul(&v)?;
+        let atav = a.tr_matmul(&av)?;
+        v = qr(&atav)?.q;
+
+        // Estimate singular values from column norms of A v.
+        let av = a.matmul(&v)?;
+        let mut sv: Vec<f64> = (0..k)
+            .map(|j| (0..m).map(|i| av[(i, j)] * av[(i, j)]).sum::<f64>().sqrt())
+            .collect();
+        sv.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let max_rel_change = sv
+            .iter()
+            .zip(prev_sv.iter())
+            .map(|(&s, &ps)| {
+                if ps.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    (s - ps).abs() / ps.max(1e-300)
+                }
+            })
+            .fold(0.0_f64, f64::max);
+        prev_sv = sv;
+        if max_rel_change < opts.tolerance {
+            break;
+        }
+    }
+
+    // Project A onto the subspace and take an exact small SVD:
+    // A V = U' S W'ᵀ  =>  A ≈ U' S (V W')ᵀ.
+    let av = a.matmul(&v)?; // m x p
+    let small = svd(&av)?; // exact on m x p (p small)
+    let cols: Vec<usize> = (0..k).collect();
+    let u = small.u.select_cols(&cols);
+    let singular_values = small.singular_values[..k].to_vec();
+    let w = small.v.select_cols(&cols); // p x k
+    let v_full = v.matmul(&w)?; // n x k
+    Ok(Svd { u, singular_values, v: v_full })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f64) {
+        let qtq = q.tr_matmul(q).unwrap();
+        let i = Matrix::identity(q.cols());
+        assert!(qtq.approx_eq(&i, tol), "max diff {}", qtq.max_abs_diff(&i));
+    }
+
+    #[test]
+    fn svd_diagonal() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let s = svd(&a).unwrap();
+        assert_eq!(s.singular_values.len(), 3);
+        assert!((s.singular_values[0] - 3.0).abs() < 1e-12);
+        assert!((s.singular_values[1] - 2.0).abs() < 1e-12);
+        assert!((s.singular_values[2] - 1.0).abs() < 1e-12);
+        assert!(s.reconstruct().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn svd_paper_distance_matrix() {
+        // The worked example from §4.1 of the paper: S = diag(4, 2, 2, 0).
+        let d = Matrix::from_vec(
+            4,
+            4,
+            vec![0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0],
+        )
+        .unwrap();
+        let s = svd(&d).unwrap();
+        assert!((s.singular_values[0] - 4.0).abs() < 1e-10);
+        assert!((s.singular_values[1] - 2.0).abs() < 1e-10);
+        assert!((s.singular_values[2] - 2.0).abs() < 1e-10);
+        assert!(s.singular_values[3].abs() < 1e-10);
+        assert!(s.reconstruct().approx_eq(&d, 1e-9));
+        // Rank-3 truncation is exact because s4 = 0.
+        assert!(s.truncate(3).reconstruct().approx_eq(&d, 1e-9));
+        assert_eq!(s.rank(1e-9), 3);
+    }
+
+    #[test]
+    fn svd_reconstruction_and_orthogonality_random() {
+        let a = Matrix::from_fn(8, 5, |i, j| ((i * 5 + j) as f64 * 0.7).sin() * 3.0 + 0.1);
+        let s = svd(&a).unwrap();
+        assert_orthonormal_cols(&s.u, 1e-10);
+        assert_orthonormal_cols(&s.v, 1e-10);
+        assert!(s.reconstruct().approx_eq(&a, 1e-9));
+        // Non-increasing singular values.
+        for w in s.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_wide_matrix() {
+        let a = Matrix::from_fn(3, 6, |i, j| (i as f64 + 1.0) * (j as f64 - 2.5));
+        let s = svd(&a).unwrap();
+        assert_eq!(s.u.shape(), (3, 3));
+        assert_eq!(s.v.shape(), (6, 3));
+        assert!(s.reconstruct().approx_eq(&a, 1e-9));
+        // This matrix is rank 1.
+        assert_eq!(s.rank(1e-9), 1);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values.iter().all(|&x| x == 0.0));
+        assert!(s.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn svd_empty() {
+        let a = Matrix::zeros(0, 0);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values.is_empty());
+    }
+
+    #[test]
+    fn svd_asymmetric_exact() {
+        // SVD must handle asymmetric matrices; check singular values of
+        // [[0, 1], [-1, 0]] are both 1.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, -1.0, 0.0]).unwrap();
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 1.0).abs() < 1e-12);
+        assert!((s.singular_values[1] - 1.0).abs() < 1e-12);
+        assert!(s.reconstruct().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn truncated_matches_full_on_low_rank() {
+        // Build an exactly rank-3 60x60 matrix.
+        let b = Matrix::from_fn(60, 3, |i, j| ((i + j) as f64 * 0.31).sin() + 0.2);
+        let c = Matrix::from_fn(3, 60, |i, j| ((i * 2 + j) as f64 * 0.17).cos());
+        let a = b.matmul(&c).unwrap();
+        let full = svd(&a).unwrap();
+        let trunc = svd_truncated(&a, 3, TruncatedSvdOptions::default()).unwrap();
+        for i in 0..3 {
+            assert!(
+                (full.singular_values[i] - trunc.singular_values[i]).abs()
+                    < 1e-6 * full.singular_values[0],
+                "sv {i}: {} vs {}",
+                full.singular_values[i],
+                trunc.singular_values[i]
+            );
+        }
+        assert!(trunc.reconstruct().approx_eq(&a, 1e-6 * full.singular_values[0]));
+    }
+
+    #[test]
+    fn truncated_low_rank_approximation_error() {
+        // For a general matrix the rank-d truncation error equals
+        // sqrt(sum of squared discarded singular values) (Eckart–Young).
+        let a = Matrix::from_fn(40, 40, |i, j| ((i * 13 + j * 7) as f64 * 0.05).sin() + (i == j) as u8 as f64);
+        let full = svd(&a).unwrap();
+        let d = 10;
+        let trunc = svd_truncated(&a, d, TruncatedSvdOptions::default()).unwrap();
+        let err = (&a - &trunc.reconstruct()).frobenius_norm();
+        let expected: f64 = full.singular_values[d..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(
+            (err - expected).abs() <= 1e-5 * expected.max(1.0),
+            "err {err} vs optimal {expected}"
+        );
+    }
+
+    #[test]
+    fn truncated_falls_back_to_exact_when_rank_near_full() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i + 2 * j) as f64).cos());
+        let t = svd_truncated(&a, 5, TruncatedSvdOptions::default()).unwrap();
+        let f = svd(&a).unwrap();
+        for i in 0..5 {
+            assert!((t.singular_values[i] - f.singular_values[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn truncate_method() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i * j) as f64 * 0.3).sin() + 2.0 * (i == j) as u8 as f64);
+        let s = svd(&a).unwrap();
+        let t = s.truncate(2);
+        assert_eq!(t.u.shape(), (5, 2));
+        assert_eq!(t.v.shape(), (5, 2));
+        assert_eq!(t.singular_values.len(), 2);
+        // Truncating beyond available rank is a no-op.
+        let t6 = s.truncate(10);
+        assert_eq!(t6.singular_values.len(), 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for model fitting.
+
+use thiserror::Error;
+
+/// Result alias using [`MfError`].
+pub type Result<T> = std::result::Result<T, MfError>;
+
+/// Errors from factorization / embedding fits.
+#[derive(Debug, Error)]
+pub enum MfError {
+    /// X and Y factor dimensionalities disagree.
+    #[error("factor dimension mismatch: X is {}x{}, Y is {}x{}", x.0, x.1, y.0, y.1)]
+    DimensionMismatch {
+        /// Shape of the X factor.
+        x: (usize, usize),
+        /// Shape of the Y factor.
+        y: (usize, usize),
+    },
+    /// Input matrix shape is unusable (empty, or d exceeds size).
+    #[error("invalid input: {0}")]
+    InvalidInput(String),
+    /// NMF requires nonnegative input.
+    #[error("NMF input has negative entry {value} at ({row},{col})")]
+    NegativeInput {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The negative value.
+        value: f64,
+    },
+    /// Propagated linear-algebra failure.
+    #[error("linear algebra error: {0}")]
+    Linalg(#[from] ides_linalg::LinalgError),
+}

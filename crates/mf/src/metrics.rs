@@ -1,0 +1,214 @@
+//! Accuracy metrics: the paper's modified relative error (Eq. 10) and
+//! CDF/percentile helpers used throughout the evaluation.
+
+use ides_datasets::DistanceMatrix;
+
+use crate::model::DistanceEstimator;
+
+/// Floor applied to the denominator of the relative error so that a
+/// (pathological) near-zero prediction yields a large-but-finite penalty.
+pub const DENOM_FLOOR: f64 = 1e-6;
+
+/// The paper's modified relative error (Eq. 10):
+/// `|D − D̂| / min(D, D̂)`, where the min in the denominator increases the
+/// penalty for *underestimated* distances.
+///
+/// Non-positive predictions are clamped to [`DENOM_FLOOR`] before taking
+/// the min, so the result is always finite for finite inputs.
+pub fn modified_relative_error(actual: f64, predicted: f64) -> f64 {
+    let p = predicted.max(DENOM_FLOOR);
+    let denom = actual.min(p).max(DENOM_FLOOR);
+    (actual - p).abs() / denom
+}
+
+/// Relative errors of a model over all observed off-diagonal entries of a
+/// distance matrix.
+pub fn reconstruction_errors(model: &dyn DistanceEstimator, data: &DistanceMatrix) -> Vec<f64> {
+    let mut errs = Vec::new();
+    for (i, j, actual) in data.observed_entries() {
+        if i == j && data.is_square() {
+            continue;
+        }
+        errs.push(modified_relative_error(actual, model.estimate(i, j)));
+    }
+    errs
+}
+
+/// An empirical CDF over a sample of (error) values.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected by debug assertion).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        debug_assert!(samples.iter().all(|v| !v.is_nan()), "NaN sample in CDF");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1), linear interpolation between order
+    /// statistics. Returns NaN for an empty sample.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let pos = p * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile, reported throughout the paper's evaluation.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative_probability)` points for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|k| {
+                let p = k as f64 / (points - 1).max(1) as f64;
+                (self.quantile(p), p)
+            })
+            .collect()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FactorModel;
+    use ides_linalg::Matrix;
+
+    #[test]
+    fn relative_error_exact_prediction() {
+        assert_eq!(modified_relative_error(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn underestimation_penalized_more() {
+        // Overestimate by 2x: |10-20|/min(10,20) = 1.
+        let over = modified_relative_error(10.0, 20.0);
+        // Underestimate by 2x: |10-5|/min(10,5) = 1.
+        let under = modified_relative_error(10.0, 5.0);
+        assert!((over - 1.0).abs() < 1e-12);
+        assert!((under - 1.0).abs() < 1e-12);
+        // Deeper underestimation blows up faster than overestimation of the
+        // same absolute size: |10-1|/1 = 9 vs |10-19|/10 = 0.9.
+        assert!(modified_relative_error(10.0, 1.0) > modified_relative_error(10.0, 19.0) * 5.0);
+    }
+
+    #[test]
+    fn negative_prediction_is_finite_large() {
+        let e = modified_relative_error(10.0, -5.0);
+        assert!(e.is_finite());
+        assert!(e > 100.0);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.median(), 3.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+        assert_eq!(cdf.quantile(0.25), 2.0);
+        assert!((cdf.p90() - 4.6).abs() < 1e-12);
+        assert_eq!(cdf.len(), 5);
+    }
+
+    #[test]
+    fn cdf_fraction_below() {
+        let cdf = Cdf::new(vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(cdf.fraction_below(0.25), 0.5);
+        assert_eq!(cdf.fraction_below(1.0), 1.0);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_curve_monotone() {
+        let cdf = Cdf::new((0..100).map(|i| ((i * 37) % 100) as f64 / 10.0).collect());
+        let curve = cdf.curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn cdf_empty_behaviour() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert!(cdf.median().is_nan());
+        assert!(cdf.fraction_below(1.0).is_nan());
+        assert!(cdf.curve(5).is_empty());
+    }
+
+    #[test]
+    fn reconstruction_errors_skip_diagonal_and_missing() {
+        let values =
+            Matrix::from_vec(2, 2, vec![0.0, 10.0, 0.0, 0.0]).unwrap();
+        let mut mask = Matrix::filled(2, 2, 1.0);
+        mask[(1, 0)] = 0.0;
+        let data = ides_datasets::DistanceMatrix::with_mask("t", values, mask).unwrap();
+        // Perfect model: X = [[1],[0]], Y = [[0],[10]] => est(0,1) = 10.
+        let model = FactorModel::new(
+            Matrix::from_vec(2, 1, vec![1.0, 0.0]).unwrap(),
+            Matrix::from_vec(2, 1, vec![0.0, 10.0]).unwrap(),
+        )
+        .unwrap();
+        let errs = reconstruction_errors(&model, &data);
+        // Only (0,1) participates: diagonal skipped, (1,0) missing.
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0] < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_cdf() {
+        let cdf = Cdf::new(vec![1.0, 3.0]);
+        assert_eq!(cdf.mean(), 2.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Nelder–Mead ("Simplex Downhill") minimizer.
+//!
+//! GNP fits its Euclidean embedding with Simplex Downhill; the paper
+//! repeatedly points at its drawbacks (slow convergence, sensitivity to
+//! initialization, hard-to-tune parameters) as motivation for the
+//! closed-form SVD/NMF approach, so a faithful baseline needs the real
+//! algorithm, warts and all.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tolerance: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_evals: 20_000, f_tolerance: 1e-9, initial_step: 1.0 }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Objective evaluations performed.
+    pub evals: usize,
+}
+
+/// Minimizes `f` from `x0` by the Nelder–Mead simplex method
+/// (reflection/expansion/contraction/shrink with standard coefficients).
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    opts: NelderMeadOptions,
+) -> NelderMeadResult {
+    let n = x0.len();
+    assert!(n > 0, "cannot optimize zero-dimensional input");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    let mut evals = 0usize;
+    let eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        xi[i] += if x0[i].abs() > 1e-8 { 0.05 * x0[i].abs().max(opts.initial_step) } else { opts.initial_step };
+        let fi = eval(&xi, &mut evals);
+        simplex.push((xi, fi));
+    }
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.f_tolerance {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in simplex.iter().take(n) {
+            for (c, &xi) in centroid.iter_mut().zip(x.iter()) {
+                *c += xi;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+        let worst = simplex[n].clone();
+
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(worst.0.iter())
+            .map(|(&c, &w)| c + alpha * (c - w))
+            .collect();
+        let f_reflect = eval(&reflect, &mut evals);
+
+        if f_reflect < simplex[0].1 {
+            // Try expanding further.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(&c, &w)| c + gamma * (c - w))
+                .collect();
+            let f_expand = eval(&expand, &mut evals);
+            simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+        } else if f_reflect < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_reflect);
+        } else {
+            // Contract towards the better of worst/reflected.
+            let (base, f_base) =
+                if f_reflect < worst.1 { (&reflect, f_reflect) } else { (&worst.0, worst.1) };
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(base.iter())
+                .map(|(&c, &b)| c + rho * (b - c))
+                .collect();
+            let f_contract = eval(&contract, &mut evals);
+            if f_contract < f_base {
+                simplex[n] = (contract, f_contract);
+            } else {
+                // Shrink everything towards the best point.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    for (xi, &bi) in entry.0.iter_mut().zip(best.iter()) {
+                        *xi = bi + sigma * (*xi - bi);
+                    }
+                    entry.1 = eval(&entry.0, &mut evals);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+    NelderMeadResult { x: simplex[0].0.clone(), fx: simplex[0].1, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2) + 5.0;
+        let r = nelder_mead(f, &[0.0, 0.0], NelderMeadOptions::default());
+        assert!((r.x[0] - 3.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.fx - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nelder_mead(f, &[-1.2, 1.0], NelderMeadOptions { max_evals: 50_000, ..Default::default() });
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = nelder_mead(f, &[10.0; 8], NelderMeadOptions { max_evals: 100, ..Default::default() });
+        // Budget may be slightly exceeded inside a shrink step, never wildly.
+        assert!(r.evals <= 100 + 10, "{} evals", r.evals);
+    }
+
+    #[test]
+    fn already_optimal_start() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let r = nelder_mead(f, &[0.0], NelderMeadOptions::default());
+        assert!(r.fx < 1e-9);
+    }
+
+    #[test]
+    fn higher_dimensional_sphere() {
+        let f = |x: &[f64]| x.iter().map(|v| (v - 2.0) * (v - 2.0)).sum::<f64>();
+        let r = nelder_mead(f, &[0.0; 6], NelderMeadOptions { max_evals: 100_000, ..Default::default() });
+        for &xi in &r.x {
+            assert!((xi - 2.0).abs() < 1e-2, "{:?}", r.x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn empty_input_rejected() {
+        nelder_mead(|_| 0.0, &[], NelderMeadOptions::default());
+    }
+}

@@ -1,0 +1,174 @@
+//! Vivaldi baseline (Dabek et al., SIGCOMM 2004) — extension.
+//!
+//! The paper discusses Vivaldi as related work (decentralized, landmark-
+//! free) but does not benchmark against it; we include it as an extension
+//! baseline. This is the centralized adaptive-timestep variant: every node
+//! holds a coordinate and a confidence weight; each observed pair applies a
+//! spring force scaled by the relative confidence of the two endpoints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ides_datasets::DistanceMatrix;
+use ides_linalg::Matrix;
+
+use crate::error::{MfError, Result};
+use crate::model::EuclideanModel;
+
+/// Configuration for the Vivaldi fit.
+#[derive(Debug, Clone, Copy)]
+pub struct VivaldiConfig {
+    /// Coordinate dimensionality.
+    pub dim: usize,
+    /// Passes over all observed pairs.
+    pub rounds: usize,
+    /// Confidence gain constant `c_c` (paper value 0.25).
+    pub cc: f64,
+    /// Error-update constant `c_e` (paper value 0.25).
+    pub ce: f64,
+    /// RNG seed for initial coordinates and pair order.
+    pub seed: u64,
+}
+
+impl VivaldiConfig {
+    /// Defaults matching the Vivaldi paper's constants.
+    pub fn new(dim: usize) -> Self {
+        VivaldiConfig { dim, rounds: 100, cc: 0.25, ce: 0.25, seed: 7 }
+    }
+}
+
+/// Result of a Vivaldi run.
+#[derive(Debug, Clone)]
+pub struct VivaldiFit {
+    /// Final coordinates as a Euclidean model.
+    pub model: EuclideanModel,
+    /// Final per-node error estimates (confidence; lower is better).
+    pub node_error: Vec<f64>,
+}
+
+/// Runs centralized Vivaldi over all observed pairs of a square matrix.
+pub fn fit(data: &DistanceMatrix, config: VivaldiConfig) -> Result<VivaldiFit> {
+    if !data.is_square() {
+        return Err(MfError::InvalidInput("Vivaldi needs a square matrix".into()));
+    }
+    let n = data.rows();
+    if n < 2 || config.dim == 0 {
+        return Err(MfError::InvalidInput("need >= 2 hosts and dim >= 1".into()));
+    }
+    let d = config.dim;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let spread = data.mean_distance().max(1.0);
+    let mut coords = Matrix::from_fn(n, d, |_, _| rng.gen_range(-0.01 * spread..0.01 * spread));
+    let mut node_error = vec![1.0_f64; n];
+
+    // Collect observed off-diagonal pairs once.
+    let pairs: Vec<(usize, usize, f64)> = data
+        .observed_entries()
+        .filter(|&(i, j, v)| i != j && v > 0.0)
+        .collect();
+    if pairs.is_empty() {
+        return Err(MfError::InvalidInput("no observed off-diagonal pairs".into()));
+    }
+
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    for _round in 0..config.rounds {
+        // Shuffle the update order each round (Fisher–Yates).
+        for k in (1..order.len()).rev() {
+            let swap = rng.gen_range(0..=k);
+            order.swap(k, swap);
+        }
+        for &p in &order {
+            let (i, j, rtt) = pairs[p];
+            let xi: Vec<f64> = coords.row(i).to_vec();
+            let xj: Vec<f64> = coords.row(j).to_vec();
+            let dist = EuclideanModel::distance(&xi, &xj);
+            // Unit vector from j to i (random direction when coincident).
+            let mut unit: Vec<f64> = xi.iter().zip(xj.iter()).map(|(&a, &b)| a - b).collect();
+            let norm = unit.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                for u in &mut unit {
+                    *u /= norm;
+                }
+            } else {
+                for u in &mut unit {
+                    *u = rng.gen_range(-1.0..1.0);
+                }
+                let n2 = unit.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+                for u in &mut unit {
+                    *u /= n2;
+                }
+            }
+            // Relative confidence weight.
+            let w = node_error[i] / (node_error[i] + node_error[j]).max(1e-12);
+            let rel_err = (dist - rtt).abs() / rtt;
+            // Update node i's error estimate (EWMA weighted by confidence).
+            node_error[i] =
+                rel_err * config.ce * w + node_error[i] * (1.0 - config.ce * w);
+            // Move node i along the spring force.
+            let delta = config.cc * w * (rtt - dist);
+            let row = coords.row_mut(i);
+            for (c, &u) in row.iter_mut().zip(unit.iter()) {
+                *c += delta * u;
+            }
+        }
+    }
+    Ok(VivaldiFit { model: EuclideanModel::new(coords), node_error })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{reconstruction_errors, Cdf};
+
+    fn euclidean_dataset(n: usize) -> DistanceMatrix {
+        let coords: Vec<(f64, f64)> =
+            (0..n).map(|i| (((i * 7) % 5) as f64 * 20.0, ((i * 3) % 4) as f64 * 15.0)).collect();
+        let values = Matrix::from_fn(n, n, |i, j| {
+            let (xi, yi) = coords[i];
+            let (xj, yj) = coords[j];
+            ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+        });
+        DistanceMatrix::full("euclid", values).unwrap()
+    }
+
+    #[test]
+    fn converges_on_euclidean_data() {
+        let data = euclidean_dataset(15);
+        let fit = fit(&data, VivaldiConfig { rounds: 200, ..VivaldiConfig::new(2) }).unwrap();
+        let cdf = Cdf::new(reconstruction_errors(fit.model_ref(), &data));
+        assert!(cdf.median() < 0.1, "median error {}", cdf.median());
+    }
+
+    #[test]
+    fn node_errors_decrease() {
+        let data = euclidean_dataset(12);
+        let fit = fit(&data, VivaldiConfig::new(3)).unwrap();
+        let mean_err: f64 = fit.node_error.iter().sum::<f64>() / fit.node_error.len() as f64;
+        assert!(mean_err < 0.5, "mean node error {mean_err} (starts at 1.0)");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = euclidean_dataset(8);
+        let a = fit(&data, VivaldiConfig::new(2)).unwrap();
+        let b = fit(&data, VivaldiConfig::new(2)).unwrap();
+        assert_eq!(a.model.coords().as_slice(), b.model.coords().as_slice());
+    }
+
+    #[test]
+    fn rejects_rectangular_and_degenerate() {
+        let rect = DistanceMatrix::full("r", Matrix::zeros(2, 3)).unwrap();
+        assert!(fit(&rect, VivaldiConfig::new(2)).is_err());
+        let sq = euclidean_dataset(3);
+        assert!(fit(&sq, VivaldiConfig { dim: 0, ..VivaldiConfig::new(2) }).is_err());
+        // All-zero matrix has no usable pairs.
+        let zeros = DistanceMatrix::full("z", Matrix::zeros(3, 3)).unwrap();
+        assert!(fit(&zeros, VivaldiConfig::new(2)).is_err());
+    }
+
+    impl VivaldiFit {
+        fn model_ref(&self) -> &EuclideanModel {
+            &self.model
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Network drift: slow evolution of path delays over time.
+//!
+//! IDES coordinates are computed once and reused; on the real Internet,
+//! routes and congestion change, so cached vectors go stale. This module
+//! models that with a smooth multiplicative drift per stub pair: the
+//! drifted RTT at epoch `t` is `base_rtt × (1 + a·sin(ω t + φ))` with
+//! per-pair amplitude, frequency and phase derived deterministically from
+//! the pair identity. Smooth periodic drift matches the diurnal patterns
+//! of real RTT series better than white noise and keeps every run
+//! reproducible.
+
+use crate::topology::TransitStubTopology;
+
+/// A drift process layered over a topology.
+#[derive(Debug, Clone)]
+pub struct DriftModel {
+    /// Maximum relative deviation from the base delay (e.g. 0.2 = ±20 %).
+    pub amplitude: f64,
+    /// Number of epochs in one full drift cycle.
+    pub period_epochs: f64,
+    /// Salt mixed into the per-pair phase/frequency hash.
+    pub salt: u64,
+}
+
+impl DriftModel {
+    /// Creates a drift model; `amplitude` must be in `[0, 1)` so delays
+    /// stay positive.
+    pub fn new(amplitude: f64, period_epochs: f64, salt: u64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(period_epochs > 0.0, "period must be positive");
+        DriftModel { amplitude, period_epochs, salt }
+    }
+
+    /// The multiplicative drift factor for host pair `(i, j)` at `epoch`.
+    ///
+    /// Symmetric in `(i, j)` so RTT stays symmetric under drift.
+    pub fn factor(&self, i: usize, j: usize, epoch: f64) -> f64 {
+        if self.amplitude == 0.0 || i == j {
+            return 1.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let h = hash3(self.salt, a as u64, b as u64);
+        // Per-pair phase in [0, 2π) and frequency in [0.5, 1.5] cycles.
+        let phase = (h & 0xFFFF) as f64 / 65536.0 * std::f64::consts::TAU;
+        let freq = 0.5 + ((h >> 16) & 0xFFFF) as f64 / 65536.0;
+        let omega = std::f64::consts::TAU * freq / self.period_epochs;
+        1.0 + self.amplitude * (omega * epoch + phase).sin()
+    }
+
+    /// Drifted RTT between hosts `i` and `j` at `epoch`.
+    pub fn rtt(&self, topo: &TransitStubTopology, i: usize, j: usize, epoch: f64) -> f64 {
+        topo.host_rtt(i, j) * self.factor(i, j, epoch)
+    }
+
+    /// Mean absolute relative deviation of the drifted matrix from the
+    /// base matrix at `epoch`, over the given hosts.
+    pub fn deviation(&self, topo: &TransitStubTopology, hosts: &[usize], epoch: f64) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (ai, &i) in hosts.iter().enumerate() {
+            for &j in hosts.iter().skip(ai + 1) {
+                let base = topo.host_rtt(i, j);
+                if base > 0.0 {
+                    total += (self.rtt(topo, i, j, epoch) - base).abs() / base;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+fn hash3(salt: u64, a: u64, b: u64) -> u64 {
+    let mut z = salt
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TransitStubParams;
+    use rand::SeedableRng;
+
+    fn topo() -> TransitStubTopology {
+        let params = TransitStubParams { hosts: 20, stubs: 5, ..TransitStubParams::default() };
+        TransitStubTopology::generate(&params, &mut rand::rngs::StdRng::seed_from_u64(8))
+    }
+
+    #[test]
+    fn epoch_zero_is_not_special_but_bounded() {
+        let t = topo();
+        let drift = DriftModel::new(0.2, 24.0, 1);
+        for epoch in [0.0, 3.5, 12.0, 100.0] {
+            for i in 0..20 {
+                for j in 0..20 {
+                    let f = drift.factor(i, j, epoch);
+                    assert!((0.8..=1.2).contains(&f), "factor {f} out of band");
+                    let r = drift.rtt(&t, i, j, epoch);
+                    assert!(r >= 0.0 && r.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_is_symmetric_and_deterministic() {
+        let drift = DriftModel::new(0.3, 24.0, 7);
+        for epoch in [1.0, 9.0] {
+            for i in 0..10 {
+                for j in 0..10 {
+                    assert_eq!(drift.factor(i, j, epoch), drift.factor(j, i, epoch));
+                }
+            }
+        }
+        let again = DriftModel::new(0.3, 24.0, 7);
+        assert_eq!(drift.factor(2, 5, 3.3), again.factor(2, 5, 3.3));
+    }
+
+    #[test]
+    fn self_delay_never_drifts() {
+        let drift = DriftModel::new(0.5, 10.0, 3);
+        assert_eq!(drift.factor(4, 4, 7.7), 1.0);
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let t = topo();
+        let drift = DriftModel::new(0.0, 24.0, 1);
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(drift.rtt(&t, i, j, 5.0), t.host_rtt(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn deviation_grows_from_epoch_origin_on_average() {
+        // With random phases the expected |deviation| is ~2a/π at any
+        // epoch; just check it is positive and below the amplitude.
+        let t = topo();
+        let hosts: Vec<usize> = (0..20).collect();
+        let drift = DriftModel::new(0.25, 24.0, 5);
+        let dev = drift.deviation(&t, &hosts, 6.0);
+        assert!(dev > 0.02, "deviation {dev} suspiciously small");
+        assert!(dev <= 0.25 + 1e-9, "deviation {dev} above amplitude");
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn invalid_amplitude_rejected() {
+        DriftModel::new(1.5, 24.0, 0);
+    }
+
+    #[test]
+    fn different_pairs_drift_differently() {
+        let drift = DriftModel::new(0.2, 24.0, 11);
+        // At a fixed epoch, factors across pairs should not all coincide.
+        let f1 = drift.factor(0, 1, 5.0);
+        let f2 = drift.factor(2, 9, 5.0);
+        let f3 = drift.factor(4, 17, 5.0);
+        assert!((f1 - f2).abs() > 1e-6 || (f1 - f3).abs() > 1e-6);
+    }
+}

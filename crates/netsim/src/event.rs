@@ -1,0 +1,155 @@
+//! A minimal discrete-event simulator.
+//!
+//! Deterministic single-threaded event queue: events fire in timestamp
+//! order, ties broken by insertion sequence. Used by the simulated IDES
+//! wire protocol ([`crate::transport`]) to deliver messages after their
+//! network latency has elapsed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in milliseconds.
+pub type SimTime = f64;
+
+/// A time-ordered event queue over arbitrary event payloads.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire `delay` milliseconds from now.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite delay.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        assert!(delay.is_finite() && delay >= 0.0, "invalid delay {delay}");
+        let s = Scheduled { time: self.now + delay, seq: self.seq, event };
+        self.seq += 1;
+        self.heap.push(s);
+    }
+
+    /// Pops the earliest event, advancing simulated time to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.schedule(7.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.0);
+        // Scheduling is relative to current time.
+        q.schedule(1.0, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 3.0);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 7.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay")]
+    fn negative_delay_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(-1.0, ());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

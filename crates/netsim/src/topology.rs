@@ -1,0 +1,594 @@
+//! Transit-stub Internet topology generation with routing policies.
+//!
+//! This is the substrate that replaces the paper's real measurement data
+//! sets. It reproduces the two structural phenomena the paper's model
+//! exists to capture and that Euclidean embeddings cannot:
+//!
+//! * **Sub-optimal routing** → triangle-inequality violations. Stub domains
+//!   in the same region may hold private peering links that policy allows
+//!   only for traffic *between those two stubs*; everyone else detours
+//!   through the transit core. A detour through a well-peered host can then
+//!   beat the direct policy path (studies cited by the paper put this at up
+//!   to ~40 % of pairs).
+//! * **Asymmetric routing** → asymmetric distance matrices. Access links
+//!   have different up/down delays, and multihomed stubs use hot-potato
+//!   (earliest-exit) egress, so forward and reverse paths differ.
+//!
+//! The generator builds a three-level hierarchy: a geographic transit core
+//! (intercontinental cables between specific router pairs only), stub
+//! domains homed on one or two transit routers, and end hosts on asymmetric
+//! access links.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::geo::{GeoPoint, ALL_REGIONS};
+use crate::graph::{Graph, NodeId};
+
+/// Per-hop router processing delay in milliseconds.
+const HOP_PROCESSING_MS: f64 = 0.15;
+/// Cable length inflation over the great circle (cables are not straight).
+const CABLE_INFLATION: f64 = 1.25;
+
+/// Parameters for [`TransitStubTopology::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransitStubParams {
+    /// Number of end hosts to place.
+    pub hosts: usize,
+    /// Relative weight of each region in `geo::ALL_REGIONS` order when
+    /// placing stubs/hosts (need not be normalized).
+    pub region_weights: [f64; 5],
+    /// Transit (backbone) routers per region.
+    pub transits_per_region: usize,
+    /// Total number of stub domains.
+    pub stubs: usize,
+    /// Probability a stub is multihomed to a second transit router.
+    pub multihoming_prob: f64,
+    /// Probability that a same-region stub pair has a private peering link.
+    pub peering_prob: f64,
+    /// Mean one-way access-link delay in ms (host ↔ stub router).
+    pub access_delay_ms: f64,
+    /// Upstream/downstream asymmetry: up-delay multiplier is drawn from
+    /// `1.0..=1.0 + access_asymmetry`. Zero gives symmetric access links.
+    pub access_asymmetry: f64,
+    /// Route-level diversity: each ordered host pair's path delay carries a
+    /// deterministic perturbation of up to ± this fraction (traffic
+    /// engineering, load balancing, route age). Raises the effective rank
+    /// of the distance matrix the way real paths do. Zero disables.
+    pub path_diversity: f64,
+}
+
+impl Default for TransitStubParams {
+    fn default() -> Self {
+        TransitStubParams {
+            hosts: 100,
+            region_weights: [0.5, 0.2, 0.15, 0.1, 0.05],
+            transits_per_region: 3,
+            stubs: 25,
+            multihoming_prob: 0.4,
+            peering_prob: 0.3,
+            access_delay_ms: 2.0,
+            access_asymmetry: 1.0,
+            path_diversity: 0.08,
+        }
+    }
+}
+
+/// A stub (edge) domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stub {
+    /// Graph node of the stub's border router.
+    pub router: NodeId,
+    /// Region index into `geo::ALL_REGIONS`.
+    pub region: usize,
+    /// Location of the stub router.
+    pub location: GeoPoint,
+    /// Home transit routers (1 or 2), ordered by link delay (primary first).
+    pub homes: Vec<usize>,
+    /// One-way delay to each home transit router, same order as `homes`.
+    pub home_delays: Vec<f64>,
+}
+
+/// An end host attached to a stub.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Host {
+    /// Graph node id of the host.
+    pub node: NodeId,
+    /// Index of the host's stub domain.
+    pub stub: usize,
+    /// Upstream (host → stub router) one-way delay, ms.
+    pub up_ms: f64,
+    /// Downstream (stub router → host) one-way delay, ms.
+    pub down_ms: f64,
+    /// Host location (near its stub router).
+    pub location: GeoPoint,
+}
+
+/// A generated transit-stub topology with its policy-routing tables.
+#[derive(Debug, Clone)]
+pub struct TransitStubTopology {
+    /// The underlying link graph (hosts, stub routers, transit routers).
+    pub graph: Graph,
+    /// Transit router graph nodes (index = transit id).
+    pub transit_nodes: Vec<NodeId>,
+    /// Transit router locations.
+    pub transit_locations: Vec<GeoPoint>,
+    /// Region of each transit router.
+    pub transit_regions: Vec<usize>,
+    /// All stub domains.
+    pub stubs: Vec<Stub>,
+    /// All end hosts.
+    pub hosts: Vec<Host>,
+    /// `peering[a]` lists `(b, one_way_delay)` for stubs privately peered
+    /// with stub `a`.
+    pub peering: Vec<Vec<(usize, f64)>>,
+    /// All-pairs shortest one-way delays across the transit core,
+    /// `transit_dist[i][j]`.
+    pub transit_dist: Vec<Vec<f64>>,
+    /// Route-diversity amplitude copied from the generation parameters.
+    pub path_diversity: f64,
+    /// Per-topology salt for the deterministic route-diversity hash.
+    pub diversity_salt: u64,
+}
+
+impl TransitStubTopology {
+    /// Generates a topology from `params` using the supplied RNG.
+    ///
+    /// # Panics
+    /// Panics if `hosts == 0`, `stubs == 0`, or `transits_per_region == 0`.
+    pub fn generate(params: &TransitStubParams, rng: &mut StdRng) -> Self {
+        assert!(params.hosts > 0, "need at least one host");
+        assert!(params.stubs > 0, "need at least one stub");
+        assert!(params.transits_per_region > 0, "need transit routers");
+
+        let mut graph = Graph::new(0);
+
+        // --- Transit core ---------------------------------------------------
+        let mut transit_nodes = Vec::new();
+        let mut transit_locations = Vec::new();
+        let mut transit_regions = Vec::new();
+        for (r, region) in ALL_REGIONS.iter().enumerate() {
+            for _ in 0..params.transits_per_region {
+                transit_nodes.push(graph.add_node());
+                transit_locations.push(region.sample(rng));
+                transit_regions.push(r);
+            }
+        }
+        let t = transit_nodes.len();
+        // Intra-region: ring + all pairs within region (regions are small).
+        for i in 0..t {
+            for j in (i + 1)..t {
+                if transit_regions[i] == transit_regions[j] {
+                    let d = link_delay(&transit_locations[i], &transit_locations[j]);
+                    graph.add_link(transit_nodes[i], transit_nodes[j], d);
+                }
+            }
+        }
+        // Inter-region cables between *specific* router pairs only; missing
+        // region pairs force multi-hop backbone detours (path inflation).
+        // Region indices: 0 NA, 1 EU, 2 AS, 3 SA, 4 OC.
+        const CABLES: [(usize, usize); 5] = [(0, 1), (0, 2), (1, 2), (0, 3), (2, 4)];
+        for &(ra, rb) in &CABLES {
+            let a_candidates: Vec<usize> =
+                (0..t).filter(|&i| transit_regions[i] == ra).collect();
+            let b_candidates: Vec<usize> =
+                (0..t).filter(|&i| transit_regions[i] == rb).collect();
+            // Pick the geographically closest pair plus one random backup.
+            let mut best = (a_candidates[0], b_candidates[0], f64::INFINITY);
+            for &a in &a_candidates {
+                for &b in &b_candidates {
+                    let d = transit_locations[a].distance_km(&transit_locations[b]);
+                    if d < best.2 {
+                        best = (a, b, d);
+                    }
+                }
+            }
+            let d = link_delay(&transit_locations[best.0], &transit_locations[best.1]);
+            graph.add_link(transit_nodes[best.0], transit_nodes[best.1], d);
+            if a_candidates.len() > 1 && b_candidates.len() > 1 {
+                let a2 = a_candidates[rng.gen_range(0..a_candidates.len())];
+                let b2 = b_candidates[rng.gen_range(0..b_candidates.len())];
+                if (a2, b2) != (best.0, best.1) {
+                    let d2 = link_delay(&transit_locations[a2], &transit_locations[b2]);
+                    graph.add_link(transit_nodes[a2], transit_nodes[b2], d2);
+                }
+            }
+        }
+
+        // All-pairs shortest paths over the transit core only.
+        let transit_dist = {
+            let allow = |from: NodeId, e: &crate::graph::Edge| {
+                transit_nodes.contains(&from) && transit_nodes.contains(&e.to)
+            };
+            transit_nodes
+                .iter()
+                .map(|&src| {
+                    let d = graph.dijkstra_filtered(src, allow);
+                    transit_nodes.iter().map(|&dst| d[dst]).collect()
+                })
+                .collect::<Vec<Vec<f64>>>()
+        };
+
+        // --- Stub domains ----------------------------------------------------
+        let total_weight: f64 = params.region_weights.iter().sum();
+        let mut stubs: Vec<Stub> = Vec::with_capacity(params.stubs);
+        for _ in 0..params.stubs {
+            let region = sample_region(&params.region_weights, total_weight, rng);
+            let location = ALL_REGIONS[region].sample(rng);
+            let router = graph.add_node();
+            // Home transits: nearest in-region transit is primary.
+            let mut in_region: Vec<(usize, f64)> = (0..t)
+                .filter(|&i| transit_regions[i] == region)
+                .map(|i| (i, link_delay(&location, &transit_locations[i])))
+                .collect();
+            in_region.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite delays"));
+            let mut homes = vec![in_region[0].0];
+            let mut home_delays = vec![in_region[0].1];
+            if in_region.len() > 1 && rng.gen_bool(params.multihoming_prob) {
+                homes.push(in_region[1].0);
+                home_delays.push(in_region[1].1);
+            }
+            for (&h, &d) in homes.iter().zip(home_delays.iter()) {
+                graph.add_link(router, transit_nodes[h], d);
+            }
+            stubs.push(Stub { router, region, location, homes, home_delays });
+        }
+
+        // Private peering between same-region stub pairs.
+        let mut peering: Vec<Vec<(usize, f64)>> = vec![Vec::new(); stubs.len()];
+        for a in 0..stubs.len() {
+            for b in (a + 1)..stubs.len() {
+                if stubs[a].region == stubs[b].region && rng.gen_bool(params.peering_prob) {
+                    let d = link_delay(&stubs[a].location, &stubs[b].location);
+                    peering[a].push((b, d));
+                    peering[b].push((a, d));
+                    graph.add_link(stubs[a].router, stubs[b].router, d);
+                }
+            }
+        }
+
+        // --- End hosts ---------------------------------------------------------
+        // Hosts are placed on stubs with probability proportional to the
+        // stub's region weight (so host geography follows `region_weights`).
+        let stub_weights: Vec<f64> =
+            stubs.iter().map(|s| params.region_weights[s.region].max(1e-9)).collect();
+        let stub_weight_total: f64 = stub_weights.iter().sum();
+        let mut hosts = Vec::with_capacity(params.hosts);
+        for _ in 0..params.hosts {
+            let mut pick = rng.gen_range(0.0..stub_weight_total);
+            let mut stub_idx = 0;
+            for (i, &w) in stub_weights.iter().enumerate() {
+                if pick < w {
+                    stub_idx = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let node = graph.add_node();
+            // Last-mile delay: exponential-ish spread around the mean; the
+            // upstream direction is slower by a per-host skew factor
+            // (consumer access links are download-biased).
+            let base = params.access_delay_ms * (0.25 + rng.gen_range(0.0..1.5));
+            let skew = 1.0 + rng.gen_range(0.0..params.access_asymmetry.max(0.0));
+            let down_ms = base;
+            let up_ms = base * skew;
+            graph.add_asymmetric_link(node, stubs[stub_idx].router, up_ms, down_ms);
+            let jitter_lat = rng.gen_range(-0.5..0.5);
+            let jitter_lon = rng.gen_range(-0.5..0.5);
+            let loc = GeoPoint::new(
+                stubs[stub_idx].location.lat + jitter_lat,
+                stubs[stub_idx].location.lon + jitter_lon,
+            );
+            hosts.push(Host { node, stub: stub_idx, up_ms, down_ms, location: loc });
+        }
+
+        let diversity_salt = rng.gen::<u64>();
+        TransitStubTopology {
+            graph,
+            transit_nodes,
+            transit_locations,
+            transit_regions,
+            stubs,
+            hosts,
+            peering,
+            transit_dist,
+            path_diversity: params.path_diversity.max(0.0),
+            diversity_salt,
+        }
+    }
+
+    /// One-way **policy-routed** delay from stub `a`'s router to stub `b`'s
+    /// router.
+    ///
+    /// Order of preference (mirroring valley-free interdomain routing):
+    /// 1. same stub → 0,
+    /// 2. private peering link (only between the two peered stubs),
+    /// 3. hot-potato transit path: exit through the *source's primary home*
+    ///    (earliest exit), then the shortest core path to whichever of the
+    ///    destination's homes minimizes the remaining delay.
+    ///
+    /// The hot-potato rule is what makes stub-level routing asymmetric and
+    /// sub-optimal: the reverse path exits through `b`'s primary home, which
+    /// generally differs from the forward path.
+    pub fn stub_delay(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if let Some(&(_, d)) = self.peering[a].iter().find(|&&(s, _)| s == b) {
+            return d;
+        }
+        let exit = self.stubs[a].homes[0];
+        let exit_delay = self.stubs[a].home_delays[0];
+        let sb = &self.stubs[b];
+        let mut best = f64::INFINITY;
+        for (&home, &hd) in sb.homes.iter().zip(sb.home_delays.iter()) {
+            let core = self.transit_dist[exit][home];
+            let hops = 2.0 + (core / 15.0).ceil(); // rough hop count for processing delay
+            let total = exit_delay + core + hd + hops * HOP_PROCESSING_MS;
+            if total < best {
+                best = total;
+            }
+        }
+        best
+    }
+
+    /// One-way policy-routed delay from host `i` to host `j` (indices into
+    /// [`Self::hosts`]).
+    ///
+    /// Includes the deterministic route-diversity perturbation: real paths
+    /// between two sites differ from the clean hierarchical model through
+    /// traffic engineering and load balancing, so each ordered (stub pair,
+    /// host pair) combination carries a fixed ±`path_diversity` factor.
+    pub fn host_delay(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let hi = &self.hosts[i];
+        let hj = &self.hosts[j];
+        let base = if hi.stub == hj.stub {
+            hi.up_ms + hj.down_ms + HOP_PROCESSING_MS
+        } else {
+            hi.up_ms + self.stub_delay(hi.stub, hj.stub) + hj.down_ms + 2.0 * HOP_PROCESSING_MS
+        };
+        if self.path_diversity == 0.0 {
+            return base;
+        }
+        // Stub-level wobble (correlated across hosts of the same stubs)
+        // plus a smaller host-pair component; both in [-1, 1].
+        let stub_w = pair_hash(self.diversity_salt, hi.stub as u64, hj.stub as u64);
+        let host_w = pair_hash(self.diversity_salt ^ 0xA5A5_5A5A, i as u64, j as u64);
+        let factor = 1.0 + self.path_diversity * (0.65 * stub_w + 0.35 * host_w);
+        base * factor.max(0.5)
+    }
+
+    /// Round-trip time between hosts `i` and `j` (forward + reverse one-way
+    /// delays, which generally differ).
+    pub fn host_rtt(&self, i: usize, j: usize) -> f64 {
+        self.host_delay(i, j) + self.host_delay(j, i)
+    }
+
+    /// Number of end hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+/// Deterministic hash of an ordered pair mapped to `[-1, 1]` (splitmix64).
+fn pair_hash(salt: u64, a: u64, b: u64) -> f64 {
+    let mut z = salt ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+}
+
+/// Physical link delay between two points: inflated great-circle
+/// propagation plus one hop of processing.
+fn link_delay(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    a.propagation_ms(b) * CABLE_INFLATION + HOP_PROCESSING_MS
+}
+
+fn sample_region(weights: &[f64; 5], total: f64, rng: &mut StdRng) -> usize {
+    let mut pick = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+/// Builds the 4-host ring network of Figure 1 of the paper: four hosts in
+/// different domains connected in a cycle with unit distances. The returned
+/// matrix is the paper's `D` (shortest path along the ring).
+pub fn figure1_distance_matrix() -> ides_linalg::Matrix {
+    ides_linalg::Matrix::from_vec(
+        4,
+        4,
+        vec![0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0],
+    )
+    .expect("static shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_topology(seed: u64) -> TransitStubTopology {
+        let params = TransitStubParams {
+            hosts: 60,
+            stubs: 15,
+            ..TransitStubParams::default()
+        };
+        TransitStubTopology::generate(&params, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_topology(9);
+        let b = small_topology(9);
+        assert_eq!(a.host_count(), b.host_count());
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(a.host_rtt(i, j), b.host_rtt(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rtts_are_finite_positive_and_zero_diagonal() {
+        let t = small_topology(1);
+        let n = t.host_count();
+        for i in 0..n {
+            assert_eq!(t.host_rtt(i, i), 0.0);
+            for j in 0..n {
+                let r = t.host_rtt(i, j);
+                assert!(r.is_finite(), "rtt({i},{j}) not finite");
+                if i != j {
+                    assert!(r > 0.0, "rtt({i},{j}) = {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_is_symmetric_but_one_way_is_not() {
+        // RTT = fwd + rev is symmetric by construction; the one-way delays
+        // themselves must show asymmetry (access links + hot potato).
+        let t = small_topology(2);
+        let n = t.host_count();
+        let mut asym_pairs = 0;
+        let mut total = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!((t.host_rtt(i, j) - t.host_rtt(j, i)).abs() < 1e-12);
+                total += 1;
+                let fwd = t.host_delay(i, j);
+                let rev = t.host_delay(j, i);
+                if (fwd - rev).abs() > 0.01 * fwd.max(rev) {
+                    asym_pairs += 1;
+                }
+            }
+        }
+        assert!(
+            asym_pairs as f64 > 0.3 * total as f64,
+            "only {asym_pairs}/{total} asymmetric one-way pairs"
+        );
+    }
+
+    #[test]
+    fn triangle_inequality_violations_exist() {
+        // Policy routing must create detour opportunities: for a meaningful
+        // fraction of pairs some relay k gives rtt(i,k)+rtt(k,j) < rtt(i,j).
+        let t = small_topology(3);
+        let n = t.host_count();
+        let rtt: Vec<Vec<f64>> = (0..n).map(|i| (0..n).map(|j| t.host_rtt(i, j)).collect()).collect();
+        let mut violated = 0;
+        let mut total = 0;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                total += 1;
+                let has_detour = (0..n).any(|k| {
+                    k != i && k != j && rtt[i][k] + rtt[k][j] < rtt[i][j] * 0.999
+                });
+                if has_detour {
+                    violated += 1;
+                }
+            }
+        }
+        let frac = violated as f64 / total as f64;
+        assert!(frac > 0.05, "TIV fraction {frac} too small");
+    }
+
+    #[test]
+    fn same_stub_hosts_are_close() {
+        let t = small_topology(4);
+        let n = t.host_count();
+        let mut same: Vec<f64> = Vec::new();
+        let mut diff: Vec<f64> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let r = t.host_rtt(i, j);
+                if t.hosts[i].stub == t.hosts[j].stub {
+                    same.push(r);
+                } else {
+                    diff.push(r);
+                }
+            }
+        }
+        if !same.is_empty() && !diff.is_empty() {
+            let mean_same: f64 = same.iter().sum::<f64>() / same.len() as f64;
+            let mean_diff: f64 = diff.iter().sum::<f64>() / diff.len() as f64;
+            assert!(mean_same < mean_diff, "same-stub {mean_same} >= cross-stub {mean_diff}");
+        }
+    }
+
+    #[test]
+    fn transit_core_is_connected() {
+        let t = small_topology(5);
+        for row in &t.transit_dist {
+            for &d in row {
+                assert!(d.is_finite(), "disconnected transit core");
+            }
+        }
+    }
+
+    #[test]
+    fn stub_delay_prefers_peering() {
+        let t = small_topology(6);
+        for (a, peers) in t.peering.iter().enumerate() {
+            for &(b, d) in peers {
+                assert_eq!(t.stub_delay(a, b), d, "peering link not used for {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_matrix_shape() {
+        let d = figure1_distance_matrix();
+        assert_eq!(d.shape(), (4, 4));
+        // Symmetric, zero diagonal, violates no triangle inequality (it is
+        // a shortest-path metric) but has no exact 2-D embedding.
+        for i in 0..4 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..4 {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+        }
+        assert_eq!(d[(0, 3)], 2.0);
+    }
+
+    #[test]
+    fn region_weights_respected() {
+        let params = TransitStubParams {
+            hosts: 400,
+            stubs: 40,
+            region_weights: [0.9, 0.1, 0.0, 0.0, 0.0],
+            ..TransitStubParams::default()
+        };
+        let t = TransitStubTopology::generate(&params, &mut StdRng::seed_from_u64(11));
+        let na_hosts = t
+            .hosts
+            .iter()
+            .filter(|h| t.stubs[h.stub].region == 0)
+            .count();
+        assert!(
+            na_hosts as f64 > 0.7 * t.host_count() as f64,
+            "{na_hosts}/{} hosts in region 0",
+            t.host_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        let params = TransitStubParams { hosts: 0, ..TransitStubParams::default() };
+        TransitStubTopology::generate(&params, &mut StdRng::seed_from_u64(0));
+    }
+}

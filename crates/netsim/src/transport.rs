@@ -1,0 +1,289 @@
+//! Simulated message transport with length-prefixed framing.
+//!
+//! The IDES wire protocol (`ides::protocol`) runs over this layer: nodes
+//! exchange framed byte payloads; delivery is delayed by the one-way
+//! network latency between the endpoints, driven by the discrete-event
+//! queue so an entire protocol exchange simulates deterministically.
+//!
+//! Framing follows the standard length-prefix pattern (see the Tokio
+//! framing tutorial): a `u32` big-endian length followed by that many
+//! payload bytes. [`FrameCodec`] handles partial reads so a stream of
+//! concatenated frames can be consumed incrementally.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::event::{EventQueue, SimTime};
+
+/// Maximum allowed frame payload (defensive bound against corrupt lengths).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes one frame: 4-byte big-endian length prefix + payload.
+pub fn encode_frame(payload: &[u8]) -> Bytes {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame too large");
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Incremental frame decoder over a byte stream.
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: BytesMut,
+}
+
+/// Errors from [`FrameCodec::decode`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared frame length exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::FrameTooLarge(n) => write!(f, "frame length {n} exceeds maximum"),
+        }
+    }
+}
+impl std::error::Error for FrameError {}
+
+impl FrameCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        FrameCodec::default()
+    }
+
+    /// Feeds raw bytes into the decode buffer.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Attempts to decode one complete frame; `Ok(None)` means more bytes
+    /// are needed.
+    pub fn decode(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::FrameTooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Address of a node on the simulated network.
+pub type Address = usize;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender address.
+    pub from: Address,
+    /// Recipient address.
+    pub to: Address,
+    /// Framed payload bytes.
+    pub payload: Bytes,
+}
+
+/// Handler interface implemented by protocol endpoints.
+pub trait Node {
+    /// Called when a frame addressed to this node is delivered.
+    /// Outgoing messages are pushed through `ctx`.
+    fn on_message(&mut self, from: Address, payload: Bytes, ctx: &mut Context<'_>);
+}
+
+/// Send-side API handed to [`Node::on_message`].
+pub struct Context<'a> {
+    outbox: &'a mut Vec<Envelope>,
+    self_addr: Address,
+    now: SimTime,
+}
+
+impl Context<'_> {
+    /// Queues a frame to `to`; it will be delivered after the network latency.
+    pub fn send(&mut self, to: Address, payload: Bytes) {
+        self.outbox.push(Envelope { from: self.self_addr, to, payload });
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// A deterministic simulated network connecting a set of [`Node`]s.
+///
+/// Latency between addresses is provided by a callback (typically backed by
+/// a [`crate::topology::TransitStubTopology`] one-way delay).
+pub struct SimNetwork<'l> {
+    latency: Box<dyn Fn(Address, Address) -> f64 + 'l>,
+    queue: EventQueue<Envelope>,
+    delivered: usize,
+}
+
+impl<'l> SimNetwork<'l> {
+    /// Creates a network with the given one-way latency function (ms).
+    pub fn new(latency: impl Fn(Address, Address) -> f64 + 'l) -> Self {
+        SimNetwork { latency: Box::new(latency), queue: EventQueue::new(), delivered: 0 }
+    }
+
+    /// Injects an initial message from `from` to `to`.
+    pub fn send(&mut self, from: Address, to: Address, payload: Bytes) {
+        let delay = (self.latency)(from, to).max(0.0);
+        self.queue.schedule(delay, Envelope { from, to, payload });
+    }
+
+    /// Runs the event loop until quiescence (or `max_events`), dispatching
+    /// each delivery to the matching node in `nodes`.
+    ///
+    /// Returns the simulated completion time in ms.
+    pub fn run(&mut self, nodes: &mut [&mut dyn Node], max_events: usize) -> SimTime {
+        let mut outbox: Vec<Envelope> = Vec::new();
+        let mut processed = 0;
+        while let Some((now, env)) = self.queue.pop() {
+            processed += 1;
+            if processed > max_events {
+                break;
+            }
+            self.delivered += 1;
+            if env.to < nodes.len() {
+                let mut ctx = Context { outbox: &mut outbox, self_addr: env.to, now };
+                nodes[env.to].on_message(env.from, env.payload, &mut ctx);
+            }
+            for out in outbox.drain(..) {
+                let delay = (self.latency)(out.from, out.to).max(0.0);
+                self.queue.schedule(delay, out);
+            }
+        }
+        self.queue.now()
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(b"hello ides");
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        let decoded = codec.decode().unwrap().unwrap();
+        assert_eq!(&decoded[..], b"hello ides");
+        assert_eq!(codec.pending(), 0);
+    }
+
+    #[test]
+    fn partial_frames_need_more_bytes() {
+        let frame = encode_frame(b"abcdef");
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame[..3]);
+        assert_eq!(codec.decode().unwrap(), None);
+        codec.feed(&frame[3..7]);
+        assert_eq!(codec.decode().unwrap(), None);
+        codec.feed(&frame[7..]);
+        assert_eq!(&codec.decode().unwrap().unwrap()[..], b"abcdef");
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let mut codec = FrameCodec::new();
+        let mut all = Vec::new();
+        all.extend_from_slice(&encode_frame(b"one"));
+        all.extend_from_slice(&encode_frame(b"two"));
+        all.extend_from_slice(&encode_frame(b""));
+        codec.feed(&all);
+        assert_eq!(&codec.decode().unwrap().unwrap()[..], b"one");
+        assert_eq!(&codec.decode().unwrap().unwrap()[..], b"two");
+        assert_eq!(&codec.decode().unwrap().unwrap()[..], b"");
+        assert_eq!(codec.decode().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut codec = FrameCodec::new();
+        let mut bad = BytesMut::new();
+        bad.put_u32(u32::MAX);
+        bad.put_slice(b"xx");
+        codec.feed(&bad);
+        assert!(matches!(codec.decode(), Err(FrameError::FrameTooLarge(_))));
+    }
+
+    /// A node that echoes every message back to its sender once.
+    struct Echo {
+        received: Vec<(Address, Bytes)>,
+        echoed: bool,
+    }
+    impl Node for Echo {
+        fn on_message(&mut self, from: Address, payload: Bytes, ctx: &mut Context<'_>) {
+            self.received.push((from, payload.clone()));
+            if !self.echoed {
+                self.echoed = true;
+                ctx.send(from, payload);
+            }
+        }
+    }
+
+    #[test]
+    fn request_reply_latency_accumulates() {
+        // one-way latency 10 ms both directions => echo completes at t=20.
+        let mut net = SimNetwork::new(|_, _| 10.0);
+        let mut a = Echo { received: vec![], echoed: true }; // no re-echo
+        let mut b = Echo { received: vec![], echoed: false };
+        net.send(0, 1, Bytes::from_static(b"ping"));
+        let end = net.run(&mut [&mut a, &mut b], 100);
+        assert_eq!(end, 20.0);
+        assert_eq!(b.received.len(), 1);
+        assert_eq!(a.received.len(), 1);
+        assert_eq!(&a.received[0].1[..], b"ping");
+        assert_eq!(net.delivered(), 2);
+    }
+
+    #[test]
+    fn asymmetric_latency() {
+        let mut net = SimNetwork::new(|from, to| if from < to { 5.0 } else { 15.0 });
+        let mut a = Echo { received: vec![], echoed: true };
+        let mut b = Echo { received: vec![], echoed: false };
+        net.send(0, 1, Bytes::from_static(b"x"));
+        let end = net.run(&mut [&mut a, &mut b], 100);
+        assert_eq!(end, 20.0); // 5 out + 15 back
+    }
+
+    #[test]
+    fn max_events_bounds_runaway() {
+        // Two nodes that echo forever.
+        struct Forever;
+        impl Node for Forever {
+            fn on_message(&mut self, from: Address, payload: Bytes, ctx: &mut Context<'_>) {
+                ctx.send(from, payload);
+            }
+        }
+        let mut net = SimNetwork::new(|_, _| 1.0);
+        let mut a = Forever;
+        let mut b = Forever;
+        net.send(0, 1, Bytes::from_static(b"loop"));
+        net.run(&mut [&mut a, &mut b], 50);
+        assert!(net.delivered() <= 51);
+    }
+}

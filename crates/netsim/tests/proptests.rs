@@ -1,0 +1,158 @@
+//! Property-based tests for the network substrate.
+
+use bytes::Bytes;
+use ides_netsim::graph::Graph;
+use ides_netsim::topology::{TransitStubParams, TransitStubTopology};
+use ides_netsim::transport::{encode_frame, FrameCodec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dijkstra distances satisfy the triangle inequality on any graph.
+    #[test]
+    fn dijkstra_is_a_quasi_metric(
+        edges in prop::collection::vec((0usize..8, 0usize..8, 0.1f64..50.0), 1..24)
+    ) {
+        let mut g = Graph::new(8);
+        for (u, v, w) in &edges {
+            if u != v {
+                g.add_edge(*u, *v, *w);
+            }
+        }
+        let dist: Vec<Vec<f64>> = (0..8).map(|s| g.dijkstra(s)).collect();
+        for a in 0..8 {
+            prop_assert_eq!(dist[a][a], 0.0);
+            for b in 0..8 {
+                for c in 0..8 {
+                    // Allow infinities: inf <= inf + x holds in f64.
+                    prop_assert!(dist[a][c] <= dist[a][b] + dist[b][c] + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Dijkstra never reports a shorter distance than the direct edge.
+    #[test]
+    fn dijkstra_bounded_by_direct_edge(
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0.1f64..50.0), 1..15)
+    ) {
+        let mut g = Graph::new(6);
+        for (u, v, w) in &edges {
+            if u != v {
+                g.add_edge(*u, *v, *w);
+            }
+        }
+        for (u, v, w) in &edges {
+            if u != v {
+                prop_assert!(g.shortest_delay(*u, *v) <= *w + 1e-12);
+            }
+        }
+    }
+
+    /// Frame codec: any payload split at any point round-trips.
+    #[test]
+    fn framing_roundtrips_under_arbitrary_splits(
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+        split in 0usize..210
+    ) {
+        let frame = encode_frame(&payload);
+        let split = split.min(frame.len());
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame[..split]);
+        // May or may not decode yet; feeding the rest must complete it.
+        let early = codec.decode().unwrap();
+        if let Some(done) = early {
+            prop_assert_eq!(&done[..], &payload[..]);
+        } else {
+            codec.feed(&frame[split..]);
+            let done = codec.decode().unwrap().expect("complete frame");
+            prop_assert_eq!(&done[..], &payload[..]);
+        }
+        prop_assert_eq!(codec.decode().unwrap(), None);
+    }
+
+    /// Multiple frames concatenated decode in order.
+    #[test]
+    fn framing_preserves_order(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..50), 1..8)
+    ) {
+        let mut codec = FrameCodec::new();
+        for p in &payloads {
+            codec.feed(&encode_frame(p));
+        }
+        for p in &payloads {
+            let got = codec.decode().unwrap().expect("frame available");
+            prop_assert_eq!(got, Bytes::from(p.clone()));
+        }
+        prop_assert_eq!(codec.decode().unwrap(), None);
+    }
+
+    /// Topology invariants hold across parameter space: finite positive
+    /// RTTs, symmetric RTT, zero self-delay.
+    #[test]
+    fn topology_rtt_invariants(
+        seed in 0u64..500,
+        hosts in 5usize..25,
+        stubs in 2usize..8,
+        multihoming in 0.0f64..1.0,
+        peering in 0.0f64..0.9,
+        diversity in 0.0f64..0.3
+    ) {
+        let params = TransitStubParams {
+            hosts,
+            stubs,
+            multihoming_prob: multihoming,
+            peering_prob: peering,
+            path_diversity: diversity,
+            ..TransitStubParams::default()
+        };
+        let t = TransitStubTopology::generate(&params, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        for i in 0..hosts {
+            prop_assert_eq!(t.host_rtt(i, i), 0.0);
+            for j in 0..hosts {
+                let r = t.host_rtt(i, j);
+                prop_assert!(r.is_finite() && r >= 0.0);
+                prop_assert!((r - t.host_rtt(j, i)).abs() < 1e-9);
+                if i != j {
+                    prop_assert!(r > 0.0);
+                    // One-way delays are positive and bounded by the RTT.
+                    let fwd = t.host_delay(i, j);
+                    prop_assert!(fwd > 0.0 && fwd < r);
+                }
+            }
+        }
+    }
+
+    /// Zero path diversity makes host_delay purely hierarchical: hosts in
+    /// the same stub see identical stub-level delays to any third host
+    /// (differences only from their own access links).
+    #[test]
+    fn zero_diversity_is_clusterable(seed in 0u64..200) {
+        let params = TransitStubParams {
+            hosts: 20,
+            stubs: 4,
+            path_diversity: 0.0,
+            ..TransitStubParams::default()
+        };
+        let t = TransitStubTopology::generate(&params, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        for a in 0..20 {
+            for b in 0..20 {
+                if a == b || t.hosts[a].stub != t.hosts[b].stub {
+                    continue;
+                }
+                for c in 0..20 {
+                    if c == a || c == b || t.hosts[c].stub == t.hosts[a].stub {
+                        continue;
+                    }
+                    // delay(a->c) - up(a) == delay(b->c) - up(b): the stub
+                    // part is shared.
+                    let pa = t.host_delay(a, c) - t.hosts[a].up_ms;
+                    let pb = t.host_delay(b, c) - t.hosts[b].up_ms;
+                    prop_assert!((pa - pb).abs() < 1e-9, "a={} b={} c={}: {} vs {}", a, b, c, pa, pb);
+                }
+            }
+        }
+    }
+}

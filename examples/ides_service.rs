@@ -1,0 +1,63 @@
+//! End-to-end IDES service over the simulated wire protocol.
+//!
+//! Unlike the other examples (which call the solver library directly),
+//! this one exercises the full §5.1 protocol: the joining host talks to
+//! the information server and the landmarks through framed messages over
+//! a discrete-event network, pings carry real (simulated) latency, and
+//! the join's wall-clock cost comes out in simulated milliseconds.
+//!
+//! Run with: `cargo run --release --example ides_service`
+
+use std::sync::Arc;
+
+use ides::protocol::simulate_join;
+use ides::system::{IdesConfig, InformationServer};
+use ides_datasets::generators::nlanr_like;
+use ides_datasets::DistanceMatrix;
+use ides_linalg::Matrix;
+
+fn main() {
+    let ds = nlanr_like(80, 13).expect("dataset generation");
+    let topo = &ds.topology;
+
+    // Landmarks 0..20; the information server factors their RTT matrix.
+    let landmark_hosts: Vec<usize> = (0..20).collect();
+    let lm_values =
+        Matrix::from_fn(20, 20, |i, j| topo.host_rtt(landmark_hosts[i], landmark_hosts[j]));
+    let lm = DistanceMatrix::full("landmarks", lm_values).expect("landmark matrix");
+    let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(8)).expect("server"));
+    println!("information server ready: 20 landmarks factored at d = {}", server.dim());
+
+    // Three ordinary hosts join over the wire, 3 ping probes per landmark.
+    let mut joined = Vec::new();
+    for &host in &[30usize, 45, 60] {
+        let outcome = simulate_join(topo, server.clone(), &landmark_hosts, host, 3)
+            .expect("protocol join");
+        println!(
+            "host {host} joined in {:.1} simulated ms using {} messages",
+            outcome.elapsed_ms, outcome.messages
+        );
+        joined.push((host, outcome.vectors));
+    }
+
+    // Hosts now predict their mutual distances without any probes.
+    println!("\npairwise predictions (never measured):");
+    for i in 0..joined.len() {
+        for j in 0..joined.len() {
+            if i == j {
+                continue;
+            }
+            let (hi, vi) = &joined[i];
+            let (hj, vj) = &joined[j];
+            let predicted = vi.distance_to_host(vj);
+            let actual = topo.host_rtt(*hi, *hj);
+            let rel = (predicted - actual).abs() / actual;
+            println!(
+                "  {hi} -> {hj}: predicted {predicted:7.2} ms, actual {actual:7.2} ms ({:+.1}%)",
+                rel * 100.0 * (predicted - actual).signum()
+            );
+            assert!(rel < 0.6, "prediction off by {rel:.2}");
+        }
+    }
+    println!("\nides_service OK");
+}

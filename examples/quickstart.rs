@@ -1,0 +1,51 @@
+//! Quickstart: factor a distance matrix, join a new host, predict.
+//!
+//! Walks through the paper's own worked example (Figures 1 and 4):
+//! a 4-host ring network whose distance matrix has no exact Euclidean
+//! embedding but factors exactly at rank 3, then two ordinary hosts that
+//! join from landmark measurements and predict their mutual distance
+//! without ever measuring it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ides::system::{IdesConfig, InformationServer};
+use ides_datasets::DistanceMatrix;
+use ides_mf::model::DistanceEstimator;
+use ides_mf::svd_model::{fit_matrix, SvdConfig};
+use ides_netsim::topology::figure1_distance_matrix;
+
+fn main() {
+    // --- 1. The distance matrix of Figure 1 -----------------------------
+    // Four hosts in a ring, unit edges: D[0][3] = 2 hops, etc. No Euclidean
+    // embedding of any dimension reproduces it, but SVD factors it exactly.
+    let d = figure1_distance_matrix();
+    println!("distance matrix D =\n{d:?}\n");
+
+    // --- 2. Factor D = X Yᵀ at rank 3 (exact: the 4th singular value is 0)
+    let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).expect("svd fit");
+    println!("outgoing vectors X =\n{:?}", model.x());
+    println!("incoming vectors Y =\n{:?}", model.y());
+    let recon_err = (&model.reconstruct() - &d).frobenius_norm();
+    println!("reconstruction error ‖XYᵀ − D‖_F = {recon_err:.2e}\n");
+    assert!(recon_err < 1e-9);
+
+    // The estimated distance from host i to j is the dot product X_i · Y_j:
+    println!("estimated D[0][3] = {:.3} (true 2)", model.estimate(0, 3));
+
+    // --- 3. Stand up the IDES information server ------------------------
+    let landmarks = DistanceMatrix::full("figure-1 landmarks", d).expect("valid matrix");
+    let server = InformationServer::build(&landmarks, IdesConfig::new(3)).expect("server");
+
+    // --- 4. Ordinary hosts join by measuring the landmarks --------------
+    // H1 sits on the left edge of the ring (Figure 4): distances to the
+    // four landmarks are [0.5, 1.5, 1.5, 2.5]. H2 mirrors it on the right.
+    let h1 = server.join(&[0.5, 1.5, 1.5, 2.5], &[0.5, 1.5, 1.5, 2.5]).expect("join H1");
+    let h2 = server.join(&[2.5, 1.5, 1.5, 0.5], &[2.5, 1.5, 1.5, 0.5]).expect("join H2");
+
+    // --- 5. Predict the unmeasured H1–H2 distance -----------------------
+    let predicted = h1.distance_to_host(&h2);
+    println!("predicted H1→H2 distance = {predicted:.3} ms (true 3.0, paper predicts 3.25)");
+    assert!((predicted - 3.25).abs() < 1e-9);
+
+    println!("\nquickstart OK");
+}

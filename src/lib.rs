@@ -1,0 +1,14 @@
+//! Umbrella crate for the IDES reproduction workspace.
+//!
+//! All functionality lives in the `crates/*` members; this crate exists so
+//! the repo-level `examples/` and `tests/` directories can exercise the
+//! public APIs of every crate together. Re-exports are provided for
+//! convenience.
+
+#![forbid(unsafe_code)]
+
+pub use ides;
+pub use ides_datasets;
+pub use ides_linalg;
+pub use ides_mf;
+pub use ides_netsim;

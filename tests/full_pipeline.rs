@@ -1,0 +1,143 @@
+//! Cross-crate integration: topology generation → measurement → dataset →
+//! factorization → IDES joins → prediction scoring, plus the headline
+//! comparative claims of the paper's evaluation at reduced scale.
+
+use ides::eval::{evaluate_ics, evaluate_ides, evaluate_ides_with_failures};
+use ides::system::{split_landmarks, IdesConfig};
+use ides_datasets::generators::{nlanr_like, p2psim_like};
+use ides_datasets::stats;
+use ides_mf::lipschitz::LipschitzPca;
+use ides_mf::metrics::{reconstruction_errors, Cdf};
+use ides_mf::nmf::{self, NmfConfig};
+use ides_mf::svd_model::{self, SvdConfig};
+
+/// The full IDES pipeline on an NLANR-like network: prediction errors must
+/// land in a usable range and beat the ICS baseline (Fig. 6(b) shape).
+#[test]
+fn end_to_end_prediction_beats_ics() {
+    let ds = nlanr_like(70, 101).unwrap();
+    let (landmarks, ordinary) = split_landmarks(70, 20, 5);
+    let ides = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8)).unwrap();
+    let ics = evaluate_ics(&ds.matrix, &landmarks, &ordinary, 8).unwrap();
+    assert_eq!(ides.hosts_joined, 50);
+    assert_eq!(ides.pairs_evaluated, 50 * 49);
+    let m_ides = ides.cdf().median();
+    let m_ics = ics.cdf().median();
+    assert!(m_ides < m_ics, "IDES {m_ides} vs ICS {m_ics}");
+    assert!(m_ides < 0.3, "IDES median error {m_ides} out of expected range");
+}
+
+/// Fig. 3 shape: at d = 10, SVD/NMF reconstruction is several times more
+/// accurate than Lipschitz+PCA, and SVD ≥ NMF (global vs local optimum).
+#[test]
+fn reconstruction_ordering_matches_figure3() {
+    let ds = nlanr_like(60, 102).unwrap();
+    let d = 10;
+    let svd = svd_model::fit(&ds.matrix, SvdConfig::new(d)).unwrap();
+    let nmf = nmf::fit(&ds.matrix, NmfConfig::new(d)).unwrap().model;
+    let lip = LipschitzPca::fit(&ds.matrix, d).unwrap();
+
+    let m_svd = Cdf::new(reconstruction_errors(&svd, &ds.matrix)).median();
+    let m_nmf = Cdf::new(reconstruction_errors(&nmf, &ds.matrix)).median();
+    let m_lip = Cdf::new(reconstruction_errors(&lip, &ds.matrix)).median();
+
+    assert!(m_svd <= m_nmf * 1.05, "SVD {m_svd} should be <= NMF {m_nmf}");
+    assert!(
+        m_svd * 2.0 < m_lip,
+        "SVD {m_svd} should be several times better than Lipschitz {m_lip}"
+    );
+}
+
+/// Fig. 7 shape: with 50 landmarks, losing 40 % of them hurts much less
+/// than with 20 landmarks (relative degradation).
+#[test]
+fn failure_robustness_scales_with_landmark_count() {
+    let ds = nlanr_like(100, 103).unwrap();
+    let run = |m: usize, frac: f64| -> f64 {
+        let (landmarks, ordinary) = split_landmarks(100, m, 9);
+        evaluate_ides_with_failures(
+            &ds.matrix,
+            &landmarks,
+            &ordinary,
+            IdesConfig::new(8),
+            frac,
+            77,
+        )
+        .unwrap()
+        .cdf()
+        .median()
+    };
+    let d20_0 = run(20, 0.0);
+    let d20_4 = run(20, 0.4);
+    let d50_0 = run(50, 0.0);
+    let d50_4 = run(50, 0.4);
+    let degradation_20 = d20_4 / d20_0.max(1e-9);
+    let degradation_50 = d50_4 / d50_0.max(1e-9);
+    assert!(
+        degradation_50 < degradation_20,
+        "50-landmark degradation {degradation_50} should beat 20-landmark {degradation_20} \
+         (20lm: {d20_0}->{d20_4}, 50lm: {d50_0}->{d50_4})"
+    );
+    // The paper's headline: 40% failures with 50 landmarks ≈ no failures.
+    assert!(degradation_50 < 2.2, "50 landmarks should tolerate 40% failures, got {degradation_50}x");
+}
+
+/// The substrate must exhibit the structural phenomena the paper's model
+/// targets: triangle-inequality violations and (for King-style data)
+/// asymmetry — end-to-end through the dataset layer.
+#[test]
+fn substrate_reproduces_routing_phenomena() {
+    let nlanr = nlanr_like(60, 104).unwrap();
+    let tiv = stats::triangle_violation_fraction(&nlanr.matrix, 0.005, 20_000);
+    assert!(tiv > 0.05, "NLANR-like TIV fraction {tiv}");
+
+    let king = p2psim_like(60, 105).unwrap();
+    let asym = stats::asymmetry_index(&king.matrix);
+    assert!(asym > 0.01, "King-style asymmetry {asym}");
+}
+
+/// NMF predictions from an NMF server with nonnegative joins are always
+/// nonnegative (the §5.1 guarantee), even on pairs it never measured.
+#[test]
+fn nmf_pipeline_never_predicts_negative() {
+    use ides::projection::{JoinOptions, JoinSolver};
+    let ds = nlanr_like(40, 106).unwrap();
+    let (landmarks, ordinary) = split_landmarks(40, 15, 4);
+    let mut config = IdesConfig::nmf(6);
+    config.join = JoinOptions { solver: JoinSolver::NonNegative, ridge: 0.0 };
+    let lm = ds.matrix.submatrix(&landmarks, &landmarks);
+    let server = ides::system::InformationServer::build(&lm, config).unwrap();
+    let joined: Vec<_> = ordinary
+        .iter()
+        .map(|&h| {
+            let d_out: Vec<f64> =
+                landmarks.iter().map(|&l| ds.matrix.get(h, l).unwrap()).collect();
+            let d_in: Vec<f64> =
+                landmarks.iter().map(|&l| ds.matrix.get(l, h).unwrap()).collect();
+            server.join(&d_out, &d_in).unwrap()
+        })
+        .collect();
+    for a in &joined {
+        for b in &joined {
+            assert!(a.distance_to_host(b) >= 0.0, "negative prediction");
+        }
+    }
+}
+
+/// SVD and NMF agree closely on reconstruction when both see the full
+/// matrix (Fig. 3: "NMF has almost exactly the same median relative errors
+/// as SVD ... when d < 10").
+#[test]
+fn svd_and_nmf_agree_at_low_dimension() {
+    let ds = nlanr_like(50, 107).unwrap();
+    for d in [4, 8] {
+        let svd = svd_model::fit(&ds.matrix, SvdConfig::new(d)).unwrap();
+        let nmf = nmf::fit(&ds.matrix, NmfConfig::new(d)).unwrap().model;
+        let m_svd = Cdf::new(reconstruction_errors(&svd, &ds.matrix)).median();
+        let m_nmf = Cdf::new(reconstruction_errors(&nmf, &ds.matrix)).median();
+        assert!(
+            (m_nmf - m_svd).abs() < 0.05 + m_svd,
+            "d={d}: SVD {m_svd} vs NMF {m_nmf} diverge"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests reproducing every worked example in the paper
+//! end-to-end through the public APIs.
+
+use ides::system::{IdesConfig, InformationServer};
+use ides_datasets::DistanceMatrix;
+use ides_linalg::svd::svd;
+use ides_linalg::Matrix;
+use ides_mf::model::DistanceEstimator;
+use ides_mf::svd_model::{fit_matrix, SvdConfig};
+use ides_netsim::topology::figure1_distance_matrix;
+
+/// §4.1: the Figure-1 matrix has singular values (4, 2, 2, 0), so the d=3
+/// factorization is exact and X, Y reconstruct D perfectly.
+#[test]
+fn paper_fig1_svd_worked_example() {
+    let d = figure1_distance_matrix();
+    let decomposition = svd(&d).unwrap();
+    let sv = &decomposition.singular_values;
+    assert!((sv[0] - 4.0).abs() < 1e-10, "S11 = {}", sv[0]);
+    assert!((sv[1] - 2.0).abs() < 1e-10, "S22 = {}", sv[1]);
+    assert!((sv[2] - 2.0).abs() < 1e-10, "S33 = {}", sv[2]);
+    assert!(sv[3].abs() < 1e-10, "S44 = {}", sv[3]);
+
+    let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+    assert!(model.reconstruct().approx_eq(&d, 1e-9), "XYᵀ != D");
+
+    // The paper's specific factor matrices are one valid solution; ours may
+    // differ by an orthogonal transform, but every entry estimate matches.
+    for i in 0..4 {
+        for j in 0..4 {
+            assert!(
+                (model.estimate(i, j) - d[(i, j)]).abs() < 1e-9,
+                "D[{i}][{j}] estimated as {}",
+                model.estimate(i, j)
+            );
+        }
+    }
+}
+
+/// §2.2: no 2-D Euclidean embedding reconstructs Figure 1 exactly — the
+/// intuitive embedding underestimates the diagonal (√2 instead of 2).
+#[test]
+fn paper_fig1_euclidean_embedding_fails() {
+    // The paper's "intuitive" embedding of the four hosts.
+    let coords = Matrix::from_vec(
+        4,
+        2,
+        vec![-0.5, 0.5, 0.5, 0.5, -0.5, -0.5, 0.5, -0.5],
+    )
+    .unwrap();
+    let emb = ides_mf::model::EuclideanModel::new(coords);
+    // Adjacent pairs are exact...
+    assert!((emb.estimate(0, 1) - 1.0).abs() < 1e-12);
+    // ...but the diagonal comes out √2 instead of the true 2.
+    let diag = emb.estimate(0, 3);
+    assert!((diag - 2.0_f64.sqrt()).abs() < 1e-12);
+    assert!((figure1_distance_matrix()[(0, 3)] - diag).abs() > 0.5);
+}
+
+/// §5.1: basic-architecture join. H1 measures [0.5 1.5 1.5 2.5] to the
+/// four landmarks; landmark distances are exactly preserved and the
+/// H1–H2 prediction is 3.25 against a true distance of 3.
+#[test]
+fn paper_fig4_basic_join() {
+    let lm = DistanceMatrix::full("fig1", figure1_distance_matrix()).unwrap();
+    let server = InformationServer::build(&lm, IdesConfig::new(3)).unwrap();
+    let m1 = [0.5, 1.5, 1.5, 2.5];
+    let m2 = [2.5, 1.5, 1.5, 0.5];
+    let h1 = server.join(&m1, &m1).unwrap();
+    let h2 = server.join(&m2, &m2).unwrap();
+
+    for (i, &expected) in m1.iter().enumerate() {
+        let lv = server.landmark_vectors(i);
+        assert!((h1.distance_to(&lv.incoming) - expected).abs() < 1e-9);
+        assert!((h1.distance_from(&lv.outgoing) - expected).abs() < 1e-9);
+    }
+    assert!((h1.distance_to_host(&h2) - 3.25).abs() < 1e-9);
+    assert!((h2.distance_to_host(&h1) - 3.25).abs() < 1e-9);
+}
+
+/// §5.2: relaxed-architecture join. H1 joins via landmarks L1–L3 only and
+/// still predicts its unmeasured distance to L4 exactly (2.5); H2 then
+/// joins via L2, L4 and the ordinary host H1, with ≤ 15 % worst-case
+/// relative error on its unmeasured landmark distances (paper's numbers:
+/// H2–L1 ≈ 2.3 vs 2.5, H2–L3 ≈ 1.3 vs 1.5).
+#[test]
+fn paper_fig5_relaxed_join() {
+    let lm = DistanceMatrix::full("fig1", figure1_distance_matrix()).unwrap();
+    let server = InformationServer::build(&lm, IdesConfig::new(3)).unwrap();
+
+    // H1 via L1, L2, L3.
+    let h1 = server.join_partial(&[0, 1, 2], &[0.5, 1.5, 1.5], &[0.5, 1.5, 1.5]).unwrap();
+    let l4 = server.landmark_vectors(3);
+    assert!((h1.distance_to(&l4.incoming) - 2.5).abs() < 1e-9, "H1->L4");
+
+    // H2 via L2, L4, H1.
+    let refs = vec![server.landmark_vectors(1), server.landmark_vectors(3), h1];
+    let h2 = server
+        .join_via_references(&refs, &[1.5, 0.5, 3.0], &[1.5, 0.5, 3.0])
+        .unwrap();
+    let l1 = server.landmark_vectors(0);
+    let l3 = server.landmark_vectors(2);
+    let e1 = (h2.distance_to(&l1.incoming) - 2.5).abs() / 2.5;
+    let e3 = (h2.distance_to(&l3.incoming) - 1.5).abs() / 1.5;
+    assert!(e1 <= 0.16, "H2->L1 relative error {e1}");
+    assert!(e3 <= 0.16, "H2->L3 relative error {e3}");
+}
+
+/// §3: the factor model represents asymmetric distances, which no network
+/// embedding can.
+#[test]
+fn asymmetric_matrix_fully_recovered() {
+    let d = Matrix::from_vec(
+        4,
+        4,
+        vec![
+            0.0, 12.0, 3.0, 40.0, //
+            2.0, 0.0, 9.0, 8.0, //
+            30.0, 1.0, 0.0, 11.0, //
+            4.0, 80.0, 7.0, 0.0,
+        ],
+    )
+    .unwrap();
+    let model = fit_matrix(&d, SvdConfig { dim: 4, force_exact: true }).unwrap();
+    assert!(model.reconstruct().approx_eq(&d, 1e-8));
+    // Spot-check asymmetry preserved.
+    assert!((model.estimate(0, 3) - 40.0).abs() < 1e-8);
+    assert!((model.estimate(3, 0) - 4.0).abs() < 1e-8);
+}
+
+/// Footnote 3: D need not be square — a rectangular matrix from one host
+/// set to another factors the same way.
+#[test]
+fn rectangular_factorization() {
+    let d = Matrix::from_fn(6, 3, |i, j| 10.0 + (i as f64) * 2.0 + (j as f64) * 5.0);
+    let model = fit_matrix(&d, SvdConfig { dim: 2, force_exact: true }).unwrap();
+    assert_eq!(model.x().shape(), (6, 2));
+    assert_eq!(model.y().shape(), (3, 2));
+    assert!(model.reconstruct().approx_eq(&d, 1e-8), "rank-2 structure is exact");
+}

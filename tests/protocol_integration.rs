@@ -1,0 +1,113 @@
+//! Integration tests for the simulated IDES wire protocol: joins over the
+//! discrete-event network must agree with offline joins, and the protocol
+//! must interoperate with the relaxed architecture.
+
+use std::sync::Arc;
+
+use ides::protocol::simulate_join;
+use ides::system::{IdesConfig, InformationServer};
+use ides_datasets::generators::nlanr_like;
+use ides_datasets::DistanceMatrix;
+use ides_linalg::Matrix;
+
+fn landmark_matrix(
+    topo: &ides_netsim::TransitStubTopology,
+    landmarks: &[usize],
+) -> DistanceMatrix {
+    let m = landmarks.len();
+    let values = Matrix::from_fn(m, m, |i, j| topo.host_rtt(landmarks[i], landmarks[j]));
+    DistanceMatrix::full("landmarks", values).unwrap()
+}
+
+/// A protocol join (pings over the simulated network) must produce the
+/// same vectors as an offline join fed with the true RTTs, because the
+/// discrete-event latency is deterministic and pings measure it exactly.
+#[test]
+fn protocol_join_matches_offline_join() {
+    let ds = nlanr_like(50, 201).unwrap();
+    let landmarks: Vec<usize> = (0..12).collect();
+    let lm = landmark_matrix(&ds.topology, &landmarks);
+    let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(6)).unwrap());
+
+    let host = 25usize;
+    let outcome = simulate_join(&ds.topology, server.clone(), &landmarks, host, 2).unwrap();
+
+    let rtts: Vec<f64> = landmarks.iter().map(|&l| ds.topology.host_rtt(host, l)).collect();
+    let offline = server.join(&rtts, &rtts).unwrap();
+    for (a, b) in outcome.vectors.outgoing.iter().zip(offline.outgoing.iter()) {
+        assert!((a - b).abs() < 1e-6, "protocol {a} vs offline {b}");
+    }
+    for (a, b) in outcome.vectors.incoming.iter().zip(offline.incoming.iter()) {
+        assert!((a - b).abs() < 1e-6, "protocol {a} vs offline {b}");
+    }
+}
+
+/// Multiple hosts joining via the protocol can predict each other's
+/// distances with accuracy comparable to the true RTTs.
+#[test]
+fn protocol_joined_hosts_predict_each_other() {
+    let ds = nlanr_like(60, 202).unwrap();
+    let landmarks: Vec<usize> = (0..15).collect();
+    let lm = landmark_matrix(&ds.topology, &landmarks);
+    let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(8)).unwrap());
+
+    let hosts = [20usize, 30, 40, 50];
+    let joined: Vec<_> = hosts
+        .iter()
+        .map(|&h| {
+            simulate_join(&ds.topology, server.clone(), &landmarks, h, 2)
+                .unwrap()
+                .vectors
+        })
+        .collect();
+
+    let mut rels = Vec::new();
+    for i in 0..hosts.len() {
+        for j in 0..hosts.len() {
+            if i == j {
+                continue;
+            }
+            let actual = ds.topology.host_rtt(hosts[i], hosts[j]);
+            let predicted = joined[i].distance_to_host(&joined[j]);
+            rels.push((predicted - actual).abs() / actual);
+        }
+    }
+    rels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = rels[rels.len() / 2];
+    assert!(median < 0.35, "median cross-prediction error {median}");
+}
+
+/// Join time scales with landmark RTTs, not with the number of probes
+/// (pings run in parallel): doubling probes must not double elapsed time.
+#[test]
+fn probe_parallelism() {
+    let ds = nlanr_like(40, 203).unwrap();
+    let landmarks: Vec<usize> = (0..10).collect();
+    let lm = landmark_matrix(&ds.topology, &landmarks);
+    let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(5)).unwrap());
+    let host = 20usize;
+    let t1 = simulate_join(&ds.topology, server.clone(), &landmarks, host, 1)
+        .unwrap()
+        .elapsed_ms;
+    let t4 = simulate_join(&ds.topology, server, &landmarks, host, 4).unwrap().elapsed_ms;
+    assert!(
+        t4 < t1 * 1.5,
+        "4-probe join took {t4} ms vs 1-probe {t1} ms — probes are not parallel"
+    );
+}
+
+/// Message count accounting: join-request/list + probes*landmarks*2 +
+/// vector-request/reply.
+#[test]
+fn message_accounting() {
+    let ds = nlanr_like(40, 204).unwrap();
+    let landmarks: Vec<usize> = (0..8).collect();
+    let lm = landmark_matrix(&ds.topology, &landmarks);
+    let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(4)).unwrap());
+    for probes in [1u32, 3, 5] {
+        let outcome =
+            simulate_join(&ds.topology, server.clone(), &landmarks, 30, probes).unwrap();
+        let expected = 2 + 8 * probes as usize * 2 + 2;
+        assert_eq!(outcome.messages, expected, "probes = {probes}");
+    }
+}
