@@ -1,9 +1,17 @@
 //! Linear-algebra kernel benchmarks: the primitives every IDES operation
-//! reduces to. Useful for spotting regressions in the from-scratch kernels
-//! and for the exact-vs-truncated SVD ablation called out in DESIGN.md.
+//! reduces to.
+//!
+//! The `matmul` group is the headline perf-trajectory series: it times the
+//! blocked kernel layer against both naive baselines — the textbook `ijk`
+//! triple loop and the seed's row-streaming `ikj` loop that was
+//! `Matrix::matmul` before the kernel layer landed — so every future
+//! kernel change can be judged against the same fixed reference points.
+//! `scripts/run_benches.sh` snapshots these records into the committed
+//! `BENCH_*.json` files.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use ides_linalg::kernels::reference;
 use ides_linalg::qr::qr;
 use ides_linalg::svd::{svd, svd_truncated, TruncatedSvdOptions};
 use ides_linalg::{random, Matrix};
@@ -22,12 +30,45 @@ fn test_matrix(n: usize) -> Matrix {
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(10);
-    for n in [64usize, 128, 256] {
+    for n in [64usize, 128, 256, 512] {
         let a = test_matrix(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+        group.bench_with_input(BenchmarkId::new("blocked", n), &a, |b, a| {
             b.iter(|| a.matmul(a).unwrap())
         });
+        group.bench_with_input(BenchmarkId::new("seed_ikj", n), &a, |b, a| {
+            b.iter(|| reference::matmul_ikj(a, a).unwrap())
+        });
+        // The textbook loop is very slow at 512; bench it at every size
+        // anyway — it is the fixed "naive" reference the speedup
+        // acceptance is measured against.
+        group.bench_with_input(BenchmarkId::new("naive_ijk", n), &a, |b, a| {
+            b.iter(|| reference::matmul_ijk(a, a).unwrap())
+        });
     }
+    group.finish();
+}
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    // The transposed products the NMF/ALS inner loops lean on, at the
+    // shapes those loops use them: skinny factors against a square matrix.
+    let mut group = c.benchmark_group("gemm_variants");
+    group.sample_size(10);
+    let n = 512;
+    let k = 10;
+    let d = test_matrix(n);
+    let mut rng = random::seeded_rng(7);
+    let x = random::uniform(n, k, 0.1, 1.0, &mut rng);
+    let y = random::uniform(n, k, 0.1, 1.0, &mut rng);
+    group.bench_function("tr_matmul_gram_512x10", |b| {
+        b.iter(|| y.tr_matmul(&y).unwrap())
+    });
+    group.bench_function("matmul_skinny_512x10", |b| b.iter(|| d.matmul(&y).unwrap()));
+    group.bench_function("matmul_tr_recon_512x10", |b| {
+        b.iter(|| x.matmul_tr(&y).unwrap())
+    });
+    let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.bench_function("matvec_512", |b| b.iter(|| d.matvec(&v).unwrap()));
+    group.bench_function("tr_matvec_512", |b| b.iter(|| d.tr_matvec(&v).unwrap()));
     group.finish();
 }
 
@@ -63,5 +104,11 @@ fn bench_qr(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_svd, bench_qr);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gemm_variants,
+    bench_svd,
+    bench_qr
+);
 criterion_main!(benches);

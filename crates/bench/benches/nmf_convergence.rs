@@ -17,7 +17,10 @@ fn bench_nmf(c: &mut Criterion) {
             BenchmarkId::new("svd_init", iterations),
             &iterations,
             |b, &iterations| {
-                let cfg = NmfConfig { iterations, ..NmfConfig::new(10) };
+                let cfg = NmfConfig {
+                    iterations,
+                    ..NmfConfig::new(10)
+                };
                 b.iter(|| fit(&ds.matrix, cfg).expect("nmf fit"))
             },
         );
@@ -25,8 +28,11 @@ fn bench_nmf(c: &mut Criterion) {
             BenchmarkId::new("random_init", iterations),
             &iterations,
             |b, &iterations| {
-                let cfg =
-                    NmfConfig { iterations, init: NmfInit::Random, ..NmfConfig::new(10) };
+                let cfg = NmfConfig {
+                    iterations,
+                    init: NmfInit::Random,
+                    ..NmfConfig::new(10)
+                };
                 b.iter(|| fit(&ds.matrix, cfg).expect("nmf fit"))
             },
         );

@@ -18,10 +18,14 @@ fn bench_join(c: &mut Criterion) {
         let lm = ds.matrix.submatrix(&landmarks, &landmarks);
         let server = InformationServer::build(&lm, IdesConfig::new(8)).expect("server");
         let h = ordinary[0];
-        let d_out: Vec<f64> =
-            landmarks.iter().map(|&l| ds.matrix.get(h, l).unwrap()).collect();
-        let d_in: Vec<f64> =
-            landmarks.iter().map(|&l| ds.matrix.get(l, h).unwrap()).collect();
+        let d_out: Vec<f64> = landmarks
+            .iter()
+            .map(|&l| ds.matrix.get(h, l).unwrap())
+            .collect();
+        let d_in: Vec<f64> = landmarks
+            .iter()
+            .map(|&l| ds.matrix.get(l, h).unwrap())
+            .collect();
 
         for (label, solver) in [
             ("qr", JoinSolver::Qr),
@@ -30,7 +34,12 @@ fn bench_join(c: &mut Criterion) {
         ] {
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{m}_landmarks")),
-                &(server.model().x().clone(), server.model().y().clone(), d_out.clone(), d_in.clone()),
+                &(
+                    server.model().x().clone(),
+                    server.model().y().clone(),
+                    d_out.clone(),
+                    d_in.clone(),
+                ),
                 |b, (x, y, d_out, d_in)| {
                     let opts = JoinOptions { solver, ridge: 0.0 };
                     b.iter(|| join_host(x, y, d_out, d_in, opts).expect("join"))

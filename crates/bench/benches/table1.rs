@@ -26,8 +26,18 @@ fn cases() -> Vec<Case> {
     let nlanr = nlanr_like(60, 78).expect("nlanr dataset");
     let (nl, no) = split_landmarks(60, 20, 1);
     vec![
-        Case { name: "gnp19", ds: gnp, landmarks: gl, ordinary: go },
-        Case { name: "nlanr60", ds: nlanr, landmarks: nl, ordinary: no },
+        Case {
+            name: "gnp19",
+            ds: gnp,
+            landmarks: gl,
+            ordinary: go,
+        },
+        Case {
+            name: "nlanr60",
+            ds: nlanr,
+            landmarks: nl,
+            ordinary: no,
+        },
     ]
 }
 
@@ -36,26 +46,28 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_build");
     group.sample_size(10);
     for case in cases() {
-        group.bench_with_input(
-            BenchmarkId::new("ides_svd", case.name),
-            &case,
-            |b, case| {
-                b.iter(|| {
-                    evaluate_ides(&case.ds.matrix, &case.landmarks, &case.ordinary, IdesConfig::new(dim))
-                        .expect("ides/svd")
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ides_nmf", case.name),
-            &case,
-            |b, case| {
-                b.iter(|| {
-                    evaluate_ides(&case.ds.matrix, &case.landmarks, &case.ordinary, IdesConfig::nmf(dim))
-                        .expect("ides/nmf")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ides_svd", case.name), &case, |b, case| {
+            b.iter(|| {
+                evaluate_ides(
+                    &case.ds.matrix,
+                    &case.landmarks,
+                    &case.ordinary,
+                    IdesConfig::new(dim),
+                )
+                .expect("ides/svd")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ides_nmf", case.name), &case, |b, case| {
+            b.iter(|| {
+                evaluate_ides(
+                    &case.ds.matrix,
+                    &case.landmarks,
+                    &case.ordinary,
+                    IdesConfig::nmf(dim),
+                )
+                .expect("ides/nmf")
+            })
+        });
         group.bench_with_input(BenchmarkId::new("ics", case.name), &case, |b, case| {
             b.iter(|| {
                 evaluate_ics(&case.ds.matrix, &case.landmarks, &case.ordinary, dim).expect("ics")
@@ -63,7 +75,11 @@ fn bench_table1(c: &mut Criterion) {
         });
         // GNP is orders of magnitude slower (that *is* Table 1's point);
         // keep its budget small so the bench suite completes.
-        let gnp_cfg = GnpConfig { landmark_evals: 20_000, host_evals: 1_000, ..GnpConfig::new(dim) };
+        let gnp_cfg = GnpConfig {
+            landmark_evals: 20_000,
+            host_evals: 1_000,
+            ..GnpConfig::new(dim)
+        };
         group.bench_with_input(BenchmarkId::new("gnp", case.name), &case, |b, case| {
             b.iter(|| {
                 evaluate_gnp(&case.ds.matrix, &case.landmarks, &case.ordinary, gnp_cfg)

@@ -37,7 +37,11 @@ impl Args {
             }
             i += 1;
         }
-        Args { command, positional, flags }
+        Args {
+            command,
+            positional,
+            flags,
+        }
     }
 
     /// Parses the process arguments.
@@ -47,7 +51,10 @@ impl Args {
 
     /// String flag with a default.
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Parsed flag with a default; exits with a message on parse failure.

@@ -65,7 +65,9 @@ fn load_matrix(path_str: &str) -> DistanceMatrix {
         io::load_json(path)
     } else {
         io::load_text(
-            path.file_stem().and_then(|s| s.to_str()).unwrap_or("matrix"),
+            path.file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("matrix"),
             path,
         )
     };
@@ -129,7 +131,10 @@ fn cmd_stats(args: &Args) {
     println!("shape:              {}x{}", s.shape.0, s.shape.1);
     println!("mean distance:      {:.2} ms", s.mean_rtt_ms);
     println!("observed:           {:.2}%", s.observed_fraction * 100.0);
-    println!("triangle violations: {:.1}% of pairs have a shorter 1-hop detour", s.tiv_fraction * 100.0);
+    println!(
+        "triangle violations: {:.1}% of pairs have a shorter 1-hop detour",
+        s.tiv_fraction * 100.0
+    );
     println!("asymmetry index:    {:.4}", s.asymmetry);
     println!("effective rank(95%): {}", s.effective_rank_95);
 }
@@ -138,10 +143,22 @@ fn cmd_stats(args: &Args) {
 fn fit_model(m: &DistanceMatrix, dim: usize, algo: &str, seed: u64) -> FactorModel {
     let result = match algo {
         "svd" => svd_model::fit(m, svd_model::SvdConfig::new(dim)),
-        "nmf" => nmf::fit(m, nmf::NmfConfig { seed, ..nmf::NmfConfig::new(dim) })
-            .map(|f| f.model),
-        "als" => als::fit(m, als::AlsConfig { seed, ..als::AlsConfig::new(dim) })
-            .map(|f| f.model),
+        "nmf" => nmf::fit(
+            m,
+            nmf::NmfConfig {
+                seed,
+                ..nmf::NmfConfig::new(dim)
+            },
+        )
+        .map(|f| f.model),
+        "als" => als::fit(
+            m,
+            als::AlsConfig {
+                seed,
+                ..als::AlsConfig::new(dim)
+            },
+        )
+        .map(|f| f.model),
         other => {
             eprintln!("unknown algorithm {other:?} (svd|nmf|als)");
             exit(2);
@@ -186,7 +203,10 @@ fn cmd_reconstruct(args: &Args) {
     };
     let m = load_matrix(path);
     let dim: usize = args.get_parsed("dim", 10);
-    println!("{:<6} {:>10} {:>10} {:>10}", "algo", "median", "p90", "mean");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10}",
+        "algo", "median", "p90", "mean"
+    );
     for algo in ["svd", "nmf", "als"] {
         if algo == "svd" && !m.is_complete() {
             println!("{algo:<6} {:>10} (needs complete matrix)", "-");
@@ -194,7 +214,12 @@ fn cmd_reconstruct(args: &Args) {
         }
         let model = fit_model(&m, dim, algo, 1729);
         let cdf = Cdf::new(reconstruction_errors(&model, &m));
-        println!("{algo:<6} {:>10.4} {:>10.4} {:>10.4}", cdf.median(), cdf.p90(), cdf.mean());
+        println!(
+            "{algo:<6} {:>10.4} {:>10.4} {:>10.4}",
+            cdf.median(),
+            cdf.p90(),
+            cdf.mean()
+        );
     }
 }
 
@@ -233,7 +258,11 @@ fn cmd_join(args: &Args) {
     }
     let in_row = {
         let s = args.get("in-row", "");
-        if s.is_empty() { out_row.clone() } else { parse_row(&s, "in-row") }
+        if s.is_empty() {
+            out_row.clone()
+        } else {
+            parse_row(&s, "in-row")
+        }
     };
     let host = ides::projection::join_host(
         model.x(),

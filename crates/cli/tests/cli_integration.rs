@@ -25,7 +25,11 @@ fn gen_stats_factor_predict_roundtrip() {
         .arg(&matrix)
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("15x15"));
 
     let out = bin().arg("stats").arg(&matrix).output().expect("run stats");
@@ -41,7 +45,11 @@ fn gen_stats_factor_predict_roundtrip() {
         .arg(&model)
         .output()
         .expect("run factor");
-    assert!(out.status.success(), "factor failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "factor failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     let out = bin()
@@ -51,7 +59,10 @@ fn gen_stats_factor_predict_roundtrip() {
         .output()
         .expect("run predict");
     assert!(out.status.success());
-    let predicted: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().expect("a number");
+    let predicted: f64 = String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("a number");
     assert!(predicted.is_finite() && predicted > 0.0);
 
     std::fs::remove_dir_all(&dir).ok();
@@ -74,7 +85,11 @@ fn text_format_and_reconstruct() {
         .args(["--dim", "5"])
         .output()
         .expect("run reconstruct");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     for algo in ["svd", "nmf", "als"] {
         assert!(text.contains(algo), "missing {algo} row: {text}");
@@ -105,7 +120,11 @@ fn join_reproduces_landmark_distances() {
         .args(["--out-row", "10 20 30 40 50 60 70 80 90 100"])
         .output()
         .expect("join");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("outgoing:"));
     assert!(text.contains("estimated distance to landmark 0"));
@@ -127,7 +146,11 @@ fn eval_subcommand_reports() {
         .args(["--landmarks", "15", "--dim", "6"])
         .output()
         .expect("eval");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("hosts joined:     25"), "{text}");
     assert!(text.contains("median rel error"));
@@ -143,7 +166,12 @@ fn unknown_command_fails_with_help() {
 
 #[test]
 fn missing_arguments_fail_cleanly() {
-    for args in [vec!["gen"], vec!["stats"], vec!["factor"], vec!["predict", "x.json"]] {
+    for args in [
+        vec!["gen"],
+        vec!["stats"],
+        vec!["factor"],
+        vec!["predict", "x.json"],
+    ] {
         let out = bin().args(&args).output().expect("run");
         assert!(!out.status.success(), "{args:?} should fail");
     }

@@ -43,14 +43,26 @@ impl DistanceMatrix {
         }
         for (i, j, m) in mask.iter_entries() {
             if m != 0.0 && m != 1.0 {
-                return Err(DatasetError::InvalidMask { row: i, col: j, value: m });
+                return Err(DatasetError::InvalidMask {
+                    row: i,
+                    col: j,
+                    value: m,
+                });
             }
             let v = values[(i, j)];
             if m == 1.0 && (!v.is_finite() || v < 0.0) {
-                return Err(DatasetError::InvalidDistance { row: i, col: j, value: v });
+                return Err(DatasetError::InvalidDistance {
+                    row: i,
+                    col: j,
+                    value: v,
+                });
             }
         }
-        Ok(DistanceMatrix { values, mask, name: name.into() })
+        Ok(DistanceMatrix {
+            values,
+            mask,
+            name: name.into(),
+        })
     }
 
     /// Dataset name (used in experiment output).

@@ -1,15 +1,17 @@
 //! Error type for dataset construction and IO.
+//!
+//! Implemented by hand (no `thiserror`): the build environment is offline,
+//! so derive-based error crates are unavailable; see `vendor/README.md`.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Result alias using [`DatasetError`].
 pub type Result<T> = std::result::Result<T, DatasetError>;
 
 /// Errors from dataset construction, filtering, and IO.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum DatasetError {
     /// Value and mask matrices differ in shape.
-    #[error("values matrix is {}x{} but mask is {}x{}", values.0, values.1, mask.0, mask.1)]
     ShapeMismatch {
         /// Shape of the values matrix.
         values: (usize, usize),
@@ -17,7 +19,6 @@ pub enum DatasetError {
         mask: (usize, usize),
     },
     /// Mask entries must be exactly 0 or 1.
-    #[error("mask entry at ({row},{col}) is {value}, expected 0 or 1")]
     InvalidMask {
         /// Row index of the offending entry.
         row: usize,
@@ -27,7 +28,6 @@ pub enum DatasetError {
         value: f64,
     },
     /// Observed distances must be finite and nonnegative.
-    #[error("distance at ({row},{col}) is {value}, expected finite and >= 0")]
     InvalidDistance {
         /// Row index of the offending entry.
         row: usize,
@@ -37,23 +37,105 @@ pub enum DatasetError {
         value: f64,
     },
     /// Operation requires a square matrix.
-    #[error("operation requires a square matrix, got {}x{}", got.0, got.1)]
     NotSquare {
         /// Shape actually supplied.
         got: (usize, usize),
     },
     /// Underlying IO failure.
-    #[error("io error: {0}")]
-    Io(#[from] std::io::Error),
+    Io(std::io::Error),
     /// JSON (de)serialization failure.
-    #[error("serialization error: {0}")]
-    Json(#[from] serde_json::Error),
+    Json(serde_json::Error),
     /// Malformed text-format matrix file.
-    #[error("parse error at line {line}: {message}")]
     Parse {
         /// 1-based line number.
         line: usize,
         /// Description of the problem.
         message: String,
     },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ShapeMismatch { values, mask } => write!(
+                f,
+                "values matrix is {}x{} but mask is {}x{}",
+                values.0, values.1, mask.0, mask.1
+            ),
+            DatasetError::InvalidMask { row, col, value } => {
+                write!(f, "mask entry at ({row},{col}) is {value}, expected 0 or 1")
+            }
+            DatasetError::InvalidDistance { row, col, value } => write!(
+                f,
+                "distance at ({row},{col}) is {value}, expected finite and >= 0"
+            ),
+            DatasetError::NotSquare { got } => {
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    got.0, got.1
+                )
+            }
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Json(e) => write!(f, "serialization error: {e}"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DatasetError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DatasetError::ShapeMismatch {
+            values: (2, 3),
+            mask: (3, 2),
+        };
+        assert_eq!(e.to_string(), "values matrix is 2x3 but mask is 3x2");
+        let e = DatasetError::InvalidMask {
+            row: 1,
+            col: 2,
+            value: 0.5,
+        };
+        assert!(e.to_string().contains("(1,2)"));
+        let e = DatasetError::Parse {
+            line: 7,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn from_io_preserves_source() {
+        use std::error::Error as _;
+        let e: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(e.source().is_some());
+    }
 }

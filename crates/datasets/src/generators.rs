@@ -72,7 +72,10 @@ fn measure_square_with_loss(
     rng: &mut StdRng,
 ) -> Result<DistanceMatrix> {
     use rand::Rng;
-    let clean = MeasurementParams { loss_prob: 0.0, ..params.clone() };
+    let clean = MeasurementParams {
+        loss_prob: 0.0,
+        ..params.clone()
+    };
     let n = topo.host_count();
     let mut values = Matrix::zeros(n, n);
     let mut mask = Matrix::zeros(n, n);
@@ -146,7 +149,12 @@ pub fn nlanr_like(n: usize, seed: u64) -> Result<GeneratedDataset> {
         &mut rng,
     )?;
     let hosts: Vec<usize> = (0..n).collect();
-    Ok(GeneratedDataset { matrix, topology: topo, row_hosts: hosts.clone(), col_hosts: hosts })
+    Ok(GeneratedDataset {
+        matrix,
+        topology: topo,
+        row_hosts: hosts.clone(),
+        col_hosts: hosts,
+    })
 }
 
 /// GNP-like: `n` hosts (paper: 19), about half in North America and the
@@ -173,7 +181,12 @@ pub fn gnp_like(n: usize, seed: u64) -> Result<GeneratedDataset> {
         &mut rng,
     )?;
     let hosts: Vec<usize> = (0..n).collect();
-    Ok(GeneratedDataset { matrix, topology: topo, row_hosts: hosts.clone(), col_hosts: hosts })
+    Ok(GeneratedDataset {
+        matrix,
+        topology: topo,
+        row_hosts: hosts.clone(),
+        col_hosts: hosts,
+    })
 }
 
 /// AGNP-like: rectangular `rows x cols` matrix (paper: 869×19) of RTTs from
@@ -197,7 +210,12 @@ pub fn agnp_like(rows: usize, cols: usize, seed: u64) -> Result<GeneratedDataset
     let topo = TransitStubTopology::generate(&params, &mut rng);
     let col_hosts: Vec<usize> = (0..cols).collect();
     let row_hosts: Vec<usize> = (cols..total).take(rows).collect();
-    let mparams = MeasurementParams { probes: 6, jitter_frac: 0.15, floor_jitter_ms: 0.3, loss_prob: 0.0 };
+    let mparams = MeasurementParams {
+        probes: 6,
+        jitter_frac: 0.15,
+        floor_jitter_ms: 0.3,
+        loss_prob: 0.0,
+    };
     let mut values = Matrix::zeros(rows, cols);
     let mut mask = Matrix::zeros(rows, cols);
     for (ri, &hi) in row_hosts.iter().enumerate() {
@@ -212,7 +230,12 @@ pub fn agnp_like(rows: usize, cols: usize, seed: u64) -> Result<GeneratedDataset
         }
     }
     let matrix = DistanceMatrix::with_mask("agnp", values, mask)?;
-    Ok(GeneratedDataset { matrix, topology: topo, row_hosts, col_hosts })
+    Ok(GeneratedDataset {
+        matrix,
+        topology: topo,
+        row_hosts,
+        col_hosts,
+    })
 }
 
 /// P2PSim-like: `n` hosts (paper: 1143 DNS servers after filtering),
@@ -241,11 +264,12 @@ pub fn p2psim_like(n: usize, seed: u64) -> Result<GeneratedDataset> {
     // hosts, keeping a survivor fraction near the paper's (1143 of ~2000).
     let reliability: Vec<f64> = {
         use rand::Rng;
-        (0..raw).map(|_| if rng.gen_bool(0.35) { 0.25 } else { 0.0001 }).collect()
+        (0..raw)
+            .map(|_| if rng.gen_bool(0.35) { 0.25 } else { 0.0001 })
+            .collect()
     };
-    let pair_loss = |i: usize, j: usize| -> f64 {
-        1.0 - (1.0 - reliability[i]) * (1.0 - reliability[j])
-    };
+    let pair_loss =
+        |i: usize, j: usize| -> f64 { 1.0 - (1.0 - reliability[i]) * (1.0 - reliability[j]) };
     let matrix = measure_square_with_loss(
         &topo,
         &MeasurementParams::king_style(),
@@ -296,7 +320,12 @@ pub fn plrtt_like(n: usize, seed: u64) -> Result<GeneratedDataset> {
         &mut rng,
     )?;
     let hosts: Vec<usize> = (0..n).collect();
-    Ok(GeneratedDataset { matrix, topology: topo, row_hosts: hosts.clone(), col_hosts: hosts })
+    Ok(GeneratedDataset {
+        matrix,
+        topology: topo,
+        row_hosts: hosts.clone(),
+        col_hosts: hosts,
+    })
 }
 
 /// Paper-scale sizes for all five data sets.
@@ -342,15 +371,25 @@ mod tests {
             .iter()
             .filter(|h| ds.topology.stubs[h.stub].region == 0)
             .count();
-        assert!(na * 10 >= ds.topology.host_count() * 7, "{na} NA hosts of {}", ds.topology.host_count());
+        assert!(
+            na * 10 >= ds.topology.host_count() * 7,
+            "{na} NA hosts of {}",
+            ds.topology.host_count()
+        );
     }
 
     #[test]
     fn p2psim_ordered_measurement_is_asymmetric() {
         let ds = p2psim_like(60, 3).unwrap();
-        assert!(ds.matrix.is_complete(), "filtering must produce a full matrix");
+        assert!(
+            ds.matrix.is_complete(),
+            "filtering must produce a full matrix"
+        );
         let asym = stats::asymmetry_index(&ds.matrix);
-        assert!(asym > 0.01, "King-style data should be measurably asymmetric, got {asym}");
+        assert!(
+            asym > 0.01,
+            "King-style data should be measurably asymmetric, got {asym}"
+        );
     }
 
     #[test]

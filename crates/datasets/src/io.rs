@@ -78,7 +78,10 @@ pub fn from_text(name: &str, text: &str) -> Result<DistanceMatrix> {
         rows.push(row);
     }
     if rows.is_empty() {
-        return Err(DatasetError::Parse { line: 0, message: "empty matrix".into() });
+        return Err(DatasetError::Parse {
+            line: 0,
+            message: "empty matrix".into(),
+        });
     }
     let (r, c) = (rows.len(), rows[0].len());
     let mut values = Matrix::zeros(r, c);

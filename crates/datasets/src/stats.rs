@@ -32,7 +32,7 @@ pub fn triangle_violation_fraction(d: &DistanceMatrix, rel_slack: f64, max_pairs
                 continue;
             }
             counter += 1;
-            if counter % stride != 0 {
+            if !counter.is_multiple_of(stride) {
                 continue;
             }
             let Some(dij) = d.get(i, j) else { continue };
@@ -95,8 +95,8 @@ pub fn effective_rank(values: &Matrix, energy_fraction: f64, probe_rank: usize) 
     if k == 0 {
         return 0;
     }
-    let svd = svd_truncated(values, k, TruncatedSvdOptions::default())
-        .expect("svd of finite matrix");
+    let svd =
+        svd_truncated(values, k, TruncatedSvdOptions::default()).expect("svd of finite matrix");
     let total = values.frobenius_norm().powi(2);
     if total == 0.0 {
         return 0;
@@ -133,7 +133,10 @@ pub struct DatasetSummary {
 /// Computes the summary statistics for a dataset.
 pub fn summarize(d: &DistanceMatrix) -> DatasetSummary {
     let (tiv, asym) = if d.is_square() {
-        (triangle_violation_fraction(d, 0.005, 20_000), asymmetry_index(d))
+        (
+            triangle_violation_fraction(d, 0.005, 20_000),
+            asymmetry_index(d),
+        )
     } else {
         (0.0, 0.0)
     };
@@ -161,7 +164,9 @@ mod tests {
         // Shortest-path metric (Figure 1 ring) satisfies the triangle
         // inequality exactly.
         let d = dm(
-            vec![0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0],
+            vec![
+                0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0,
+            ],
             4,
         );
         assert_eq!(triangle_violation_fraction(&d, 0.001, 10_000), 0.0);
@@ -170,10 +175,7 @@ mod tests {
     #[test]
     fn detects_planted_violation() {
         // D[0][2] = 10 but D[0][1] + D[1][2] = 2: pair (0,2) violates.
-        let d = dm(
-            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-            3,
-        );
+        let d = dm(vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0], 3);
         let f = triangle_violation_fraction(&d, 0.001, 10_000);
         // Ordered pairs: (0,2) and (2,0) violate out of 6.
         assert!((f - 2.0 / 6.0).abs() < 1e-12, "fraction {f}");
@@ -227,7 +229,11 @@ mod tests {
     fn sampling_cap_is_respected_and_stable() {
         let n = 30;
         let vals = Matrix::from_fn(n, n, |i, j| {
-            if i == j { 0.0 } else { 10.0 + ((i * 31 + j * 17) % 7) as f64 }
+            if i == j {
+                0.0
+            } else {
+                10.0 + ((i * 31 + j * 17) % 7) as f64
+            }
         });
         let d = DistanceMatrix::full("s", vals).unwrap();
         let f1 = triangle_violation_fraction(&d, 0.001, 100);

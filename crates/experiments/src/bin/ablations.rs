@@ -110,7 +110,11 @@ fn relaxed_ablation() {
             }
         }
         let cdf = Cdf::new(errors);
-        println!("  k={k:<3} median {:.4}  p90 {:.4}", cdf.median(), cdf.p90());
+        println!(
+            "  k={k:<3} median {:.4}  p90 {:.4}",
+            cdf.median(),
+            cdf.p90()
+        );
     }
 }
 
@@ -120,7 +124,11 @@ fn nmf_ablation() {
     let norm = ds.matrix.values().frobenius_norm();
     for init in [NmfInit::Svd, NmfInit::Random] {
         for iterations in [25usize, 50, 100, 200, 400] {
-            let cfg = NmfConfig { iterations, init, ..NmfConfig::new(10) };
+            let cfg = NmfConfig {
+                iterations,
+                init,
+                ..NmfConfig::new(10)
+            };
             let fit = nmf::fit(&ds.matrix, cfg).expect("nmf fit");
             let rel = fit.error_trace.last().unwrap().sqrt() / norm;
             println!("  init={init:?} iters={iterations:<4} relative-F error {rel:.5}");
@@ -139,10 +147,21 @@ fn weighting_ablation() {
         ("1/D", WeightScheme::InverseDistance),
         ("1/D^2 (relative)", WeightScheme::InverseSquare),
     ] {
-        let fit = als::fit(&ds.matrix, AlsConfig { weights, sweeps: 25, ..AlsConfig::new(10) })
-            .expect("als fit");
+        let fit = als::fit(
+            &ds.matrix,
+            AlsConfig {
+                weights,
+                sweeps: 25,
+                ..AlsConfig::new(10)
+            },
+        )
+        .expect("als fit");
         let cdf = Cdf::new(reconstruction_errors(&fit.model, &ds.matrix));
-        println!("  {label:<18} median rel-err {:.4}  p90 {:.4}", cdf.median(), cdf.p90());
+        println!(
+            "  {label:<18} median rel-err {:.4}  p90 {:.4}",
+            cdf.median(),
+            cdf.p90()
+        );
     }
 }
 

@@ -81,8 +81,7 @@ fn main() {
             if let Some(actual) = data.get(*hi, *hj) {
                 if actual > 0.0 {
                     let depth = (*di).max(*dj);
-                    by_depth[depth]
-                        .push(modified_relative_error(actual, vi.distance_to_host(vj)));
+                    by_depth[depth].push(modified_relative_error(actual, vi.distance_to_host(vj)));
                 }
             }
         }
@@ -99,10 +98,14 @@ fn main() {
     // Baseline: everyone joins through all landmarks directly.
     let mut direct = Vec::new();
     for &h in &ordinary {
-        let d_out: Vec<f64> =
-            landmarks.iter().map(|&l| data.get(h, l).expect("complete")).collect();
-        let d_in: Vec<f64> =
-            landmarks.iter().map(|&l| data.get(l, h).expect("complete")).collect();
+        let d_out: Vec<f64> = landmarks
+            .iter()
+            .map(|&l| data.get(h, l).expect("complete"))
+            .collect();
+        let d_in: Vec<f64> = landmarks
+            .iter()
+            .map(|&l| data.get(l, h).expect("complete"))
+            .collect();
         if let Ok(v) = server.join(&d_out, &d_in) {
             direct.push((h, v));
         }
@@ -120,6 +123,10 @@ fn main() {
         }
     }
     let cdf = Cdf::new(errs);
-    println!("# baseline (all {m} landmarks measured directly): median {:.4} p90 {:.4}", cdf.median(), cdf.p90());
+    println!(
+        "# baseline (all {m} landmarks measured directly): median {:.4} p90 {:.4}",
+        cdf.median(),
+        cdf.p90()
+    );
     let _ = Matrix::zeros(0, 0);
 }

@@ -23,8 +23,11 @@ fn main() {
             ds.matrix.filter_complete().expect("square dataset").0
         };
         if !data.is_complete() {
-            println!("# {}: skipped ({}% observed, SVD needs complete data)",
-                dataset.name(), data.observed_fraction() * 100.0);
+            println!(
+                "# {}: skipped ({}% observed, SVD needs complete data)",
+                dataset.name(),
+                data.observed_fraction() * 100.0
+            );
             continue;
         }
         let model = fit(&data, SvdConfig::new(d)).expect("svd fit");

@@ -62,9 +62,15 @@ fn run(dataset: Dataset) {
                     if n > 500 && d > 40 && d != *dims.last().expect("nonempty") {
                         return (d, f64::NAN); // skipped point, filtered below
                     }
-                    let cfg = NmfConfig { iterations, ..NmfConfig::new(d) };
+                    let cfg = NmfConfig {
+                        iterations,
+                        ..NmfConfig::new(d)
+                    };
                     let fit = nmf::fit(&data, cfg).expect("nmf fit");
-                    (d, Cdf::new(reconstruction_errors(&fit.model, &data)).median())
+                    (
+                        d,
+                        Cdf::new(reconstruction_errors(&fit.model, &data)).median(),
+                    )
                 })
                 .filter(|&(_, v)| !v.is_nan())
                 .collect::<Vec<_>>()
@@ -87,9 +93,11 @@ fn run(dataset: Dataset) {
     })
     .expect("scoped threads");
 
-    for (label, series) in
-        [("SVD", &svd_series), ("NMF", &nmf_series), ("Lipschitz+PCA", &lip_series)]
-    {
+    for (label, series) in [
+        ("SVD", &svd_series),
+        ("NMF", &nmf_series),
+        ("Lipschitz+PCA", &lip_series),
+    ] {
         println!("\n# series: {} / {}", dataset.name(), label);
         println!("# dimension median_relative_error");
         for (d, median) in series {

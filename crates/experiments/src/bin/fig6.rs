@@ -39,7 +39,12 @@ fn run_square(dataset: Dataset, m: usize) {
     let n = data.rows();
     let m = m.min(n.saturating_sub(2));
     let (landmarks, ordinary) = split_landmarks(n, m, seed());
-    println!("# {}: {} landmarks, {} ordinary hosts", dataset.name(), m, ordinary.len());
+    println!(
+        "# {}: {} landmarks, {} ordinary hosts",
+        dataset.name(),
+        m,
+        ordinary.len()
+    );
 
     let svd = evaluate_ides(&data, &landmarks, &ordinary, IdesConfig::new(DIM)).expect("IDES/SVD");
     let nmf = evaluate_ides(&data, &landmarks, &ordinary, IdesConfig::nmf(DIM)).expect("IDES/NMF");
@@ -47,7 +52,12 @@ fn run_square(dataset: Dataset, m: usize) {
     let gnp = evaluate_gnp(&data, &landmarks, &ordinary, GnpConfig::new(DIM)).expect("GNP");
     print_all(
         dataset.name(),
-        &[("IDES/SVD", svd), ("IDES/NMF", nmf), ("ICS", ics), ("GNP", gnp)],
+        &[
+            ("IDES/SVD", svd),
+            ("IDES/NMF", nmf),
+            ("ICS", ics),
+            ("GNP", gnp),
+        ],
     );
 }
 
@@ -72,8 +82,13 @@ fn run_gnp_composite() {
     let mparams = MeasurementParams::nlanr_style();
 
     // Landmark matrix.
-    let (lmv, lmm) =
-        measure_submatrix(&ds.topology, &landmark_hosts, &landmark_hosts, &mparams, &mut rng);
+    let (lmv, lmm) = measure_submatrix(
+        &ds.topology,
+        &landmark_hosts,
+        &landmark_hosts,
+        &mparams,
+        &mut rng,
+    );
     let lm = DistanceMatrix::with_mask("gnp-landmarks", lmv, lmm).expect("landmark matrix");
 
     // Ordinary-host rows (probes and the 4 held-out hosts) to landmarks.
@@ -88,8 +103,7 @@ fn run_gnp_composite() {
 
     type Joiner<'a> = dyn Fn(&[f64]) -> Vec<f64> + 'a;
     let run_system = |label: &str, join: &Joiner<'_>, dist: &dyn Fn(&[f64], &[f64]) -> f64| {
-        let coords: Vec<Vec<f64>> =
-            (0..ordinary.len()).map(|i| join(ov.row(i))).collect();
+        let coords: Vec<Vec<f64>> = (0..ordinary.len()).map(|i| join(ov.row(i))).collect();
         let np = probe_hosts.len();
         let mut errors = Vec::with_capacity(np * eval_hosts.len());
         for i in 0..np {
@@ -101,11 +115,18 @@ fn run_gnp_composite() {
                 }
             }
         }
-        print_cdf(&format!("gnp / {label}"), &ides_mf::metrics::Cdf::new(errors), 100);
+        print_cdf(
+            &format!("gnp / {label}"),
+            &ides_mf::metrics::Cdf::new(errors),
+            100,
+        );
     };
 
     // IDES / SVD and NMF.
-    for (label, config) in [("IDES/SVD", IdesConfig::new(DIM)), ("IDES/NMF", IdesConfig::nmf(DIM))] {
+    for (label, config) in [
+        ("IDES/SVD", IdesConfig::new(DIM)),
+        ("IDES/NMF", IdesConfig::nmf(DIM)),
+    ] {
         let server = ides::system::InformationServer::build(&lm, config).expect("server build");
         let join = |row: &[f64]| -> Vec<f64> {
             let v = server.join(row, row).expect("host join");
@@ -136,7 +157,9 @@ fn run_gnp_composite() {
         let counter = std::cell::Cell::new(0u64);
         let join = |row: &[f64]| -> Vec<f64> {
             counter.set(counter.get() + 1);
-            model.fit_host(row, GnpConfig::new(DIM), counter.get()).expect("GNP host fit")
+            model
+                .fit_host(row, GnpConfig::new(DIM), counter.get())
+                .expect("GNP host fit")
         };
         let dist = |a: &[f64], b: &[f64]| ides_mf::gnp::GnpModel::distance(a, b);
         run_system("GNP", &join, &dist);

@@ -24,8 +24,7 @@ fn run(dataset: Dataset, dim: usize) {
     let n = data.rows();
     let fractions: Vec<f64> = (0..=8).map(|k| k as f64 * 0.1).collect();
 
-    let landmark_counts: Vec<usize> =
-        [20usize, 50].into_iter().filter(|&m| m + 2 < n).collect();
+    let landmark_counts: Vec<usize> = [20usize, 50].into_iter().filter(|&m| m + 2 < n).collect();
     let series: Vec<(usize, Vec<(f64, f64)>)> = thread::scope(|s| {
         let handles: Vec<_> = landmark_counts
             .iter()
@@ -53,19 +52,26 @@ fn run(dataset: Dataset, dim: usize) {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     })
     .expect("scoped threads");
 
     for (m, points) in series {
-        println!("\n# series: {} / {} landmarks, d={}", dataset.name(), m, dim);
+        println!(
+            "\n# series: {} / {} landmarks, d={}",
+            dataset.name(),
+            m,
+            dim
+        );
         println!("# unobserved_fraction median_relative_error");
         for (f, median) in points {
             println!("{f:.1} {median:.5}");
         }
     }
 }
-
 
 fn main() {
     println!("# Figure 7: median relative error vs fraction of unobserved landmarks (IDES/SVD)");

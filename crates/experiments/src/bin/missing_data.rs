@@ -31,7 +31,9 @@ fn main() {
         .collect();
     cells.shuffle(&mut rng);
 
-    println!("# fraction_hidden  nmf_obs_median nmf_hidden_median  als_obs_median als_hidden_median");
+    println!(
+        "# fraction_hidden  nmf_obs_median nmf_hidden_median  als_obs_median als_hidden_median"
+    );
     for hidden_pct in [0usize, 5, 10, 20, 30, 40, 50] {
         let hidden_count = cells.len() * hidden_pct / 100;
         let hidden = &cells[..hidden_count];
@@ -46,12 +48,18 @@ fn main() {
 
         let nmf_fit = nmf::fit(
             &masked,
-            nmf::NmfConfig { iterations: 150, ..nmf::NmfConfig::new(dim) },
+            nmf::NmfConfig {
+                iterations: 150,
+                ..nmf::NmfConfig::new(dim)
+            },
         )
         .expect("nmf fit");
         let als_fit = als::fit(
             &masked,
-            als::AlsConfig { sweeps: 25, ..als::AlsConfig::new(dim) },
+            als::AlsConfig {
+                sweeps: 25,
+                ..als::AlsConfig::new(dim)
+            },
         )
         .expect("als fit");
 
@@ -77,7 +85,11 @@ fn main() {
             }
             (
                 Cdf::new(obs).median(),
-                if hid.is_empty() { f64::NAN } else { Cdf::new(hid).median() },
+                if hid.is_empty() {
+                    f64::NAN
+                } else {
+                    Cdf::new(hid).median()
+                },
             )
         };
         let (nmf_obs, nmf_hid) = score(&nmf_fit.model);

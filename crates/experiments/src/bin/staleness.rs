@@ -35,8 +35,10 @@ fn main() {
         let joined = ordinary
             .iter()
             .map(|&h| {
-                let row: Vec<f64> =
-                    landmarks.iter().map(|&l| drift.rtt(topo, h, l, epoch)).collect();
+                let row: Vec<f64> = landmarks
+                    .iter()
+                    .map(|&l| drift.rtt(topo, h, l, epoch))
+                    .collect();
                 (h, server.join(&row, &row).expect("join"))
             })
             .collect();
@@ -65,6 +67,10 @@ fn main() {
             }
             Cdf::new(errs).median()
         };
-        println!("{epoch:.1} {deviation:.4} {:.4} {:.4}", score(&cached), score(&fresh));
+        println!(
+            "{epoch:.1} {deviation:.4} {:.4} {:.4}",
+            score(&cached),
+            score(&fresh)
+        );
     }
 }

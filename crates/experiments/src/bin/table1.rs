@@ -17,7 +17,10 @@ use ides_mf::gnp::GnpConfig;
 fn main() {
     let dim = 8;
     println!("# Table 1: model build time (landmark fit + all host joins), d = {dim}");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "dataset", "IDES/SVD", "IDES/NMF", "ICS", "GNP");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "IDES/SVD", "IDES/NMF", "ICS", "GNP"
+    );
     for dataset in [Dataset::Gnp, Dataset::Nlanr, Dataset::P2pSim] {
         let ds = dataset.generate(seed());
         let data = if ds.matrix.is_complete() {

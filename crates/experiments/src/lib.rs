@@ -5,9 +5,7 @@
 //! is plain text: one series per block, `x y` rows, suitable for gnuplot or
 //! eyeballing against the paper's plots.
 
-use ides_datasets::generators::{
-    self, paper_sizes, GeneratedDataset,
-};
+use ides_datasets::generators::{self, paper_sizes, GeneratedDataset};
 use ides_datasets::stats;
 
 /// Scale knob for quick runs: `IDES_SCALE` in `(0, 1]` shrinks every data
@@ -28,7 +26,10 @@ pub fn scaled(n: usize) -> usize {
 
 /// Master seed for all experiments (override with `IDES_SEED`).
 pub fn seed() -> u64 {
-    std::env::var("IDES_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(20041025)
+    std::env::var("IDES_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20041025)
 }
 
 /// The five paper data sets by name.
@@ -73,11 +74,11 @@ impl Dataset {
     /// Generates the data set at the configured scale.
     pub fn generate(self, seed: u64) -> GeneratedDataset {
         match self {
-            Dataset::Nlanr => generators::nlanr_like(scaled(paper_sizes::NLANR), seed)
-                .expect("nlanr generation"),
-            Dataset::Gnp => {
-                generators::gnp_like(scaled(paper_sizes::GNP).min(19), seed).expect("gnp generation")
+            Dataset::Nlanr => {
+                generators::nlanr_like(scaled(paper_sizes::NLANR), seed).expect("nlanr generation")
             }
+            Dataset::Gnp => generators::gnp_like(scaled(paper_sizes::GNP).min(19), seed)
+                .expect("gnp generation"),
             Dataset::Agnp => generators::agnp_like(
                 scaled(paper_sizes::AGNP_ROWS),
                 scaled(paper_sizes::AGNP_COLS).min(19),
@@ -86,14 +87,21 @@ impl Dataset {
             .expect("agnp generation"),
             Dataset::P2pSim => generators::p2psim_like(scaled(paper_sizes::P2PSIM), seed)
                 .expect("p2psim generation"),
-            Dataset::PlRtt => generators::plrtt_like(scaled(paper_sizes::PLRTT), seed)
-                .expect("plrtt generation"),
+            Dataset::PlRtt => {
+                generators::plrtt_like(scaled(paper_sizes::PLRTT), seed).expect("plrtt generation")
+            }
         }
     }
 
     /// All five data sets.
     pub fn all() -> [Dataset; 5] {
-        [Dataset::Nlanr, Dataset::Gnp, Dataset::Agnp, Dataset::P2pSim, Dataset::PlRtt]
+        [
+            Dataset::Nlanr,
+            Dataset::Gnp,
+            Dataset::Agnp,
+            Dataset::P2pSim,
+            Dataset::PlRtt,
+        ]
     }
 }
 
@@ -115,7 +123,12 @@ pub fn print_summary(ds: &GeneratedDataset) {
 
 /// Prints one CDF series in `value probability` rows under a `# label`.
 pub fn print_cdf(label: &str, cdf: &ides_mf::metrics::Cdf, points: usize) {
-    println!("\n# series: {label} (n={}, median={:.4}, p90={:.4})", cdf.len(), cdf.median(), cdf.p90());
+    println!(
+        "\n# series: {label} (n={}, median={:.4}, p90={:.4})",
+        cdf.len(),
+        cdf.median(),
+        cdf.p90()
+    );
     for (value, prob) in cdf.curve(points) {
         println!("{value:.5} {prob:.4}");
     }

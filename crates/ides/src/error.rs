@@ -1,27 +1,25 @@
 //! Error type for the IDES system layer.
+//!
+//! Implemented by hand (no `thiserror`): the build environment is offline,
+//! so derive-based error crates are unavailable; see `vendor/README.md`.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Result alias using [`IdesError`].
 pub type Result<T> = std::result::Result<T, IdesError>;
 
 /// Errors from the IDES system.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum IdesError {
     /// Model fitting failed.
-    #[error("model error: {0}")]
-    Model(#[from] ides_mf::MfError),
+    Model(ides_mf::MfError),
     /// Linear algebra failure during a host join.
-    #[error("linear algebra error: {0}")]
-    Linalg(#[from] ides_linalg::LinalgError),
+    Linalg(ides_linalg::LinalgError),
     /// Dataset problem.
-    #[error("dataset error: {0}")]
-    Dataset(#[from] ides_datasets::DatasetError),
+    Dataset(ides_datasets::DatasetError),
     /// Invalid configuration or input.
-    #[error("invalid input: {0}")]
     InvalidInput(String),
     /// Not enough observed reference nodes to solve the join (need >= d).
-    #[error("only {observed} reference nodes observed, need at least {needed}")]
     TooFewObservations {
         /// Reference nodes with usable measurements.
         observed: usize,
@@ -29,6 +27,69 @@ pub enum IdesError {
         needed: usize,
     },
     /// Protocol-level failure in the simulated wire exchange.
-    #[error("protocol error: {0}")]
     Protocol(String),
+}
+
+impl fmt::Display for IdesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdesError::Model(e) => write!(f, "model error: {e}"),
+            IdesError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            IdesError::Dataset(e) => write!(f, "dataset error: {e}"),
+            IdesError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            IdesError::TooFewObservations { observed, needed } => write!(
+                f,
+                "only {observed} reference nodes observed, need at least {needed}"
+            ),
+            IdesError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IdesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdesError::Model(e) => Some(e),
+            IdesError::Linalg(e) => Some(e),
+            IdesError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ides_mf::MfError> for IdesError {
+    fn from(e: ides_mf::MfError) -> Self {
+        IdesError::Model(e)
+    }
+}
+
+impl From<ides_linalg::LinalgError> for IdesError {
+    fn from(e: ides_linalg::LinalgError) -> Self {
+        IdesError::Linalg(e)
+    }
+}
+
+impl From<ides_datasets::DatasetError> for IdesError {
+    fn from(e: ides_datasets::DatasetError) -> Self {
+        IdesError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IdesError::TooFewObservations {
+            observed: 2,
+            needed: 5,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('5'));
+        let e: IdesError = ides_linalg::LinalgError::NotPositiveDefinite.into();
+        assert!(e.to_string().contains("linear algebra error"));
+        let e = IdesError::Protocol("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+    }
 }

@@ -15,7 +15,7 @@ use ides_mf::lipschitz::LipschitzPca;
 use ides_mf::metrics::{modified_relative_error, Cdf};
 
 use crate::error::{IdesError, Result};
-use crate::projection::HostVectors;
+use crate::projection::{HostVectors, JoinWorkspace};
 use crate::system::{IdesConfig, InformationServer};
 
 /// Result of one prediction experiment.
@@ -38,20 +38,28 @@ impl PredictionResult {
     }
 }
 
-/// Measured landmark rows for one ordinary host: distances to and from
-/// each landmark (parallel to the landmark index list).
-fn landmark_rows(
+/// Measured landmark rows for one ordinary host, gathered into shared
+/// buffers: fills `d_out`/`d_in` in place (parallel to the landmark index
+/// list) and reports whether every landmark measurement was observed. The
+/// evaluation sweeps call this once per host with shared buffers, so the
+/// join loop performs no per-host measurement allocation.
+fn landmark_rows_into(
     data: &DistanceMatrix,
     host: usize,
     landmarks: &[usize],
-) -> Option<(Vec<f64>, Vec<f64>)> {
-    let mut d_out = Vec::with_capacity(landmarks.len());
-    let mut d_in = Vec::with_capacity(landmarks.len());
+    d_out: &mut Vec<f64>,
+    d_in: &mut Vec<f64>,
+) -> bool {
+    d_out.clear();
+    d_in.clear();
     for &l in landmarks {
-        d_out.push(data.get(host, l)?);
-        d_in.push(data.get(l, host)?);
+        let (Some(out), Some(inn)) = (data.get(host, l), data.get(l, host)) else {
+            return false;
+        };
+        d_out.push(out);
+        d_in.push(inn);
     }
-    Some((d_out, d_in))
+    true
 }
 
 /// Runs the IDES prediction experiment on a square data set.
@@ -69,10 +77,15 @@ pub fn evaluate_ides(
     let lm = data.submatrix(landmarks, landmarks);
     let server = InformationServer::build(&lm, config)?;
 
+    // One workspace and one pair of measurement buffers for every join:
+    // the per-host loop clones no factor matrices and reuses all scratch.
+    let mut ws = JoinWorkspace::new();
+    let mut d_out = Vec::with_capacity(landmarks.len());
+    let mut d_in = Vec::with_capacity(landmarks.len());
     let mut joined: Vec<(usize, HostVectors)> = Vec::with_capacity(ordinary.len());
     for &h in ordinary {
-        if let Some((d_out, d_in)) = landmark_rows(data, h, landmarks) {
-            let v = server.join(&d_out, &d_in)?;
+        if landmark_rows_into(data, h, landmarks, &mut d_out, &mut d_in) {
+            let v = server.join_with(&mut ws, &d_out, &d_in)?;
             joined.push((h, v));
         }
     }
@@ -111,10 +124,16 @@ pub fn evaluate_ics(
     let start = Instant::now();
     let lm = data.submatrix(landmarks, landmarks);
     let model = LipschitzPca::fit(&lm, dim)?;
+    let mut d_out = Vec::with_capacity(landmarks.len());
+    let mut d_in = Vec::with_capacity(landmarks.len());
+    let mut scratch = Vec::new();
     let mut joined: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ordinary.len());
     for &h in ordinary {
-        if let Some((d_out, _d_in)) = landmark_rows(data, h, landmarks) {
-            let coords = model.embed(&d_out)?;
+        if landmark_rows_into(data, h, landmarks, &mut d_out, &mut d_in) {
+            // The stored coordinates are the output; only the centering
+            // scratch is shared across hosts.
+            let mut coords = Vec::with_capacity(dim);
+            model.embed_into(&d_out, &mut scratch, &mut coords)?;
             joined.push((h, coords));
         }
     }
@@ -128,7 +147,10 @@ pub fn evaluate_ics(
             }
             if let Some(actual) = data.get(*hi, *hj) {
                 if actual > 0.0 {
-                    errors.push(modified_relative_error(actual, LipschitzPca::distance(ci, cj)));
+                    errors.push(modified_relative_error(
+                        actual,
+                        LipschitzPca::distance(ci, cj),
+                    ));
                 }
             }
         }
@@ -150,11 +172,13 @@ pub fn evaluate_gnp(
 ) -> Result<PredictionResult> {
     let start = Instant::now();
     let lm = data.submatrix(landmarks, landmarks);
-    let model = GnpModel::fit_landmarks(&lm, config)
-        .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
+    let model =
+        GnpModel::fit_landmarks(&lm, config).map_err(|e| IdesError::InvalidInput(e.to_string()))?;
+    let mut d_out = Vec::with_capacity(landmarks.len());
+    let mut d_in = Vec::with_capacity(landmarks.len());
     let mut joined: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ordinary.len());
     for &h in ordinary {
-        if let Some((d_out, _)) = landmark_rows(data, h, landmarks) {
+        if landmark_rows_into(data, h, landmarks, &mut d_out, &mut d_in) {
             let coords = model
                 .fit_host(&d_out, config, h as u64)
                 .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
@@ -200,7 +224,9 @@ pub fn evaluate_ides_with_failures(
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     if !(0.0..1.0).contains(&unobserved_fraction) {
-        return Err(IdesError::InvalidInput("unobserved fraction must be in [0, 1)".into()));
+        return Err(IdesError::InvalidInput(
+            "unobserved fraction must be in [0, 1)".into(),
+        ));
     }
     let start = Instant::now();
     let lm = data.submatrix(landmarks, landmarks);
@@ -209,26 +235,45 @@ pub fn evaluate_ides_with_failures(
     let m = landmarks.len();
     let keep = m - ((m as f64 * unobserved_fraction).round() as usize).min(m);
 
+    let mut ws = JoinWorkspace::new();
+    let mut d_out_full = Vec::with_capacity(m);
+    let mut d_in_full = Vec::with_capacity(m);
+    let mut idx: Vec<usize> = Vec::with_capacity(m);
+    let mut d_out: Vec<f64> = Vec::with_capacity(m);
+    let mut d_in: Vec<f64> = Vec::with_capacity(m);
     let mut joined: Vec<(usize, HostVectors)> = Vec::new();
     for &h in ordinary {
-        let Some((d_out_full, d_in_full)) = landmark_rows(data, h, landmarks) else { continue };
+        if !landmark_rows_into(data, h, landmarks, &mut d_out_full, &mut d_in_full) {
+            continue;
+        }
         // Independent random observed subset per host.
-        let mut idx: Vec<usize> = (0..m).collect();
+        idx.clear();
+        idx.extend(0..m);
         idx.shuffle(&mut rng);
         idx.truncate(keep.max(1));
         idx.sort_unstable();
-        let d_out: Vec<f64> = idx.iter().map(|&i| d_out_full[i]).collect();
-        let d_in: Vec<f64> = idx.iter().map(|&i| d_in_full[i]).collect();
+        d_out.clear();
+        d_out.extend(idx.iter().map(|&i| d_out_full[i]));
+        d_in.clear();
+        d_in.extend(idx.iter().map(|&i| d_in_full[i]));
         // With very few observations the plain solve is singular; the
         // evaluation mirrors the paper by still attempting the join (ridge
         // fallback keeps it defined).
-        let result = server.join_partial(&idx, &d_out, &d_in).or_else(|_| {
-            let mut cfg = server.join_options();
-            cfg.ridge = 1e-6;
-            let x = server.model().x().select_rows(&idx);
-            let y = server.model().y().select_rows(&idx);
-            crate::projection::join_host(&x, &y, &d_out, &d_in, cfg)
-        });
+        let result = server
+            .join_partial_with(&mut ws, &idx, &d_out, &d_in)
+            .or_else(|_| {
+                let mut cfg = server.join_options();
+                cfg.ridge = 1e-6;
+                crate::projection::join_host_subset_with(
+                    &mut ws,
+                    server.model().x(),
+                    server.model().y(),
+                    &idx,
+                    &d_out,
+                    &d_in,
+                    cfg,
+                )
+            });
         if let Ok(v) = result {
             joined.push((h, v));
         }
@@ -294,13 +339,25 @@ mod tests {
         let ds = nlanr_like(60, 23).unwrap();
         let (landmarks, ordinary) = split_landmarks(60, 20, 8);
         let base = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8)).unwrap();
-        let f0 =
-            evaluate_ides_with_failures(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8), 0.0, 1)
-                .unwrap();
+        let f0 = evaluate_ides_with_failures(
+            &ds.matrix,
+            &landmarks,
+            &ordinary,
+            IdesConfig::new(8),
+            0.0,
+            1,
+        )
+        .unwrap();
         assert!((base.cdf().median() - f0.cdf().median()).abs() < 1e-9);
-        let f6 =
-            evaluate_ides_with_failures(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8), 0.6, 1)
-                .unwrap();
+        let f6 = evaluate_ides_with_failures(
+            &ds.matrix,
+            &landmarks,
+            &ordinary,
+            IdesConfig::new(8),
+            0.6,
+            1,
+        )
+        .unwrap();
         assert!(
             f6.cdf().median() >= f0.cdf().median() * 0.8,
             "60% failures median {} vs baseline {}",
@@ -313,7 +370,11 @@ mod tests {
     fn gnp_evaluation_runs() {
         let ds = gnp_like(19, 24).unwrap();
         let (landmarks, ordinary) = split_landmarks(19, 15, 9);
-        let cfg = GnpConfig { landmark_evals: 20_000, host_evals: 2_000, ..GnpConfig::new(6) };
+        let cfg = GnpConfig {
+            landmark_evals: 20_000,
+            host_evals: 2_000,
+            ..GnpConfig::new(6)
+        };
         let r = evaluate_gnp(&ds.matrix, &landmarks, &ordinary, cfg).unwrap();
         assert_eq!(r.hosts_joined, 4);
         assert_eq!(r.pairs_evaluated, 12);
@@ -330,7 +391,11 @@ mod tests {
             &ds.matrix,
             &landmarks,
             &ordinary,
-            GnpConfig { landmark_evals: 40_000, host_evals: 2_000, ..GnpConfig::new(8) },
+            GnpConfig {
+                landmark_evals: 40_000,
+                host_evals: 2_000,
+                ..GnpConfig::new(8)
+            },
         )
         .unwrap();
         assert!(

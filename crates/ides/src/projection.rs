@@ -39,7 +39,10 @@ pub struct JoinOptions {
 
 impl Default for JoinOptions {
     fn default() -> Self {
-        JoinOptions { solver: JoinSolver::Qr, ridge: 0.0 }
+        JoinOptions {
+            solver: JoinSolver::Qr,
+            ridge: 0.0,
+        }
     }
 }
 
@@ -69,6 +72,29 @@ impl HostVectors {
     }
 }
 
+/// Reusable buffers for repeated host joins (evaluation sweeps, simulated
+/// protocol servers). Holds the gathered reference submatrices for partial
+/// joins and the normal-equation solver scratch, so the join hot path
+/// never clones the factor matrices and — on the normal-equation and ridge
+/// paths — performs no factor-sized allocation per join.
+#[derive(Debug, Default)]
+pub struct JoinWorkspace {
+    /// Gathered outgoing reference vectors (partial joins).
+    x_sub: Matrix,
+    /// Gathered incoming reference vectors (partial joins).
+    y_sub: Matrix,
+    /// Normal-equation / ridge solver scratch.
+    ne: solve::NormalEqWorkspace,
+}
+
+impl JoinWorkspace {
+    /// Creates an empty workspace; buffers grow to their high-water mark on
+    /// first use.
+    pub fn new() -> Self {
+        JoinWorkspace::default()
+    }
+}
+
 /// Solves the join for one ordinary host.
 ///
 /// * `x_refs` / `y_refs`: outgoing / incoming vectors of the `k` reference
@@ -79,7 +105,25 @@ impl HostVectors {
 /// Requires `k >= d` (the paper's solvability condition); returns
 /// [`IdesError::TooFewObservations`] otherwise (unless a positive ridge
 /// term makes the smaller system well-posed).
+///
+/// Convenience wrapper over [`join_host_with`] that builds a fresh
+/// [`JoinWorkspace`] per call; batch callers should hold one workspace.
 pub fn join_host(
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    d_out: &[f64],
+    d_in: &[f64],
+    opts: JoinOptions,
+) -> Result<HostVectors> {
+    let mut ws = JoinWorkspace::new();
+    join_host_with(&mut ws, x_refs, y_refs, d_out, d_in, opts)
+}
+
+/// [`join_host`] with caller-provided workspace: the variant evaluation
+/// sweeps use to join thousands of hosts without per-join clones of the
+/// reference matrices.
+pub fn join_host_with(
+    ws: &mut JoinWorkspace,
     x_refs: &Matrix,
     y_refs: &Matrix,
     d_out: &[f64],
@@ -103,26 +147,82 @@ pub fn join_host(
         )));
     }
     if k < d && opts.ridge <= 0.0 {
-        return Err(IdesError::TooFewObservations { observed: k, needed: d });
+        return Err(IdesError::TooFewObservations {
+            observed: k,
+            needed: d,
+        });
     }
 
     // X_new solves min ‖Y_refs · X_newᵀ − d_out‖ (each reference's incoming
     // vector dotted with X_new approximates the outgoing distance).
-    let outgoing = solve_one(y_refs, d_out, opts)?;
-    let incoming = solve_one(x_refs, d_in, opts)?;
+    let outgoing = solve_one(&mut ws.ne, y_refs, d_out, opts)?;
+    let incoming = solve_one(&mut ws.ne, x_refs, d_in, opts)?;
     Ok(HostVectors { outgoing, incoming })
 }
 
-fn solve_one(a: &Matrix, b: &[f64], opts: JoinOptions) -> Result<Vec<f64>> {
-    if opts.ridge > 0.0 {
-        return Ok(solve::lstsq_ridge(a, b, opts.ridge)?);
+/// Partial join through the reference subset `observed` (row indices into
+/// `x_refs`/`y_refs`): gathers the subset into the workspace instead of
+/// cloning fresh submatrices per call.
+pub fn join_host_subset_with(
+    ws: &mut JoinWorkspace,
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    observed: &[usize],
+    d_out: &[f64],
+    d_in: &[f64],
+    opts: JoinOptions,
+) -> Result<HostVectors> {
+    if observed.len() != d_out.len() || observed.len() != d_in.len() {
+        return Err(IdesError::InvalidInput(
+            "observed indices and measurements must have equal length".into(),
+        ));
     }
-    let x = match opts.solver {
-        JoinSolver::Qr => qr::lstsq(a, b).or_else(|_| solve::lstsq_normal(a, b))?,
-        JoinSolver::NormalEquations => solve::lstsq_normal(a, b)?,
-        JoinSolver::NonNegative => nnls::nnls(a, b)?,
-    };
-    Ok(x)
+    let k = x_refs.rows();
+    let d = x_refs.cols();
+    if let Some(&bad) = observed.iter().find(|&&i| i >= k) {
+        return Err(IdesError::InvalidInput(format!(
+            "observed reference index {bad} out of range for {k} references"
+        )));
+    }
+    if observed.len() < d && opts.ridge <= 0.0 {
+        return Err(IdesError::TooFewObservations {
+            observed: observed.len(),
+            needed: d,
+        });
+    }
+    x_refs.select_rows_into(observed, &mut ws.x_sub);
+    y_refs.select_rows_into(observed, &mut ws.y_sub);
+    let outgoing = solve_one(&mut ws.ne, &ws.y_sub, d_out, opts)?;
+    let incoming = solve_one(&mut ws.ne, &ws.x_sub, d_in, opts)?;
+    Ok(HostVectors { outgoing, incoming })
+}
+
+fn solve_one(
+    ne: &mut solve::NormalEqWorkspace,
+    a: &Matrix,
+    b: &[f64],
+    opts: JoinOptions,
+) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; a.cols()];
+    if opts.ridge > 0.0 {
+        solve::lstsq_ridge_with(a, b, opts.ridge, ne, &mut out)?;
+        return Ok(out);
+    }
+    match opts.solver {
+        JoinSolver::Qr => {
+            out = qr::lstsq(a, b).or_else(|_| solve::lstsq_normal(a, b))?;
+        }
+        JoinSolver::NormalEquations => {
+            // λ = 0 ridge is exactly the normal equations, solved through
+            // the workspace (falls back to the pseudo-inverse path on
+            // rank deficiency, like `lstsq_normal`).
+            solve::lstsq_ridge_with(a, b, 0.0, ne, &mut out)?;
+        }
+        JoinSolver::NonNegative => {
+            out = nnls::nnls(a, b)?;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -136,15 +236,28 @@ mod tests {
     #[test]
     fn paper_section5_basic_example() {
         let d = figure1_distance_matrix();
-        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let model = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 3,
+                force_exact: true,
+            },
+        )
+        .unwrap();
         let douts = [0.5, 1.5, 1.5, 2.5];
         let h1 = join_host(model.x(), model.y(), &douts, &douts, JoinOptions::default()).unwrap();
         // Distances to landmarks are exactly preserved.
         for (i, &expected) in douts.iter().enumerate() {
             let est = h1.distance_to(model.incoming(i));
-            assert!((est - expected).abs() < 1e-9, "to L{i}: {est} vs {expected}");
+            assert!(
+                (est - expected).abs() < 1e-9,
+                "to L{i}: {est} vs {expected}"
+            );
             let est = h1.distance_from(model.outgoing(i));
-            assert!((est - expected).abs() < 1e-9, "from L{i}: {est} vs {expected}");
+            assert!(
+                (est - expected).abs() < 1e-9,
+                "from L{i}: {est} vs {expected}"
+            );
         }
         // H2 mirrors H1; the predicted H1–H2 distance is 3.25 (true 3).
         let d2 = [2.5, 1.5, 1.5, 0.5];
@@ -160,7 +273,14 @@ mod tests {
     #[test]
     fn paper_section5_relaxed_example() {
         let d = figure1_distance_matrix();
-        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let model = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 3,
+                force_exact: true,
+            },
+        )
+        .unwrap();
         // H1 joins through L1, L2, L3 (measured distances 0.5, 1.5, 1.5).
         let x_sub = model.x().select_rows(&[0, 1, 2]);
         let y_sub = model.y().select_rows(&[0, 1, 2]);
@@ -198,14 +318,23 @@ mod tests {
         let x = Matrix::zeros(2, 3);
         let y = Matrix::zeros(2, 3);
         let err = join_host(&x, &y, &[1.0, 2.0], &[1.0, 2.0], JoinOptions::default());
-        assert!(matches!(err, Err(IdesError::TooFewObservations { observed: 2, needed: 3 })));
+        assert!(matches!(
+            err,
+            Err(IdesError::TooFewObservations {
+                observed: 2,
+                needed: 3
+            })
+        ));
         // But a ridge term makes it solvable.
         let ok = join_host(
             &x,
             &y,
             &[1.0, 2.0],
             &[1.0, 2.0],
-            JoinOptions { ridge: 0.1, ..Default::default() },
+            JoinOptions {
+                ridge: 0.1,
+                ..Default::default()
+            },
         );
         assert!(ok.is_ok());
     }
@@ -213,7 +342,14 @@ mod tests {
     #[test]
     fn solver_variants_agree_on_well_posed_interior_problem() {
         let d = figure1_distance_matrix();
-        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let model = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 3,
+                force_exact: true,
+            },
+        )
+        .unwrap();
         let m = [0.5, 1.5, 1.5, 2.5];
         let qr = join_host(model.x(), model.y(), &m, &m, JoinOptions::default()).unwrap();
         let ne = join_host(
@@ -221,11 +357,19 @@ mod tests {
             model.y(),
             &m,
             &m,
-            JoinOptions { solver: JoinSolver::NormalEquations, ..Default::default() },
+            JoinOptions {
+                solver: JoinSolver::NormalEquations,
+                ..Default::default()
+            },
         )
         .unwrap();
         for (a, b) in qr.outgoing.iter().zip(ne.outgoing.iter()) {
-            assert!((a - b).abs() < 1e-8, "QR {:?} vs NE {:?}", qr.outgoing, ne.outgoing);
+            assert!(
+                (a - b).abs() < 1e-8,
+                "QR {:?} vs NE {:?}",
+                qr.outgoing,
+                ne.outgoing
+            );
         }
     }
 
@@ -246,7 +390,10 @@ mod tests {
             model.y(),
             &d_out,
             &d_in,
-            JoinOptions { solver: JoinSolver::NonNegative, ..Default::default() },
+            JoinOptions {
+                solver: JoinSolver::NonNegative,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(host.outgoing.iter().all(|&v| v >= 0.0));

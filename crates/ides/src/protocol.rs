@@ -105,7 +105,11 @@ pub struct LandmarkAgent;
 impl Node for LandmarkAgent {
     fn on_message(&mut self, from: Address, payload: Bytes, ctx: &mut Context<'_>) {
         if let Ok(Message::Ping { seq, sent_at }) = decode_message(&payload) {
-            let pong = Message::Pong { seq, sent_at, reverse_oneway: None };
+            let pong = Message::Pong {
+                seq,
+                sent_at,
+                reverse_oneway: None,
+            };
             ctx.send(from, encode_message(&pong));
         }
     }
@@ -122,7 +126,11 @@ pub struct ServerAgent {
 impl ServerAgent {
     /// Creates the server endpoint.
     pub fn new(server: Arc<InformationServer>, landmark_addresses: Vec<Address>) -> Self {
-        ServerAgent { server, landmark_addresses, joined: Arc::new(Mutex::new(HashMap::new())) }
+        ServerAgent {
+            server,
+            landmark_addresses,
+            joined: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 }
 
@@ -130,16 +138,23 @@ impl Node for ServerAgent {
     fn on_message(&mut self, from: Address, payload: Bytes, ctx: &mut Context<'_>) {
         match decode_message(&payload) {
             Ok(Message::JoinRequest) => {
-                let list = Message::LandmarkList { landmarks: self.landmark_addresses.clone() };
+                let list = Message::LandmarkList {
+                    landmarks: self.landmark_addresses.clone(),
+                };
                 ctx.send(from, encode_message(&list));
             }
             Ok(Message::VectorRequest { rtts }) => {
                 let reply = match self.server.join(&rtts, &rtts) {
                     Ok(v) => {
                         self.joined.lock().insert(from, v.clone());
-                        Message::VectorReply { outgoing: v.outgoing, incoming: v.incoming }
+                        Message::VectorReply {
+                            outgoing: v.outgoing,
+                            incoming: v.incoming,
+                        }
                     }
-                    Err(e) => Message::Error { reason: e.to_string() },
+                    Err(e) => Message::Error {
+                        reason: e.to_string(),
+                    },
                 };
                 ctx.send(from, encode_message(&reply));
             }
@@ -207,7 +222,9 @@ impl HostAgent {
 
 impl Node for HostAgent {
     fn on_message(&mut self, from: Address, payload: Bytes, ctx: &mut Context<'_>) {
-        let Ok(msg) = decode_message(&payload) else { return };
+        let Ok(msg) = decode_message(&payload) else {
+            return;
+        };
         match msg {
             Message::LandmarkList { landmarks } => {
                 self.landmarks = landmarks;
@@ -217,7 +234,10 @@ impl Node for HostAgent {
                 for (li, &addr) in self.landmarks.iter().enumerate() {
                     for p in 0..self.probes_per_landmark {
                         let seq = (li as u32) * self.probes_per_landmark + p;
-                        let ping = Message::Ping { seq, sent_at: ctx.now() };
+                        let ping = Message::Ping {
+                            seq,
+                            sent_at: ctx.now(),
+                        };
                         ctx.send(addr, encode_message(&ping));
                     }
                 }
@@ -236,7 +256,9 @@ impl Node for HostAgent {
                 self.outstanding = self.outstanding.saturating_sub(1);
                 if self.outstanding == 0 {
                     self.state = HostState::AwaitingVectors;
-                    let req = Message::VectorRequest { rtts: self.best_rtt.clone() };
+                    let req = Message::VectorRequest {
+                        rtts: self.best_rtt.clone(),
+                    };
                     ctx.send(self.server_addr, encode_message(&req));
                 }
             }
@@ -349,12 +371,28 @@ mod tests {
     fn message_roundtrip() {
         let msgs = vec![
             Message::JoinRequest,
-            Message::LandmarkList { landmarks: vec![1, 2, 3] },
-            Message::Ping { seq: 7, sent_at: 12.5 },
-            Message::Pong { seq: 7, sent_at: 12.5, reverse_oneway: Some(3.0) },
-            Message::VectorRequest { rtts: vec![1.0, 2.0] },
-            Message::VectorReply { outgoing: vec![0.1], incoming: vec![0.2] },
-            Message::Error { reason: "nope".into() },
+            Message::LandmarkList {
+                landmarks: vec![1, 2, 3],
+            },
+            Message::Ping {
+                seq: 7,
+                sent_at: 12.5,
+            },
+            Message::Pong {
+                seq: 7,
+                sent_at: 12.5,
+                reverse_oneway: Some(3.0),
+            },
+            Message::VectorRequest {
+                rtts: vec![1.0, 2.0],
+            },
+            Message::VectorReply {
+                outgoing: vec![0.1],
+                incoming: vec![0.2],
+            },
+            Message::Error {
+                reason: "nope".into(),
+            },
         ];
         for m in msgs {
             let encoded = encode_message(&m);
@@ -377,8 +415,8 @@ mod tests {
         let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(5)).unwrap());
 
         let joining = 15usize;
-        let outcome = simulate_join(&ds.topology, server.clone(), &landmark_hosts, joining, 3)
-            .unwrap();
+        let outcome =
+            simulate_join(&ds.topology, server.clone(), &landmark_hosts, joining, 3).unwrap();
         // 1 join request + 1 list + 10*3 pings + 30 pongs + 1 vec req + 1 reply
         assert_eq!(outcome.messages, 2 + 60 + 2);
         assert!(outcome.elapsed_ms > 0.0);
@@ -389,11 +427,17 @@ mod tests {
         let mut rels = Vec::new();
         for (i, &lh) in landmark_hosts.iter().enumerate() {
             let actual = ds.topology.host_rtt(joining, lh);
-            let est = outcome.vectors.distance_to(&server.landmark_vectors(i).incoming);
+            let est = outcome
+                .vectors
+                .distance_to(&server.landmark_vectors(i).incoming);
             rels.push((est - actual).abs() / actual.max(1e-9));
         }
         rels.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(rels[rels.len() / 2] < 0.3, "median landmark error {}", rels[rels.len() / 2]);
+        assert!(
+            rels[rels.len() / 2] < 0.3,
+            "median landmark error {}",
+            rels[rels.len() / 2]
+        );
     }
 
     #[test]
@@ -406,8 +450,7 @@ mod tests {
         let lm = DistanceMatrix::full("lm", values).unwrap();
         let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(3)).unwrap());
         let joining = 10usize;
-        let outcome =
-            simulate_join(&ds.topology, server, &landmark_hosts, joining, 2).unwrap();
+        let outcome = simulate_join(&ds.topology, server, &landmark_hosts, joining, 2).unwrap();
         let max_rtt = landmark_hosts
             .iter()
             .map(|&l| ds.topology.host_rtt(joining, l))

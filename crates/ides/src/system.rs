@@ -11,7 +11,10 @@ use ides_mf::svd_model::{self, SvdConfig};
 use ides_mf::{DistanceEstimator, FactorModel};
 
 use crate::error::{IdesError, Result};
-use crate::projection::{join_host, HostVectors, JoinOptions, JoinSolver};
+use crate::projection::{
+    join_host, join_host_subset_with, join_host_with, HostVectors, JoinOptions, JoinSolver,
+    JoinWorkspace,
+};
 
 /// Which factorization algorithm the information server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +56,10 @@ impl IdesConfig {
 
     /// Same but with NMF as the factorizer.
     pub fn nmf(dim: usize) -> Self {
-        IdesConfig { algorithm: Algorithm::Nmf, ..IdesConfig::new(dim) }
+        IdesConfig {
+            algorithm: Algorithm::Nmf,
+            ..IdesConfig::new(dim)
+        }
     }
 }
 
@@ -72,7 +78,9 @@ impl InformationServer {
     /// masked updates of Eqs. 8–9).
     pub fn build(landmark_matrix: &DistanceMatrix, config: IdesConfig) -> Result<Self> {
         if !landmark_matrix.is_square() {
-            return Err(IdesError::InvalidInput("landmark matrix must be square".into()));
+            return Err(IdesError::InvalidInput(
+                "landmark matrix must be square".into(),
+            ));
         }
         let m = landmark_matrix.rows();
         if config.dim == 0 || config.dim > m {
@@ -122,7 +130,33 @@ impl InformationServer {
     /// Joins an ordinary host from its measured distances to (`d_out`) and
     /// from (`d_in`) **all** landmarks — the basic architecture (Eqs. 13–14).
     pub fn join(&self, d_out: &[f64], d_in: &[f64]) -> Result<HostVectors> {
-        join_host(self.model.x(), self.model.y(), d_out, d_in, self.config.join)
+        join_host(
+            self.model.x(),
+            self.model.y(),
+            d_out,
+            d_in,
+            self.config.join,
+        )
+    }
+
+    /// [`InformationServer::join`] with caller-provided workspace — the
+    /// variant batch callers (evaluation sweeps, protocol servers) use so
+    /// repeated joins share solver scratch and never clone the landmark
+    /// factor matrices.
+    pub fn join_with(
+        &self,
+        ws: &mut JoinWorkspace,
+        d_out: &[f64],
+        d_in: &[f64],
+    ) -> Result<HostVectors> {
+        join_host_with(
+            ws,
+            self.model.x(),
+            self.model.y(),
+            d_out,
+            d_in,
+            self.config.join,
+        )
     }
 
     /// Joins a host that only observed the landmark subset `observed`
@@ -134,14 +168,29 @@ impl InformationServer {
         d_out: &[f64],
         d_in: &[f64],
     ) -> Result<HostVectors> {
-        if observed.len() != d_out.len() || observed.len() != d_in.len() {
-            return Err(IdesError::InvalidInput(
-                "observed indices and measurements must have equal length".into(),
-            ));
-        }
-        let x = self.model.x().select_rows(observed);
-        let y = self.model.y().select_rows(observed);
-        join_host(&x, &y, d_out, d_in, self.config.join)
+        let mut ws = JoinWorkspace::new();
+        self.join_partial_with(&mut ws, observed, d_out, d_in)
+    }
+
+    /// [`InformationServer::join_partial`] with caller-provided workspace:
+    /// the observed landmark rows are gathered into reusable buffers
+    /// instead of cloned into fresh submatrices on every join.
+    pub fn join_partial_with(
+        &self,
+        ws: &mut JoinWorkspace,
+        observed: &[usize],
+        d_out: &[f64],
+        d_in: &[f64],
+    ) -> Result<HostVectors> {
+        join_host_subset_with(
+            ws,
+            self.model.x(),
+            self.model.y(),
+            observed,
+            d_out,
+            d_in,
+            self.config.join,
+        )
     }
 
     /// Joins a host through arbitrary reference nodes (landmarks *or*
@@ -153,12 +202,26 @@ impl InformationServer {
         d_in: &[f64],
     ) -> Result<HostVectors> {
         if references.is_empty() {
-            return Err(IdesError::TooFewObservations { observed: 0, needed: self.dim() });
+            return Err(IdesError::TooFewObservations {
+                observed: 0,
+                needed: self.dim(),
+            });
         }
-        let x_rows: Vec<Vec<f64>> = references.iter().map(|r| r.outgoing.clone()).collect();
-        let y_rows: Vec<Vec<f64>> = references.iter().map(|r| r.incoming.clone()).collect();
-        let x = Matrix::from_rows(&x_rows)?;
-        let y = Matrix::from_rows(&y_rows)?;
+        let d = references[0].outgoing.len();
+        for r in references {
+            if r.outgoing.len() != d || r.incoming.len() != d {
+                return Err(IdesError::InvalidInput(
+                    "reference vectors must share one dimension".into(),
+                ));
+            }
+        }
+        // Pack the reference rows directly — no per-row clones.
+        let mut x = Matrix::zeros(references.len(), d);
+        let mut y = Matrix::zeros(references.len(), d);
+        for (i, r) in references.iter().enumerate() {
+            x.set_row(i, &r.outgoing);
+            y.set_row(i, &r.incoming);
+        }
         join_host(&x, &y, d_out, d_in, self.config.join)
     }
 
@@ -210,8 +273,14 @@ pub fn select_spread_landmarks(data: &DistanceMatrix, m: usize) -> Vec<usize> {
         let next = (0..n)
             .filter(|i| !chosen.contains(i))
             .max_by(|&a, &b| {
-                let da = chosen.iter().map(|&c| dist(a, c)).fold(f64::INFINITY, f64::min);
-                let db = chosen.iter().map(|&c| dist(b, c)).fold(f64::INFINITY, f64::min);
+                let da = chosen
+                    .iter()
+                    .map(|&c| dist(a, c))
+                    .fold(f64::INFINITY, f64::min);
+                let db = chosen
+                    .iter()
+                    .map(|&c| dist(b, c))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).expect("finite distances")
             })
             .expect("hosts remain");
@@ -302,8 +371,14 @@ mod tests {
         // Join one ordinary host and check its landmark distances are
         // approximately reproduced.
         let h = ordinary[0];
-        let d_out: Vec<f64> = landmarks.iter().map(|&l| ds.matrix.get(h, l).unwrap()).collect();
-        let d_in: Vec<f64> = landmarks.iter().map(|&l| ds.matrix.get(l, h).unwrap()).collect();
+        let d_out: Vec<f64> = landmarks
+            .iter()
+            .map(|&l| ds.matrix.get(h, l).unwrap())
+            .collect();
+        let d_in: Vec<f64> = landmarks
+            .iter()
+            .map(|&l| ds.matrix.get(l, h).unwrap())
+            .collect();
         let host = server.join(&d_out, &d_in).unwrap();
         let mut total_rel = 0.0;
         for (i, &actual) in d_out.iter().enumerate() {
@@ -323,10 +398,14 @@ mod tests {
         let h = ordinary[0];
         // Observe only 8 of 15 landmarks.
         let observed: Vec<usize> = (0..15).step_by(2).collect();
-        let d_out: Vec<f64> =
-            observed.iter().map(|&i| ds.matrix.get(h, landmarks[i]).unwrap()).collect();
-        let d_in: Vec<f64> =
-            observed.iter().map(|&i| ds.matrix.get(landmarks[i], h).unwrap()).collect();
+        let d_out: Vec<f64> = observed
+            .iter()
+            .map(|&i| ds.matrix.get(h, landmarks[i]).unwrap())
+            .collect();
+        let d_in: Vec<f64> = observed
+            .iter()
+            .map(|&i| ds.matrix.get(landmarks[i], h).unwrap())
+            .collect();
         let host = server.join_partial(&observed, &d_out, &d_in).unwrap();
         // Distances to *unobserved* landmarks should still be predicted
         // within a reasonable factor.
@@ -334,12 +413,17 @@ mod tests {
         let mut rels = Vec::new();
         for &i in &unobserved {
             let actual = ds.matrix.get(h, landmarks[i]).unwrap();
-            let est = host.distance_to(&server.landmark_vectors(i).incoming).max(0.0);
+            let est = host
+                .distance_to(&server.landmark_vectors(i).incoming)
+                .max(0.0);
             rels.push((est - actual).abs() / actual);
         }
         rels.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = rels[rels.len() / 2];
-        assert!(median < 0.5, "median relative error to unobserved landmarks {median}");
+        assert!(
+            median < 0.5,
+            "median relative error to unobserved landmarks {median}"
+        );
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Quick speedup probe: blocked matmul vs the seed ikj loop at 512x512.
+use ides_linalg::kernels::reference;
+use ides_linalg::{random, Matrix};
+use std::time::Instant;
+
+fn time<F: FnMut() -> Matrix>(mut f: F, reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let n = 512;
+    let mut rng = random::seeded_rng(1);
+    let a = random::uniform(n, n, -1.0, 1.0, &mut rng);
+    let b = random::uniform(n, n, -1.0, 1.0, &mut rng);
+    let blocked = time(|| a.matmul(&b).unwrap(), 5);
+    let ikj = time(|| reference::matmul_ikj(&a, &b).unwrap(), 3);
+    let ijk = time(|| reference::matmul_ijk(&a, &b).unwrap(), 1);
+    println!("blocked: {:.1} ms", blocked * 1e3);
+    println!("seed ikj: {:.1} ms  ({:.2}x)", ikj * 1e3, ikj / blocked);
+    println!("naive ijk: {:.1} ms  ({:.2}x)", ijk * 1e3, ijk / blocked);
+}

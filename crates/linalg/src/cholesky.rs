@@ -19,28 +19,75 @@ pub struct Cholesky {
 /// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
 /// encountered.
 pub fn cholesky(a: &Matrix) -> Result<Cholesky> {
+    let mut l = a.clone();
+    cholesky_in_place(&mut l)?;
+    Ok(Cholesky { l })
+}
+
+/// Factors `a = L Lᵀ` in place: on success the lower triangle of `a` holds
+/// `L` (the strict upper triangle is zeroed). The allocation-free building
+/// block behind [`cholesky`] and the workspace-based normal-equation
+/// solves in [`crate::solve`].
+pub fn cholesky_in_place(a: &mut Matrix) -> Result<()> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { got: a.shape(), op: "cholesky" });
+        return Err(LinalgError::NotSquare {
+            got: a.shape(),
+            op: "cholesky",
+        });
     }
     let n = a.rows();
-    let mut l = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
             let mut s = a[(i, j)];
             for k in 0..j {
-                s -= l[(i, k)] * l[(j, k)];
+                s -= a[(i, k)] * a[(j, k)];
             }
             if i == j {
                 if s <= 0.0 {
                     return Err(LinalgError::NotPositiveDefinite);
                 }
-                l[(i, j)] = s.sqrt();
+                a[(i, j)] = s.sqrt();
             } else {
-                l[(i, j)] = s / l[(j, j)];
+                a[(i, j)] = s / a[(j, j)];
             }
         }
     }
-    Ok(Cholesky { l })
+    for i in 0..n {
+        for j in (i + 1)..n {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L Lᵀ x = b` in place given a factored lower triangle `l`:
+/// `b` is overwritten with the solution. No heap allocation.
+pub fn solve_cholesky_in_place(l: &Matrix, b: &mut [f64]) -> Result<()> {
+    let n = l.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, 1),
+            got: (b.len(), 1),
+            op: "cholesky_solve",
+        });
+    }
+    // Forward solve L y = b (y overwrites b).
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * b[j];
+        }
+        b[i] = s / l[(i, i)];
+    }
+    // Back solve Lᵀ x = y (x overwrites b).
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * b[j];
+        }
+        b[i] = s / l[(i, i)];
+    }
+    Ok(())
 }
 
 impl Cholesky {
@@ -50,6 +97,7 @@ impl Cholesky {
     }
 
     /// Solves `A x = b` via the two triangular solves `L y = b`, `Lᵀ x = y`.
+    #[allow(clippy::needless_range_loop)] // indexed triangular solves read clearest
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.l.rows();
         if b.len() != n {
@@ -102,8 +150,12 @@ mod tests {
 
     #[test]
     fn factor_known_spd() {
-        let a = Matrix::from_vec(3, 3, vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0])
-            .unwrap();
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        )
+        .unwrap();
         let c = cholesky(&a).unwrap();
         let expected =
             Matrix::from_vec(3, 3, vec![2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0]).unwrap();
@@ -126,7 +178,10 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
-        assert!(matches!(cholesky(&a), Err(LinalgError::NotPositiveDefinite)));
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
         let zero = Matrix::zeros(2, 2);
         assert!(cholesky(&zero).is_err());
     }

@@ -39,11 +39,17 @@ const MAX_SWEEPS: usize = 100;
 /// a defensive bound.
 pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { got: a.shape(), op: "symmetric_eig" });
+        return Err(LinalgError::NotSquare {
+            got: a.shape(),
+            op: "symmetric_eig",
+        });
     }
     let n = a.rows();
     if n == 0 {
-        return Ok(SymmetricEig { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) });
+        return Ok(SymmetricEig {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        });
     }
     let mut m = a.clone();
     m.symmetrize(); // tolerate tiny asymmetry from accumulated round-off
@@ -106,7 +112,10 @@ pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
         }
     }
     if !converged && off_norm(&m) > tol * 100.0 {
-        return Err(LinalgError::NoConvergence { op: "symmetric_eig (Jacobi)", iterations: MAX_SWEEPS });
+        return Err(LinalgError::NoConvergence {
+            op: "symmetric_eig (Jacobi)",
+            iterations: MAX_SWEEPS,
+        });
     }
 
     // Sort eigenpairs by descending eigenvalue.
@@ -119,7 +128,10 @@ pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
             vecs[(i, dst)] = q[(i, src)];
         }
     }
-    Ok(SymmetricEig { eigenvalues, eigenvectors: vecs })
+    Ok(SymmetricEig {
+        eigenvalues,
+        eigenvectors: vecs,
+    })
 }
 
 #[cfg(test)]

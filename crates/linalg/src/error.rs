@@ -73,10 +73,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = LinalgError::ShapeMismatch { expected: (2, 3), got: (3, 2), op: "matmul" };
+        let e = LinalgError::ShapeMismatch {
+            expected: (2, 3),
+            got: (3, 2),
+            op: "matmul",
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("2x3"));
-        let e = LinalgError::NoConvergence { op: "svd", iterations: 30 };
+        let e = LinalgError::NoConvergence {
+            op: "svd",
+            iterations: 30,
+        };
         assert!(e.to_string().contains("30"));
         let e = LinalgError::Singular { op: "lu_solve" };
         assert!(e.to_string().contains("singular"));

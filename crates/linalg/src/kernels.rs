@@ -1,0 +1,559 @@
+//! Cache-blocked, register-tiled GEMM drivers — the kernel layer every
+//! matrix product in the workspace runs on.
+//!
+//! # Architecture
+//!
+//! The drivers follow the classic three-loop blocking scheme (Goto/BLIS):
+//!
+//! * the **k** dimension is split into panels of [`KC`] so one packed slice
+//!   of each operand stays resident in L1/L2 across the inner loops,
+//! * the **n** dimension is split into slabs of [`NC`] columns,
+//! * the **m** dimension is split into bands of [`MC`] rows,
+//! * inside a band, an [`MR`]`x`[`NR`] **micro-kernel** accumulates a
+//!   register tile over the packed panels; the compiler auto-vectorizes the
+//!   `NR`-wide updates, and the `MR`-way row reuse cuts B-panel bandwidth
+//!   by `MR` compared to the seed's row-streaming `ikj` loop.
+//!
+//! Operands are **packed** into contiguous panels before the micro-kernel
+//! runs, which is also how the transposed variants (`AᵀB`, `ABᵀ`) reuse the
+//! same micro-kernel: transposition happens for free during packing. Packing
+//! buffers live in thread-local storage and are reused across calls, so the
+//! steady state performs **no heap allocation** — the property the
+//! allocation-free NMF/ALS iteration loops in `ides-mf` build on.
+//!
+//! # Determinism
+//!
+//! For every output cell the contributions are accumulated in ascending-`k`
+//! order within each `KC` panel, and panels are added in ascending order,
+//! so results are **bit-identical across runs, block sizes permitting**,
+//! and — because row bands are numerically independent — bit-identical with
+//! the `parallel` feature on or off. For `k <= KC` the result is bitwise
+//! equal to a textbook ascending-`k` dot product.
+//!
+//! # `parallel` feature
+//!
+//! With the (default-off) `parallel` cargo feature, products large enough
+//! to amortize thread startup are split into row bands executed on std
+//! scoped threads (one per available core, capped by band count). Each band
+//! writes a disjoint slice of the output, so no synchronization is needed
+//! and results do not change.
+
+use std::cell::RefCell;
+
+/// Micro-kernel tile rows (accumulator rows held in registers).
+pub const MR: usize = 4;
+/// Micro-kernel tile columns (one or two SIMD vectors of `f64`).
+pub const NR: usize = 8;
+/// Row-band blocking: rows of A packed per macro iteration.
+pub const MC: usize = 128;
+/// Depth blocking: the shared dimension is processed in panels of `KC`.
+pub const KC: usize = 256;
+/// Column-slab blocking: columns of B packed per macro iteration.
+pub const NC: usize = 1024;
+
+/// Reusable packing buffers (thread-local; see [`with_buffers`]).
+#[derive(Default)]
+struct Buffers {
+    a_panel: Vec<f64>,
+    b_panel: Vec<f64>,
+}
+
+thread_local! {
+    static BUFFERS: RefCell<Buffers> = RefCell::new(Buffers::default());
+}
+
+/// How a packed operand is read out of its backing row-major storage.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the operand transposed.
+    Trans,
+}
+
+/// Computes `out = op(A) * op(B)` into a preallocated row-major `out`.
+///
+/// * `a` is `m x k` after `a_op` is applied; its physical row stride is
+///   `lda` (the stored matrix's column count). Likewise for `b`/`ldb`.
+/// * `out` must have exactly `m * n` elements and is fully overwritten.
+///
+/// This is the single entry point behind `Matrix::{matmul, tr_matmul,
+/// matmul_tr}` and their `_into` variants.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    a: &[f64],
+    a_op: Op,
+    lda: usize,
+    b: &[f64],
+    b_op: Op,
+    ldb: usize,
+    out: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Only products with substantial per-band work consider fanning out;
+    // the size gate comes first so small products (the NMF/ALS inner-loop
+    // common case) skip the env lookup entirely and stay allocation-free.
+    #[cfg(feature = "parallel")]
+    if m >= 2 * MC && m * n * k >= 1 << 23 {
+        // `IDES_LINALG_THREADS` overrides the detected core count (useful
+        // for pinning bench configurations and for testing the parallel
+        // path on single-core machines).
+        let threads = std::env::var("IDES_LINALG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+            });
+        if threads > 1 {
+            let bands = threads.min(m.div_ceil(MC));
+            let rows_per_band = m.div_ceil(bands).div_ceil(MR) * MR;
+            std::thread::scope(|scope| {
+                let mut rest = out;
+                let mut row0 = 0usize;
+                while row0 < m {
+                    let rows = rows_per_band.min(m - row0);
+                    let (band, tail) = rest.split_at_mut(rows * n);
+                    rest = tail;
+                    let r0 = row0;
+                    scope.spawn(move || {
+                        let mut bufs = Buffers::default();
+                        gemm_serial(a, a_op, lda, b, b_op, ldb, band, r0, rows, n, k, &mut bufs);
+                    });
+                    row0 += rows;
+                }
+            });
+            return;
+        }
+    }
+
+    BUFFERS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        gemm_serial(a, a_op, lda, b, b_op, ldb, out, 0, m, n, k, &mut bufs);
+    });
+}
+
+/// Sequential blocked GEMM over the row band `[row0, row0 + rows)`.
+/// `out_band` covers exactly those rows (row stride `n`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial(
+    a: &[f64],
+    a_op: Op,
+    lda: usize,
+    b: &[f64],
+    b_op: Op,
+    ldb: usize,
+    out_band: &mut [f64],
+    row0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    bufs: &mut Buffers,
+) {
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let nr_blocks = nc.div_ceil(NR);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, b_op, ldb, jc, nc, pc, kc, &mut bufs.b_panel);
+            let mut ic = 0;
+            while ic < rows {
+                let mc = MC.min(rows - ic);
+                let mr_blocks = mc.div_ceil(MR);
+                pack_a(a, a_op, lda, row0 + ic, mc, pc, kc, &mut bufs.a_panel);
+                for jr in 0..nr_blocks {
+                    let b_tile = &bufs.b_panel[jr * kc * NR..(jr + 1) * kc * NR];
+                    for ir in 0..mr_blocks {
+                        let a_tile = &bufs.a_panel[ir * kc * MR..(ir + 1) * kc * MR];
+                        let mut acc = [[0.0f64; NR]; MR];
+                        micro_kernel(a_tile, b_tile, kc, &mut acc);
+                        write_back(
+                            out_band,
+                            n,
+                            ic + ir * MR,
+                            MR.min(mc - ir * MR),
+                            jc + jr * NR,
+                            NR.min(nc - jr * NR),
+                            &acc,
+                        );
+                    }
+                }
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// The register-tiled inner product: `acc += A_tile * B_tile` over `kc`
+/// steps. Panels are packed `MR`/`NR`-interleaved so every load is
+/// contiguous; the `NR`-wide updates auto-vectorize.
+#[inline(always)]
+fn micro_kernel(a_tile: &[f64], b_tile: &[f64], kc: usize, acc: &mut [[f64; NR]; MR]) {
+    let a_it = a_tile[..kc * MR].chunks_exact(MR);
+    let b_it = b_tile[..kc * NR].chunks_exact(NR);
+    for (a_frag, b_frag) in a_it.zip(b_it) {
+        // Fixed-size views let the compiler drop every bounds check and
+        // keep the whole tile in registers.
+        let a_frag: &[f64; MR] = a_frag.try_into().expect("chunk size is MR");
+        let b_frag: &[f64; NR] = b_frag.try_into().expect("chunk size is NR");
+        for (row, &am) in acc.iter_mut().zip(a_frag.iter()) {
+            for (c, &bv) in row.iter_mut().zip(b_frag.iter()) {
+                *c += am * bv;
+            }
+        }
+    }
+}
+
+/// Adds a micro tile into the output band, clipping padded rows/columns.
+#[inline]
+fn write_back(
+    out_band: &mut [f64],
+    n: usize,
+    tile_row: usize,
+    tile_rows: usize,
+    col0: usize,
+    cols: usize,
+    acc: &[[f64; NR]; MR],
+) {
+    for (m, acc_row) in acc.iter().enumerate().take(tile_rows) {
+        let row = tile_row + m;
+        let dst = &mut out_band[row * n + col0..row * n + col0 + cols];
+        for (d, &v) in dst.iter_mut().zip(acc_row.iter()) {
+            *d += v;
+        }
+    }
+}
+
+/// Packs the `mc x kc` block of `op(A)` starting at `(ic, pc)` into
+/// `MR`-interleaved panels: `panel[ir][kk * MR + m] = a(ic + ir*MR + m,
+/// pc + kk)`, zero-padding ragged edges.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f64],
+    op: Op,
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    panel: &mut Vec<f64>,
+) {
+    let mr_blocks = mc.div_ceil(MR);
+    panel.clear();
+    panel.resize(mr_blocks * kc * MR, 0.0);
+    match op {
+        Op::NoTrans => {
+            // Contiguous reads along each source row, strided panel writes.
+            for ir in 0..mr_blocks {
+                let rows_here = MR.min(mc - ir * MR);
+                let base = ir * kc * MR;
+                for m in 0..rows_here {
+                    let src = &a[(ic + ir * MR + m) * lda + pc..][..kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[base + kk * MR + m] = v;
+                    }
+                }
+            }
+        }
+        Op::Trans => {
+            // a(i, kk) lives at a[(pc + kk) * lda + i]: each k-step reads
+            // MR contiguous source values.
+            for ir in 0..mr_blocks {
+                let rows_here = MR.min(mc - ir * MR);
+                let base = ir * kc * MR;
+                for kk in 0..kc {
+                    let src = &a[(pc + kk) * lda + ic + ir * MR..][..rows_here];
+                    panel[base + kk * MR..base + kk * MR + rows_here].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `op(B)` starting at `(pc, jc)` into
+/// `NR`-interleaved panels: `panel[jr][kk * NR + j] = b(pc + kk, jc +
+/// jr*NR + j)`, zero-padding ragged edges.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f64],
+    op: Op,
+    ldb: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    panel: &mut Vec<f64>,
+) {
+    let nr_blocks = nc.div_ceil(NR);
+    panel.clear();
+    panel.resize(nr_blocks * kc * NR, 0.0);
+    match op {
+        Op::NoTrans => {
+            for jr in 0..nr_blocks {
+                let cols_here = NR.min(nc - jr * NR);
+                let base = jr * kc * NR;
+                for kk in 0..kc {
+                    let src = &b[(pc + kk) * ldb + jc + jr * NR..][..cols_here];
+                    panel[base + kk * NR..base + kk * NR + cols_here].copy_from_slice(src);
+                }
+            }
+        }
+        Op::Trans => {
+            // b(kk, j) lives at b[(jc + j) * ldb + pc + kk]: contiguous
+            // reads along each source row, strided panel writes.
+            for jr in 0..nr_blocks {
+                let cols_here = NR.min(nc - jr * NR);
+                let base = jr * kc * NR;
+                for j in 0..cols_here {
+                    let src = &b[(jc + jr * NR + j) * ldb + pc..][..kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[base + kk * NR + j] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lane-split dot product: four independent partial sums break the
+/// floating-point dependency chain so the loop pipelines/vectorizes.
+/// Deterministic: lane assignment depends only on index, and the remainder
+/// is folded in source order.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    const LANES: usize = 4;
+    let mut lanes = [0.0f64; LANES];
+    let a_chunks = a.chunks_exact(LANES);
+    let b_chunks = b.chunks_exact(LANES);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (af, bf) in a_chunks.zip(b_chunks) {
+        for ((l, &x), &y) in lanes.iter_mut().zip(af.iter()).zip(bf.iter()) {
+            *l += x * y;
+        }
+    }
+    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (&x, &y) in a_rem.iter().zip(b_rem.iter()) {
+        total += x * y;
+    }
+    total
+}
+
+/// `out[i] = dot(row_i(A), x)` for a row-major `m x k` matrix.
+pub fn gemv(a: &[f64], x: &[f64], out: &mut [f64], m: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(x.len(), k);
+    debug_assert_eq!(out.len(), m);
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(k.max(1))) {
+        *o = dot(row, x);
+    }
+    if k == 0 {
+        out.fill(0.0);
+    }
+}
+
+/// `out = Aᵀ v` for a row-major `m x k` matrix: an axpy per row, which
+/// streams both the matrix row and the accumulator contiguously.
+pub fn gemv_t(a: &[f64], v: &[f64], out: &mut [f64], m: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(v.len(), m);
+    debug_assert_eq!(out.len(), k);
+    out.fill(0.0);
+    for (&vi, row) in v.iter().zip(a.chunks_exact(k.max(1))) {
+        if vi == 0.0 {
+            continue;
+        }
+        for (o, &x) in out.iter_mut().zip(row.iter()) {
+            *o += vi * x;
+        }
+    }
+}
+
+/// Plain reference multiplies used by correctness tests and as benchmark
+/// baselines. These are intentionally the "before" implementations.
+pub mod reference {
+    use crate::error::Result;
+    use crate::matrix::Matrix;
+
+    /// Textbook `ijk` triple loop: one dot product per output cell, with a
+    /// strided walk down B's columns. The canonical naive baseline.
+    pub fn matmul_ijk(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        a.shape_check_matmul(b)?;
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The seed's `ikj` loop: accumulator rows stream contiguously, B rows
+    /// stream contiguously, zero `a_ik` entries are skipped. This was
+    /// `Matrix::matmul` before the blocked kernel layer landed and is kept
+    /// as the honest speedup baseline for the kernels benchmark.
+    pub fn matmul_ikj(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        a.shape_check_matmul(b)?;
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for (kk, &aik) in a.row(i).iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(kk);
+                let o_row = out.row_mut(i);
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn det_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+        Matrix::from_fn(r, c, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 4.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_blocking_edges() {
+        // Shapes straddling every blocking boundary: micro tile edges,
+        // KC/MC/NC boundaries, and far-from-round sizes.
+        let shapes = [
+            (1, 1, 1),
+            (MR, NR, 3),
+            (MR + 1, NR + 1, KC + 1),
+            (MC + 3, 17, KC - 1),
+            (5, NC.min(64) + 5, 9),
+            (37, 41, 29),
+        ];
+        for &(m, n, k) in &shapes {
+            let a = det_matrix(m, k, (m * 31 + k) as u64);
+            let b = det_matrix(k, n, (k * 17 + n) as u64);
+            let fast = a.matmul(&b).unwrap();
+            let slow = reference::matmul_ijk(&a, &b).unwrap();
+            let tol = 1e-12 * (1.0 + slow.max_abs());
+            assert!(
+                fast.approx_eq(&slow, tol),
+                "({m},{n},{k}): max diff {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_is_bitwise_ascending_k_for_small_depth() {
+        // For k <= KC the blocked accumulation order equals a textbook
+        // ascending-k dot product, so results must be bit-identical.
+        let a = det_matrix(23, KC, 5);
+        let b = det_matrix(KC, 19, 6);
+        let fast = a.matmul(&b).unwrap();
+        let slow = reference::matmul_ijk(&a, &b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = det_matrix(33, 21, 7);
+        let b = det_matrix(33, 13, 8);
+        let fast = a.tr_matmul(&b).unwrap();
+        let slow = reference::matmul_ijk(&a.transpose(), &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12 * (1.0 + slow.max_abs())));
+
+        let a = det_matrix(19, 27, 9);
+        let b = det_matrix(23, 27, 10);
+        let fast = a.matmul_tr(&b).unwrap();
+        let slow = reference::matmul_ijk(&a, &b.transpose()).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12 * (1.0 + slow.max_abs())));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 3));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    /// With the `parallel` feature, row-band fan-out must be bit-identical
+    /// to the sequential path (bands are numerically independent).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_is_bit_identical() {
+        let m = 2 * MC + 7; // large enough to cross the fan-out threshold
+        let a = det_matrix(m, 300, 21);
+        let b = det_matrix(300, 150, 22);
+        std::env::set_var("IDES_LINALG_THREADS", "4");
+        let par = a.matmul(&b).unwrap();
+        std::env::set_var("IDES_LINALG_THREADS", "1");
+        let seq = a.matmul(&b).unwrap();
+        std::env::remove_var("IDES_LINALG_THREADS");
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn dot_matches_sequential() {
+        for len in [0usize, 1, 3, 4, 5, 17, 64, 100] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.21).cos()).collect();
+            let seq: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+            assert!(
+                (dot(&a, &b) - seq).abs() <= 1e-12 * (1.0 + seq.abs()),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_matches_matmul_with_vector() {
+        let a = det_matrix(13, 7, 11);
+        let x: Vec<f64> = (0..7).map(|i| (i as f64) - 3.0).collect();
+        let via_matmul = reference::matmul_ijk(&a, &Matrix::col_vector(&x)).unwrap();
+        let direct = a.matvec(&x).unwrap();
+        for i in 0..13 {
+            assert!((direct[i] - via_matmul[(i, 0)]).abs() < 1e-12);
+        }
+        let v: Vec<f64> = (0..13).map(|i| (i as f64 * 0.5).sin()).collect();
+        let via_matmul = reference::matmul_ijk(&a.transpose(), &Matrix::col_vector(&v)).unwrap();
+        let direct = a.tr_matvec(&v).unwrap();
+        for j in 0..7 {
+            assert!((direct[j] - via_matmul[(j, 0)]).abs() < 1e-12);
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! in plain safe Rust with no external BLAS/LAPACK:
 //!
 //! * [`Matrix`] — dense row-major `f64` matrices with BLAS-like kernels,
+//! * [`kernels`] — the cache-blocked, register-tiled GEMM layer behind
+//!   every matrix product (see below),
 //! * [`qr`] — Householder QR and QR least squares,
 //! * [`svd`] — one-sided Jacobi SVD plus truncated subspace-iteration SVD,
 //! * [`eig`] — cyclic-Jacobi symmetric eigendecomposition (for PCA),
@@ -15,6 +17,29 @@
 //! * [`nnls`] — Lawson–Hanson nonnegative least squares (§5.1 option),
 //! * [`pca`] — the projection used by the ICS / Virtual Landmark baselines,
 //! * [`random`] — seeded random matrices for NMF initialization.
+//!
+//! # The kernel layer
+//!
+//! `Matrix::{matmul, tr_matmul, matmul_tr, matvec, tr_matvec}` and their
+//! allocation-free `*_into` twins all run on one blocked GEMM driver in
+//! [`kernels`]: operands are packed into contiguous panels (transposition
+//! is free at packing time) and consumed by an auto-vectorized
+//! [`kernels::MR`]`x`[`kernels::NR`] register-tile micro-kernel, with
+//! [`kernels::MC`]/[`kernels::KC`]/[`kernels::NC`] cache blocking
+//! (defaults 128/256/1024, tuned on the kernels benchmark). Packing
+//! buffers are thread-local and reused, so steady-state products allocate
+//! nothing — the foundation of the allocation-free NMF/ALS iteration
+//! loops in `ides-mf`. Per output cell, contributions accumulate in
+//! ascending-`k` order, so results are deterministic run-to-run; for
+//! depths `<= KC` they are bitwise equal to a textbook dot product.
+//!
+//! ## The `parallel` feature
+//!
+//! The off-by-default `parallel` cargo feature lets large products fan out
+//! across row bands on std scoped threads (thread count from the host, or
+//! the `IDES_LINALG_THREADS` env var). Bands are numerically independent,
+//! so **results are bit-identical with the feature on or off**; small
+//! products stay on the sequential path regardless.
 //!
 //! ```
 //! use ides_linalg::{Matrix, svd::svd};
@@ -37,6 +62,7 @@
 pub mod cholesky;
 pub mod eig;
 pub mod error;
+pub mod kernels;
 pub mod lu;
 pub mod matrix;
 pub mod nnls;

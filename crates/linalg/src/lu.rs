@@ -18,7 +18,10 @@ pub struct Lu {
 /// Factors a square matrix with partial pivoting.
 pub fn lu(a: &Matrix) -> Result<Lu> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { got: a.shape(), op: "lu" });
+        return Err(LinalgError::NotSquare {
+            got: a.shape(),
+            op: "lu",
+        });
     }
     let n = a.rows();
     let mut m = a.clone();
@@ -62,6 +65,7 @@ pub fn lu(a: &Matrix) -> Result<Lu> {
 
 impl Lu {
     /// Solves `A x = b` using the precomputed factorization.
+    #[allow(clippy::needless_range_loop)] // indexed triangular solves read clearest
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {

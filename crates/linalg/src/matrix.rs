@@ -10,12 +10,26 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAss
 use serde::{Deserialize, Serialize};
 
 use crate::error::{LinalgError, Result};
+use crate::kernels;
+
+/// Validates that a preallocated output matrix has exactly the shape the
+/// operation will produce.
+fn check_out_shape(out: &Matrix, rows: usize, cols: usize, op: &'static str) -> Result<()> {
+    if out.shape() != (rows, cols) {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (rows, cols),
+            got: out.shape(),
+            op,
+        });
+    }
+    Ok(())
+}
 
 /// A dense matrix of `f64` stored in row-major order.
 ///
 /// Invariants: `data.len() == rows * cols`; `rows` and `cols` may be zero
 /// (an empty matrix), in which case `data` is empty.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -25,12 +39,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -78,7 +100,11 @@ impl Matrix {
                 return Err(LinalgError::ShapeMismatch {
                     expected: (1, cols),
                     got: (1, r.len()),
-                    op: if i > 0 { "from_rows" } else { "from_rows (first row)" },
+                    op: if i > 0 {
+                        "from_rows"
+                    } else {
+                        "from_rows (first row)"
+                    },
                 });
             }
         }
@@ -86,7 +112,11 @@ impl Matrix {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -101,12 +131,20 @@ impl Matrix {
 
     /// Builds a column vector (`n x 1`) from a slice.
     pub fn col_vector(v: &[f64]) -> Self {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Builds a row vector (`1 x n`) from a slice.
     pub fn row_vector(v: &[f64]) -> Self {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -210,87 +248,122 @@ impl Matrix {
         self.diag().iter().sum()
     }
 
-    /// Matrix product `self * other`.
-    ///
-    /// Uses an ikj loop order so the inner loop runs over contiguous rows of
-    /// both the accumulator and `other` — cache-friendly without unsafe.
-    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+    /// Validates the inner dimensions for `self * other`.
+    pub(crate) fn shape_check_matmul(&self, other: &Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
-                expected: (self.cols, other.rows),
+                expected: (self.cols, other.cols),
                 got: other.shape(),
                 op: "matmul",
             });
         }
+        Ok(())
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Runs on the cache-blocked kernel layer ([`crate::kernels`]); see
+    /// [`Matrix::matmul_into`] for the allocation-free variant.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        self.shape_check_matmul(other)?;
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out)?;
         Ok(out)
+    }
+
+    /// Writes `self * other` into a preallocated output of exactly the
+    /// right shape, without heap allocation in the steady state.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.shape_check_matmul(other)?;
+        check_out_shape(out, self.rows, other.cols, "matmul_into")?;
+        kernels::gemm(
+            &self.data,
+            kernels::Op::NoTrans,
+            self.cols,
+            &other.data,
+            kernels::Op::NoTrans,
+            other.cols,
+            &mut out.data,
+            self.rows,
+            other.cols,
+            self.cols,
+        );
+        Ok(())
     }
 
     /// `selfᵀ * other` without materializing the transpose.
     pub fn tr_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.tr_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `selfᵀ * other` into a preallocated output.
+    pub fn tr_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.rows != other.rows {
             return Err(LinalgError::ShapeMismatch {
-                expected: (self.rows, other.rows),
+                expected: (self.rows, other.cols),
                 got: other.shape(),
                 op: "tr_matmul",
             });
         }
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += aki * b;
-                }
-            }
-        }
-        Ok(out)
+        check_out_shape(out, self.cols, other.cols, "tr_matmul_into")?;
+        kernels::gemm(
+            &self.data,
+            kernels::Op::Trans,
+            self.cols,
+            &other.data,
+            kernels::Op::NoTrans,
+            other.cols,
+            &mut out.data,
+            self.cols,
+            other.cols,
+            self.rows,
+        );
+        Ok(())
     }
 
     /// `self * otherᵀ` without materializing the transpose.
     pub fn matmul_tr(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_tr_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `self * otherᵀ` into a preallocated output.
+    pub fn matmul_tr_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.cols {
             return Err(LinalgError::ShapeMismatch {
-                expected: (self.rows, self.cols),
+                expected: (other.rows, self.cols),
                 got: other.shape(),
                 op: "matmul_tr",
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
-        Ok(out)
+        check_out_shape(out, self.rows, other.rows, "matmul_tr_into")?;
+        kernels::gemm(
+            &self.data,
+            kernels::Op::NoTrans,
+            self.cols,
+            &other.data,
+            kernels::Op::Trans,
+            other.cols,
+            &mut out.data,
+            self.rows,
+            other.rows,
+            self.cols,
+        );
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `self * v` into a preallocated output slice.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.cols != v.len() {
             return Err(LinalgError::ShapeMismatch {
                 expected: (self.cols, 1),
@@ -298,13 +371,26 @@ impl Matrix {
                 op: "matvec",
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
-            .collect())
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, 1),
+                got: (out.len(), 1),
+                op: "matvec_into",
+            });
+        }
+        kernels::gemv(&self.data, v, out, self.rows, self.cols);
+        Ok(())
     }
 
     /// Transposed matrix-vector product `selfᵀ * v`.
     pub fn tr_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.cols];
+        self.tr_matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `selfᵀ * v` into a preallocated output slice.
+    pub fn tr_matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.rows != v.len() {
             return Err(LinalgError::ShapeMismatch {
                 expected: (self.rows, 1),
@@ -312,16 +398,15 @@ impl Matrix {
                 op: "tr_matvec",
             });
         }
-        let mut out = vec![0.0; self.cols];
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(i).iter()) {
-                *o += vi * a;
-            }
+        if out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, 1),
+                got: (out.len(), 1),
+                op: "tr_matvec_into",
+            });
         }
-        Ok(out)
+        kernels::gemv_t(&self.data, v, out, self.rows, self.cols);
+        Ok(())
     }
 
     /// Elementwise (Hadamard) product.
@@ -332,10 +417,19 @@ impl Matrix {
     /// Elementwise division; entries where `other` is zero map to zero
     /// (the convention used by masked NMF updates).
     pub fn hadamard_div_or_zero(&self, other: &Matrix) -> Result<Matrix> {
-        self.zip_with(other, "hadamard_div", |a, b| if b == 0.0 { 0.0 } else { a / b })
+        self.zip_with(
+            other,
+            "hadamard_div",
+            |a, b| if b == 0.0 { 0.0 } else { a / b },
+        )
     }
 
-    fn zip_with(&self, other: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(LinalgError::ShapeMismatch {
                 expected: self.shape(),
@@ -349,7 +443,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Applies `f` to every entry, returning a new matrix.
@@ -410,10 +508,29 @@ impl Matrix {
     /// Extracts the sub-matrix of the given rows and all columns.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gathers the given rows into `out`, reshaping it to
+    /// `indices.len() x self.cols()`. Reuses `out`'s existing capacity, so
+    /// repeated gathers (e.g. the ALS row solves) allocate nothing once the
+    /// buffer has grown to its high-water mark.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reset_shape(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
+    }
+
+    /// Reshapes in place to `rows x cols`, zero-filling the contents.
+    /// Existing capacity is reused; this only allocates when the new shape
+    /// exceeds the largest shape the matrix has held.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Extracts the sub-matrix of the given columns and all rows.
@@ -461,7 +578,11 @@ impl Matrix {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// True if every entry of `self` is within `tol` of `other`.
@@ -519,7 +640,12 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -527,7 +653,12 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -560,7 +691,8 @@ impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
-        self.zip_with(rhs, "add", |a, b| a + b).expect("checked shapes")
+        self.zip_with(rhs, "add", |a, b| a + b)
+            .expect("checked shapes")
     }
 }
 
@@ -568,7 +700,8 @@ impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
-        self.zip_with(rhs, "sub", |a, b| a - b).expect("checked shapes")
+        self.zip_with(rhs, "sub", |a, b| a - b)
+            .expect("checked shapes")
     }
 }
 
@@ -707,7 +840,10 @@ mod tests {
         let a = m2x2(1.0, 2.0, 3.0, 4.0);
         let b = m2x2(2.0, 0.0, 0.5, 4.0);
         assert_eq!(a.hadamard(&b).unwrap(), m2x2(2.0, 0.0, 1.5, 16.0));
-        assert_eq!(a.hadamard_div_or_zero(&b).unwrap(), m2x2(0.5, 0.0, 6.0, 1.0));
+        assert_eq!(
+            a.hadamard_div_or_zero(&b).unwrap(),
+            m2x2(0.5, 0.0, 6.0, 1.0)
+        );
     }
 
     #[test]
@@ -763,7 +899,7 @@ mod tests {
         let b = m2x2(4.0, 3.0, 2.0, 1.0);
         assert_eq!(&a + &b, Matrix::filled(2, 2, 5.0));
         assert_eq!(&a - &a, Matrix::zeros(2, 2));
-        assert_eq!((&(-&a)).scale(-1.0), a);
+        assert_eq!((-&a).scale(-1.0), a);
         let mut c = a.clone();
         c += &b;
         c -= &b;
@@ -776,7 +912,10 @@ mod tests {
     fn iter_entries_order() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let entries: Vec<_> = a.iter_entries().collect();
-        assert_eq!(entries, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]
+        );
     }
 
     #[test]

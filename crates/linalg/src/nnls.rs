@@ -29,7 +29,11 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     // Gradient of ½‖Ax−b‖² is Aᵀ(Ax−b); w = −gradient = Aᵀ(b−Ax).
     let gradient = |x: &[f64]| -> Result<Vec<f64>> {
         let ax = a.matvec(x)?;
-        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let resid: Vec<f64> = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(&bi, &axi)| bi - axi)
+            .collect();
         a.tr_matvec(&resid)
     };
 
@@ -144,7 +148,11 @@ mod tests {
         let x = nnls(&a, &b).unwrap();
         assert!(x.iter().all(|&v| v >= 0.0));
         let ax = a.matvec(&x).unwrap();
-        let r2: f64 = b.iter().zip(ax.iter()).map(|(&bi, &ai)| (bi - ai) * (bi - ai)).sum();
+        let r2: f64 = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(&bi, &ai)| (bi - ai) * (bi - ai))
+            .sum();
         let b2: f64 = b.iter().map(|&v| v * v).sum();
         assert!(r2 <= b2 + 1e-9);
     }
@@ -160,7 +168,12 @@ mod tests {
         for j in 0..3 {
             if x[j] > 1e-8 {
                 // Active (positive) coordinates: gradient must vanish.
-                assert!(w[j].abs() < 1e-6, "w[{j}] = {} with x[{j}] = {}", w[j], x[j]);
+                assert!(
+                    w[j].abs() < 1e-6,
+                    "w[{j}] = {} with x[{j}] = {}",
+                    w[j],
+                    x[j]
+                );
             } else {
                 // Zero coordinates: gradient must not be ascent direction.
                 assert!(w[j] <= 1e-6, "w[{j}] = {} at bound", w[j]);

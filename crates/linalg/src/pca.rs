@@ -64,12 +64,29 @@ impl Pca {
                 op: "pca_transform",
             });
         }
-        let centered = Matrix::from_fn(data.rows(), data.cols(), |i, j| data[(i, j)] - self.mean[j]);
+        let centered =
+            Matrix::from_fn(data.rows(), data.cols(), |i, j| data[(i, j)] - self.mean[j]);
         centered.matmul(&self.components)
     }
 
     /// Projects a single row vector.
     pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let mut scratch = Vec::new();
+        let mut out = vec![0.0; self.dim()];
+        self.transform_row_into(row, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Projects a single row into a preallocated `out` (length [`Pca::dim`]),
+    /// using `scratch` for the centered row. Reuses both buffers' capacity,
+    /// so repeated projections (e.g. embedding every ordinary host in an
+    /// evaluation sweep) allocate nothing in the steady state.
+    pub fn transform_row_into(
+        &self,
+        row: &[f64],
+        scratch: &mut Vec<f64>,
+        out: &mut [f64],
+    ) -> Result<()> {
         if row.len() != self.mean.len() {
             return Err(LinalgError::ShapeMismatch {
                 expected: (1, self.mean.len()),
@@ -77,8 +94,9 @@ impl Pca {
                 op: "pca_transform_row",
             });
         }
-        let centered: Vec<f64> = row.iter().zip(self.mean.iter()).map(|(&x, &m)| x - m).collect();
-        self.components.tr_matvec(&centered)
+        scratch.clear();
+        scratch.extend(row.iter().zip(self.mean.iter()).map(|(&x, &m)| x - m));
+        self.components.tr_matvec_into(scratch, out)
     }
 
     /// Number of retained components.
@@ -115,7 +133,9 @@ mod tests {
 
     #[test]
     fn variance_ordering_and_total() {
-        let data = Matrix::from_fn(30, 4, |i, j| ((i * (j + 1)) as f64 * 0.21).sin() * (4 - j) as f64);
+        let data = Matrix::from_fn(30, 4, |i, j| {
+            ((i * (j + 1)) as f64 * 0.21).sin() * (4 - j) as f64
+        });
         let pca = fit(&data, 4).unwrap();
         for w in pca.explained_variance.windows(2) {
             assert!(w[0] >= w[1] - 1e-12);

@@ -105,7 +105,10 @@ pub fn qr(a: &Matrix) -> Result<Qr> {
 pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = r.rows();
     if !r.is_square() {
-        return Err(LinalgError::NotSquare { got: r.shape(), op: "solve_upper_triangular" });
+        return Err(LinalgError::NotSquare {
+            got: r.shape(),
+            op: "solve_upper_triangular",
+        });
     }
     if b.len() != n {
         return Err(LinalgError::ShapeMismatch {
@@ -123,7 +126,9 @@ pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             s -= r[(i, j)] * x[j];
         }
         if r[(i, i)].abs() <= tol {
-            return Err(LinalgError::Singular { op: "solve_upper_triangular" });
+            return Err(LinalgError::Singular {
+                op: "solve_upper_triangular",
+            });
         }
         x[i] = s / r[(i, i)];
     }
@@ -182,8 +187,12 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_square() {
-        let a = Matrix::from_vec(3, 3, vec![12.0, -51.0, 4.0, 6.0, 167.0, -68.0, -4.0, 24.0, -41.0])
-            .unwrap();
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![12.0, -51.0, 4.0, 6.0, 167.0, -68.0, -4.0, 24.0, -41.0],
+        )
+        .unwrap();
         let Qr { q, r } = qr(&a).unwrap();
         assert_orthonormal_cols(&q, 1e-12);
         let recon = q.matmul(&r).unwrap();
@@ -260,7 +269,9 @@ mod tests {
 
     #[test]
     fn lstsq_residual_orthogonal_to_columns() {
-        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) * (j + 2)) as f64 + ((i * j) as f64).cos());
+        let a = Matrix::from_fn(6, 3, |i, j| {
+            ((i + 1) * (j + 2)) as f64 + ((i * j) as f64).cos()
+        });
         let b: Vec<f64> = (0..6).map(|i| (i as f64).sin() * 3.0).collect();
         let x = lstsq(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -272,7 +283,9 @@ mod tests {
 
     #[test]
     fn lstsq_multi_matches_columnwise() {
-        let a = Matrix::from_fn(5, 2, |i, j| (i + j + 1) as f64 + if j == 1 { 0.3 } else { 0.0 });
+        let a = Matrix::from_fn(5, 2, |i, j| {
+            (i + j + 1) as f64 + if j == 1 { 0.3 } else { 0.0 }
+        });
         let b = Matrix::from_fn(5, 3, |i, j| ((i * 2 + j) as f64).sin());
         let x = lstsq_multi(&a, &b).unwrap();
         for j in 0..3 {

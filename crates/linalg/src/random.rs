@@ -43,7 +43,11 @@ mod tests {
         let mut rng = seeded_rng(7);
         let g = gaussian(200, 200, &mut rng);
         let mean = g.mean();
-        let var = g.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
+        let var = g
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
             / (g.as_slice().len() as f64);
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");

@@ -12,7 +12,11 @@ use crate::svd::{svd, Svd};
 /// Singular values below `rcond * s_max` are treated as zero. Use
 /// `rcond = 1e-12` for well-scaled data.
 pub fn pinv(a: &Matrix, rcond: f64) -> Result<Matrix> {
-    let Svd { u, singular_values, v } = svd(a)?;
+    let Svd {
+        u,
+        singular_values,
+        v,
+    } = svd(a)?;
     let smax = singular_values.first().copied().unwrap_or(0.0);
     let cutoff = rcond * smax;
     // pinv(A) = V S⁺ Uᵀ.
@@ -68,7 +72,9 @@ pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
         });
     }
     if lambda < 0.0 {
-        return Err(LinalgError::InvalidArgument("ridge lambda must be nonnegative"));
+        return Err(LinalgError::InvalidArgument(
+            "ridge lambda must be nonnegative",
+        ));
     }
     let mut ata = a.tr_matmul(a)?;
     for i in 0..ata.rows() {
@@ -83,6 +89,85 @@ pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
 
 /// QR-based least squares re-exported beside the normal-equations variant.
 pub use crate::qr::{lstsq as lstsq_qr, lstsq_multi as lstsq_qr_multi};
+
+/// Reusable scratch space for [`lstsq_ridge_with`]: the `AᵀA` Gram matrix
+/// and `Aᵀb` right-hand side. Reused across solves of the same width (the
+/// ALS row sweeps and host joins solve thousands of small systems of one
+/// fixed dimension), so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct NormalEqWorkspace {
+    ata: Matrix,
+    atb: Vec<f64>,
+}
+
+impl NormalEqWorkspace {
+    /// Creates a workspace pre-sized for systems of width `k`.
+    pub fn new(k: usize) -> Self {
+        NormalEqWorkspace {
+            ata: Matrix::zeros(k, k),
+            atb: vec![0.0; k],
+        }
+    }
+
+    fn fit_to(&mut self, k: usize) {
+        self.ata.reset_shape(k, k);
+        self.atb.clear();
+        self.atb.resize(k, 0.0);
+    }
+}
+
+/// Allocation-free ridge least squares: like [`lstsq_ridge`], but the Gram
+/// matrix, right-hand side, and Cholesky factorization all live in `ws`,
+/// and the solution is written into `out` (length = `a.cols()`).
+///
+/// Falls back to the allocating [`lstsq_normal`] pseudo-inverse path only
+/// when `AᵀA + λI` is numerically indefinite (rank-deficient input with
+/// `lambda = 0`), which mirrors [`lstsq_ridge`]'s behavior.
+pub fn lstsq_ridge_with(
+    a: &Matrix,
+    b: &[f64],
+    lambda: f64,
+    ws: &mut NormalEqWorkspace,
+    out: &mut [f64],
+) -> Result<()> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), 1),
+            got: (b.len(), 1),
+            op: "lstsq_ridge",
+        });
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::InvalidArgument(
+            "ridge lambda must be nonnegative",
+        ));
+    }
+    let k = a.cols();
+    if out.len() != k {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (k, 1),
+            got: (out.len(), 1),
+            op: "lstsq_ridge_with",
+        });
+    }
+    ws.fit_to(k);
+    a.tr_matmul_into(a, &mut ws.ata)?;
+    for i in 0..k {
+        ws.ata[(i, i)] += lambda;
+    }
+    a.tr_matvec_into(b, &mut ws.atb)?;
+    match crate::cholesky::cholesky_in_place(&mut ws.ata) {
+        Ok(()) => {
+            out.copy_from_slice(&ws.atb);
+            crate::cholesky::solve_cholesky_in_place(&ws.ata, out)
+        }
+        Err(_) => {
+            let x = lstsq_normal(a, b)?;
+            out.copy_from_slice(&x);
+            Ok(())
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -112,7 +197,9 @@ mod tests {
 
     #[test]
     fn normal_equations_match_qr_when_well_conditioned() {
-        let a = Matrix::from_fn(8, 3, |i, j| ((i * 3 + j) as f64 * 0.9).sin() + (j == 0) as u8 as f64);
+        let a = Matrix::from_fn(8, 3, |i, j| {
+            ((i * 3 + j) as f64 * 0.9).sin() + (j == 0) as u8 as f64
+        });
         let b: Vec<f64> = (0..8).map(|i| (i as f64 * 1.3).cos()).collect();
         let x1 = lstsq_normal(&a, &b).unwrap();
         let x2 = crate::qr::lstsq(&a, &b).unwrap();

@@ -56,7 +56,10 @@ impl Svd {
     /// Numerical rank: number of singular values above `tol * s_max`.
     pub fn rank(&self, tol: f64) -> usize {
         let smax = self.singular_values.first().copied().unwrap_or(0.0);
-        self.singular_values.iter().filter(|&&s| s > tol * smax).count()
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * smax)
+            .count()
     }
 }
 
@@ -70,11 +73,19 @@ const MAX_JACOBI_SWEEPS: usize = 60;
 pub fn svd(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return Ok(Svd { u: Matrix::zeros(m, 0), singular_values: vec![], v: Matrix::zeros(n, 0) });
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            singular_values: vec![],
+            v: Matrix::zeros(n, 0),
+        });
     }
     if m < n {
         let t = svd(&a.transpose())?;
-        return Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u });
+        return Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        });
     }
 
     // Work on columns of W (a copy of A); V accumulates the rotations.
@@ -89,7 +100,11 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         for i in 0..n {
             u[(i, i)] = 1.0;
         }
-        return Ok(Svd { u, singular_values: vec![0.0; n], v });
+        return Ok(Svd {
+            u,
+            singular_values: vec![0.0; n],
+            v,
+        });
     }
     let tol = eps * fnorm * fnorm;
 
@@ -143,7 +158,10 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         }
     }
     if !converged {
-        return Err(LinalgError::NoConvergence { op: "svd (one-sided Jacobi)", iterations: MAX_JACOBI_SWEEPS });
+        return Err(LinalgError::NoConvergence {
+            op: "svd (one-sided Jacobi)",
+            iterations: MAX_JACOBI_SWEEPS,
+        });
     }
 
     // Singular values are the column norms of W; U = W with normalized columns.
@@ -203,7 +221,11 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
             }
         }
     }
-    Ok(Svd { u, singular_values: sv, v: v_sorted })
+    Ok(Svd {
+        u,
+        singular_values: sv,
+        v: v_sorted,
+    })
 }
 
 /// Options for [`svd_truncated`].
@@ -220,7 +242,11 @@ pub struct TruncatedSvdOptions {
 
 impl Default for TruncatedSvdOptions {
     fn default() -> Self {
-        TruncatedSvdOptions { oversample: 8, max_iterations: 200, tolerance: 1e-10 }
+        TruncatedSvdOptions {
+            oversample: 8,
+            max_iterations: 200,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -233,7 +259,11 @@ pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<
     let (m, n) = a.shape();
     let k = d.min(m).min(n);
     if k == 0 {
-        return Ok(Svd { u: Matrix::zeros(m, 0), singular_values: vec![], v: Matrix::zeros(n, 0) });
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            singular_values: vec![],
+            v: Matrix::zeros(n, 0),
+        });
     }
     // If the requested rank is close to full, the exact algorithm is cheaper.
     let p = (k + opts.oversample).min(n).min(m);
@@ -287,7 +317,11 @@ pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<
     let singular_values = small.singular_values[..k].to_vec();
     let w = small.v.select_cols(&cols); // p x k
     let v_full = v.matmul(&w)?; // n x k
-    Ok(Svd { u, singular_values, v: v_full })
+    Ok(Svd {
+        u,
+        singular_values,
+        v: v_full,
+    })
 }
 
 #[cfg(test)]
@@ -317,7 +351,9 @@ mod tests {
         let d = Matrix::from_vec(
             4,
             4,
-            vec![0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0],
+            vec![
+                0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0,
+            ],
         )
         .unwrap();
         let s = svd(&d).unwrap();
@@ -398,19 +434,27 @@ mod tests {
                 trunc.singular_values[i]
             );
         }
-        assert!(trunc.reconstruct().approx_eq(&a, 1e-6 * full.singular_values[0]));
+        assert!(trunc
+            .reconstruct()
+            .approx_eq(&a, 1e-6 * full.singular_values[0]));
     }
 
     #[test]
     fn truncated_low_rank_approximation_error() {
         // For a general matrix the rank-d truncation error equals
         // sqrt(sum of squared discarded singular values) (Eckart–Young).
-        let a = Matrix::from_fn(40, 40, |i, j| ((i * 13 + j * 7) as f64 * 0.05).sin() + (i == j) as u8 as f64);
+        let a = Matrix::from_fn(40, 40, |i, j| {
+            ((i * 13 + j * 7) as f64 * 0.05).sin() + (i == j) as u8 as f64
+        });
         let full = svd(&a).unwrap();
         let d = 10;
         let trunc = svd_truncated(&a, d, TruncatedSvdOptions::default()).unwrap();
         let err = (&a - &trunc.reconstruct()).frobenius_norm();
-        let expected: f64 = full.singular_values[d..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        let expected: f64 = full.singular_values[d..]
+            .iter()
+            .map(|s| s * s)
+            .sum::<f64>()
+            .sqrt();
         assert!(
             (err - expected).abs() <= 1e-5 * expected.max(1.0),
             "err {err} vs optimal {expected}"
@@ -429,7 +473,9 @@ mod tests {
 
     #[test]
     fn truncate_method() {
-        let a = Matrix::from_fn(5, 5, |i, j| ((i * j) as f64 * 0.3).sin() + 2.0 * (i == j) as u8 as f64);
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            ((i * j) as f64 * 0.3).sin() + 2.0 * (i == j) as u8 as f64
+        });
         let s = svd(&a).unwrap();
         let t = s.truncate(2);
         assert_eq!(t.u.shape(), (5, 2));

@@ -1,0 +1,134 @@
+//! Property tests pinning the blocked kernel layer to the naive reference
+//! multiply: across random shapes — including empty, 1×n, and non-square
+//! operands — every product the kernels compute must match the textbook
+//! triple loop to ≤ 1e-12.
+
+use ides_linalg::kernels::{reference, KC, MR, NR};
+use ides_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix with entries in [-2, 2].
+fn det_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0xDEADBEEF);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) * 4.0 - 2.0
+    })
+}
+
+fn assert_close(fast: &Matrix, slow: &Matrix, what: &str) {
+    assert_eq!(fast.shape(), slow.shape(), "{what}: shape");
+    let tol = 1e-12 * (1.0 + slow.max_abs());
+    assert!(
+        fast.approx_eq(slow, tol),
+        "{what}: max abs diff {} exceeds {tol}",
+        fast.max_abs_diff(slow)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `matmul` equals the naive reference across random shapes, with
+    /// zero dimensions (empty), single rows/columns, and non-square
+    /// operands all included in the strategy.
+    #[test]
+    fn matmul_matches_naive((m, n, k) in (0usize..24, 0usize..24, 0usize..24), seed in 0u64..10_000) {
+        let a = det_matrix(m, k, seed);
+        let b = det_matrix(k, n, seed ^ 0xABCD);
+        let fast = a.matmul(&b).unwrap();
+        let slow = reference::matmul_ijk(&a, &b).unwrap();
+        assert_close(&fast, &slow, "matmul");
+        // Shallow depth means the blocked accumulation order is exactly
+        // ascending-k, so the match is bitwise, not just approximate.
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// `tr_matmul` equals transposing then multiplying naively.
+    #[test]
+    fn tr_matmul_matches_naive((r, c, n) in (0usize..24, 0usize..24, 0usize..24), seed in 0u64..10_000) {
+        let a = det_matrix(r, c, seed);
+        let b = det_matrix(r, n, seed ^ 0x1234);
+        let fast = a.tr_matmul(&b).unwrap();
+        let slow = reference::matmul_ijk(&a.transpose(), &b).unwrap();
+        assert_close(&fast, &slow, "tr_matmul");
+    }
+
+    /// `matmul_tr` equals multiplying by the naive transpose.
+    #[test]
+    fn matmul_tr_matches_naive((m, n, k) in (0usize..24, 0usize..24, 0usize..24), seed in 0u64..10_000) {
+        let a = det_matrix(m, k, seed);
+        let b = det_matrix(n, k, seed ^ 0x5678);
+        let fast = a.matmul_tr(&b).unwrap();
+        let slow = reference::matmul_ijk(&a, &b.transpose()).unwrap();
+        assert_close(&fast, &slow, "matmul_tr");
+    }
+
+    /// `matvec` / `tr_matvec` equal the naive column-vector product.
+    #[test]
+    fn matvec_matches_naive((m, k) in (0usize..40, 0usize..40), seed in 0u64..10_000) {
+        let a = det_matrix(m, k, seed);
+        let x = det_matrix(k, 1, seed ^ 0x42).into_vec();
+        let fast = a.matvec(&x).unwrap();
+        let slow = reference::matmul_ijk(&a, &Matrix::col_vector(&x)).unwrap();
+        for i in 0..m {
+            prop_assert!((fast[i] - slow[(i, 0)]).abs() <= 1e-12 * (1.0 + slow[(i, 0)].abs()));
+        }
+        let v = det_matrix(m, 1, seed ^ 0x43).into_vec();
+        let fast_t = a.tr_matvec(&v).unwrap();
+        let slow_t = reference::matmul_ijk(&a.transpose(), &Matrix::col_vector(&v)).unwrap();
+        for j in 0..k {
+            prop_assert!((fast_t[j] - slow_t[(j, 0)]).abs() <= 1e-12 * (1.0 + slow_t[(j, 0)].abs()));
+        }
+    }
+
+    /// The `_into` variants write the same values as the allocating ones
+    /// and reject mis-shaped outputs instead of resizing silently.
+    #[test]
+    fn into_variants_match((m, n, k) in (1usize..16, 1usize..16, 1usize..16), seed in 0u64..10_000) {
+        let a = det_matrix(m, k, seed);
+        let b = det_matrix(k, n, seed ^ 0x77);
+        let mut out = Matrix::zeros(m, n);
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(out, a.matmul(&b).unwrap());
+        let mut wrong = Matrix::zeros(m + 1, n);
+        prop_assert!(a.matmul_into(&b, &mut wrong).is_err());
+    }
+}
+
+/// Shapes that straddle every blocking boundary — micro-tile edges and the
+/// `KC` panel edge — still match the naive reference.
+#[test]
+fn blocking_boundary_shapes_match() {
+    let cases = [
+        (1, 1, 1),
+        (1, NR + 1, KC + 3),
+        (MR + 1, 1, KC - 1),
+        (MR * 3 + 2, NR * 2 + 5, KC + KC / 2),
+        (130, 70, KC * 2 + 1),
+    ];
+    for &(m, n, k) in &cases {
+        let a = det_matrix(m, k, (m * 100 + n * 10 + k) as u64);
+        let b = det_matrix(k, n, (k * 100 + m) as u64);
+        let fast = a.matmul(&b).unwrap();
+        let slow = reference::matmul_ijk(&a, &b).unwrap();
+        assert_close(&fast, &slow, "boundary matmul");
+        let fast_t = a.matmul_tr(&b.transpose()).unwrap();
+        assert_close(&fast_t, &slow, "boundary matmul_tr");
+    }
+}
+
+/// The two reference implementations agree with each other (sanity for the
+/// benchmark baselines).
+#[test]
+fn references_agree() {
+    let a = det_matrix(37, 29, 1);
+    let b = det_matrix(29, 31, 2);
+    let ijk = reference::matmul_ijk(&a, &b).unwrap();
+    let ikj = reference::matmul_ikj(&a, &b).unwrap();
+    assert_close(&ikj, &ijk, "ikj vs ijk");
+}

@@ -5,8 +5,8 @@ use ides_linalg::svd::{svd, svd_truncated, TruncatedSvdOptions};
 use ides_linalg::{eig::symmetric_eig, lu, nnls::nnls, solve::pinv, Matrix};
 use proptest::prelude::*;
 
-/// Strategy: a matrix of the given shape with entries in [-10, 10].
-
+/// Strategy: a small matrix shape (the matrices themselves are built
+/// deterministically from a seed).
 fn small_shape() -> impl Strategy<Value = (usize, usize)> {
     (1usize..8, 1usize..8)
 }
@@ -160,9 +160,13 @@ proptest! {
 /// Deterministic pseudo-random matrix from a seed (keeps shrinking fast by
 /// avoiding huge proptest vectors for multi-matrix laws).
 fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     Matrix::from_fn(rows, cols, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0 - 5.0
     })
 }

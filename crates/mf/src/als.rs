@@ -89,7 +89,10 @@ impl AlsConfig {
 
     /// Relative-error objective (weights `1/D²`).
     pub fn relative(dim: usize) -> Self {
-        AlsConfig { weights: WeightScheme::InverseSquare, ..AlsConfig::new(dim) }
+        AlsConfig {
+            weights: WeightScheme::InverseSquare,
+            ..AlsConfig::new(dim)
+        }
     }
 }
 
@@ -129,6 +132,16 @@ pub fn fit(data: &DistanceMatrix, config: AlsConfig) -> Result<AlsFit> {
         .map(|j| (0..m).filter(|&i| mask[(i, j)] == 1.0).collect())
         .collect();
 
+    // Preallocated sweep workspace: the gathered LS system, its right-hand
+    // side, the normal-equation scratch, and the solved row. Reused by
+    // every row solve of every sweep, so the inner loops allocate nothing
+    // once the buffers reach their high-water mark.
+    let mut a_buf = Matrix::zeros(m.max(n), k);
+    let mut b_buf: Vec<f64> = Vec::with_capacity(m.max(n));
+    let mut row_buf = vec![0.0; k];
+    let mut ne_ws = solve::NormalEqWorkspace::new(k);
+    let mut recon_band = Matrix::zeros(crate::banded::ERROR_BAND_ROWS.min(m.max(1)), n);
+
     let mut error_trace = Vec::with_capacity(config.sweeps);
     let mut prev = f64::INFINITY;
     for _sweep in 0..config.sweeps {
@@ -139,11 +152,12 @@ pub fn fit(data: &DistanceMatrix, config: AlsConfig) -> Result<AlsFit> {
             if obs.is_empty() {
                 continue;
             }
-            let mut a = y.select_rows(obs);
-            let mut b: Vec<f64> = obs.iter().map(|&j| d[(i, j)]).collect();
-            apply_weights(&mut a, &mut b, config.weights);
-            let xi = solve::lstsq_ridge(&a, &b, config.ridge)?;
-            x.set_row(i, &xi);
+            y.select_rows_into(obs, &mut a_buf);
+            b_buf.clear();
+            b_buf.extend(obs.iter().map(|&j| d[(i, j)]));
+            apply_weights(&mut a_buf, &mut b_buf, config.weights);
+            solve::lstsq_ridge_with(&a_buf, &b_buf, config.ridge, &mut ne_ws, &mut row_buf)?;
+            x.set_row(i, &row_buf);
         }
         // Y rows against fixed X.
         for j in 0..n {
@@ -151,13 +165,14 @@ pub fn fit(data: &DistanceMatrix, config: AlsConfig) -> Result<AlsFit> {
             if obs.is_empty() {
                 continue;
             }
-            let mut a = x.select_rows(obs);
-            let mut b: Vec<f64> = obs.iter().map(|&i| d[(i, j)]).collect();
-            apply_weights(&mut a, &mut b, config.weights);
-            let yj = solve::lstsq_ridge(&a, &b, config.ridge)?;
-            y.set_row(j, &yj);
+            x.select_rows_into(obs, &mut a_buf);
+            b_buf.clear();
+            b_buf.extend(obs.iter().map(|&i| d[(i, j)]));
+            apply_weights(&mut a_buf, &mut b_buf, config.weights);
+            solve::lstsq_ridge_with(&a_buf, &b_buf, config.ridge, &mut ne_ws, &mut row_buf)?;
+            y.set_row(j, &row_buf);
         }
-        let err = observed_sq_error(d, mask, &x, &y);
+        let err = crate::banded::banded_sq_error(d, Some(mask), &x, &y, &mut recon_band);
         error_trace.push(err);
         if config.tolerance > 0.0 && prev.is_finite() {
             let impr = (prev - err) / prev.max(1e-300);
@@ -168,7 +183,10 @@ pub fn fit(data: &DistanceMatrix, config: AlsConfig) -> Result<AlsFit> {
         prev = err;
     }
 
-    Ok(AlsFit { model: FactorModel::new(x, y)?, error_trace })
+    Ok(AlsFit {
+        model: FactorModel::new(x, y)?,
+        error_trace,
+    })
 }
 
 /// Scales LS rows/targets in place by the square-root weight of the target.
@@ -183,18 +201,6 @@ fn apply_weights(a: &mut Matrix, b: &mut [f64], scheme: WeightScheme) {
         }
         *target *= w;
     }
-}
-
-fn observed_sq_error(d: &Matrix, mask: &Matrix, x: &Matrix, y: &Matrix) -> f64 {
-    let recon = x.matmul_tr(y).expect("shapes agree");
-    let mut err = 0.0;
-    for (i, j, m) in mask.iter_entries() {
-        if m == 1.0 {
-            let diff = d[(i, j)] - recon[(i, j)];
-            err += diff * diff;
-        }
-    }
-    err
 }
 
 #[cfg(test)]
@@ -213,15 +219,23 @@ mod tests {
     fn recovers_exact_low_rank() {
         let d = DistanceMatrix::full("lr", low_rank(14)).unwrap();
         let fit = fit(&d, AlsConfig::new(3)).unwrap();
-        let rel = (&fit.model.reconstruct() - d.values()).frobenius_norm()
-            / d.values().frobenius_norm();
+        let rel =
+            (&fit.model.reconstruct() - d.values()).frobenius_norm() / d.values().frobenius_norm();
         assert!(rel < 1e-5, "relative error {rel}");
     }
 
     #[test]
     fn error_monotone_per_sweep() {
         let d = DistanceMatrix::full("lr", low_rank(12)).unwrap();
-        let fit = fit(&d, AlsConfig { sweeps: 20, tolerance: 0.0, ..AlsConfig::new(2) }).unwrap();
+        let fit = fit(
+            &d,
+            AlsConfig {
+                sweeps: 20,
+                tolerance: 0.0,
+                ..AlsConfig::new(2)
+            },
+        )
+        .unwrap();
         for w in fit.error_trace.windows(2) {
             assert!(w[1] <= w[0] * (1.0 + 1e-9), "{} -> {}", w[0], w[1]);
         }
@@ -249,15 +263,30 @@ mod tests {
         // ALS's exact half-steps should need far fewer passes than NMF's
         // multiplicative updates to reach the same error on clean data.
         let d = DistanceMatrix::full("lr", low_rank(15)).unwrap();
-        let als = fit(&d, AlsConfig { sweeps: 5, tolerance: 0.0, ..AlsConfig::new(3) }).unwrap();
+        let als = fit(
+            &d,
+            AlsConfig {
+                sweeps: 5,
+                tolerance: 0.0,
+                ..AlsConfig::new(3)
+            },
+        )
+        .unwrap();
         let nmf = nmf::fit(
             &d,
-            NmfConfig { iterations: 5, init: crate::nmf::NmfInit::Random, ..NmfConfig::new(3) },
+            NmfConfig {
+                iterations: 5,
+                init: crate::nmf::NmfInit::Random,
+                ..NmfConfig::new(3)
+            },
         )
         .unwrap();
         let als_err = als.error_trace.last().unwrap();
         let nmf_err = nmf.error_trace.last().unwrap();
-        assert!(als_err < nmf_err, "ALS {als_err} vs NMF {nmf_err} after 5 passes");
+        assert!(
+            als_err < nmf_err,
+            "ALS {als_err} vs NMF {nmf_err} after 5 passes"
+        );
     }
 
     #[test]
@@ -266,9 +295,15 @@ mod tests {
         // Make it asymmetric: the factorization must not care.
         d[(0, 5)] *= 3.0;
         let data = DistanceMatrix::full("asym", d.clone()).unwrap();
-        let fit = fit(&data, AlsConfig { sweeps: 60, ..AlsConfig::new(4) }).unwrap();
-        let rel =
-            (&fit.model.reconstruct() - &d).frobenius_norm() / d.frobenius_norm();
+        let fit = fit(
+            &data,
+            AlsConfig {
+                sweeps: 60,
+                ..AlsConfig::new(4)
+            },
+        )
+        .unwrap();
+        let rel = (&fit.model.reconstruct() - &d).frobenius_norm() / d.frobenius_norm();
         assert!(rel < 0.01, "relative error {rel}");
     }
 
@@ -294,8 +329,22 @@ mod tests {
             m
         };
         let data = DistanceMatrix::full("range", base.clone()).unwrap();
-        let uni = fit(&data, AlsConfig { sweeps: 40, ..AlsConfig::new(1) }).unwrap();
-        let rel = fit(&data, AlsConfig { sweeps: 40, ..AlsConfig::relative(1) }).unwrap();
+        let uni = fit(
+            &data,
+            AlsConfig {
+                sweeps: 40,
+                ..AlsConfig::new(1)
+            },
+        )
+        .unwrap();
+        let rel = fit(
+            &data,
+            AlsConfig {
+                sweeps: 40,
+                ..AlsConfig::relative(1)
+            },
+        )
+        .unwrap();
         let rel_err_small = |model: &FactorModel| -> f64 {
             let mut total = 0.0;
             let mut count = 0;
@@ -329,7 +378,15 @@ mod tests {
     fn early_stop_and_validation() {
         let d = DistanceMatrix::full("lr", low_rank(10)).unwrap();
         assert!(fit(&d, AlsConfig::new(0)).is_err());
-        let short = fit(&d, AlsConfig { sweeps: 100, tolerance: 1e-3, ..AlsConfig::new(3) }).unwrap();
+        let short = fit(
+            &d,
+            AlsConfig {
+                sweeps: 100,
+                tolerance: 1e-3,
+                ..AlsConfig::new(3)
+            },
+        )
+        .unwrap();
         assert!(short.error_trace.len() < 100);
     }
 }

@@ -1,0 +1,107 @@
+//! Shared band-buffered reconstruction error.
+//!
+//! Both the NMF and ALS fit loops report `Σ (D − X Yᵀ)²` over (observed)
+//! cells every iteration. Materializing the `m x n` reconstruction per
+//! iteration would dominate their memory traffic, so this helper produces
+//! it a row band at a time with the blocked kernel — the only place in
+//! `ides-mf` that reaches below the `Matrix` API into
+//! [`ides_linalg::kernels`] directly.
+
+use ides_linalg::kernels::{self, Op};
+use ides_linalg::Matrix;
+
+/// Rows of the reconstruction produced per band.
+pub(crate) const ERROR_BAND_ROWS: usize = 32;
+
+/// `Σ (D − X Yᵀ)²` over observed cells, computed band by band into the
+/// reusable `band` scratch (shape `ERROR_BAND_ROWS x n`, allocated once by
+/// the caller's workspace). `mask: None` treats every cell as observed;
+/// `Some(mask)` sums only cells where the mask is exactly 1.
+pub(crate) fn banded_sq_error(
+    d: &Matrix,
+    mask: Option<&Matrix>,
+    x: &Matrix,
+    y: &Matrix,
+    band: &mut Matrix,
+) -> f64 {
+    let (m, n) = d.shape();
+    let k = x.cols();
+    let band_rows = band.rows().max(1);
+    let mut err = 0.0;
+    let mut i0 = 0;
+    while i0 < m {
+        let rows = band_rows.min(m - i0);
+        kernels::gemm(
+            &x.as_slice()[i0 * k..(i0 + rows) * k],
+            Op::NoTrans,
+            k,
+            y.as_slice(),
+            Op::Trans,
+            k,
+            &mut band.as_mut_slice()[..rows * n],
+            rows,
+            n,
+            k,
+        );
+        let d_block = &d.as_slice()[i0 * n..(i0 + rows) * n];
+        let recon_block = &band.as_slice()[..rows * n];
+        match mask {
+            None => {
+                for (&dv, &rv) in d_block.iter().zip(recon_block.iter()) {
+                    let diff = dv - rv;
+                    err += diff * diff;
+                }
+            }
+            Some(mask) => {
+                let m_block = &mask.as_slice()[i0 * n..(i0 + rows) * n];
+                for ((&dv, &mv), &rv) in d_block.iter().zip(m_block.iter()).zip(recon_block.iter())
+                {
+                    if mv == 1.0 {
+                        let diff = dv - rv;
+                        err += diff * diff;
+                    }
+                }
+            }
+        }
+        i0 += rows;
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_full_reconstruction() {
+        let x = Matrix::from_fn(70, 3, |i, j| ((i * 3 + j) as f64 * 0.31).sin());
+        let y = Matrix::from_fn(50, 3, |i, j| ((i * 5 + j) as f64 * 0.17).cos());
+        let d = Matrix::from_fn(70, 50, |i, j| ((i + j) as f64 * 0.07).sin() + 1.0);
+        let recon = x.matmul_tr(&y).unwrap();
+        let full: f64 = d
+            .as_slice()
+            .iter()
+            .zip(recon.as_slice())
+            .map(|(&dv, &rv)| (dv - rv) * (dv - rv))
+            .sum();
+        let mut band = Matrix::zeros(ERROR_BAND_ROWS, 50);
+        let banded = banded_sq_error(&d, None, &x, &y, &mut band);
+        assert!((banded - full).abs() <= 1e-12 * (1.0 + full));
+
+        // Masked: hide a diagonal stripe and compare against the direct sum.
+        let mask = Matrix::from_fn(70, 50, |i, j| if (i + j) % 7 == 0 { 0.0 } else { 1.0 });
+        let masked_full: f64 = d
+            .iter_entries()
+            .map(|(i, j, dv)| {
+                if mask[(i, j)] == 1.0 {
+                    let diff = dv - recon[(i, j)];
+                    diff * diff
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let banded_masked = banded_sq_error(&d, Some(&mask), &x, &y, &mut band);
+        assert!((banded_masked - masked_full).abs() <= 1e-12 * (1.0 + masked_full));
+    }
+}

@@ -1,15 +1,17 @@
 //! Error type for model fitting.
+//!
+//! Implemented by hand (no `thiserror`): the build environment is offline,
+//! so derive-based error crates are unavailable; see `vendor/README.md`.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Result alias using [`MfError`].
 pub type Result<T> = std::result::Result<T, MfError>;
 
 /// Errors from factorization / embedding fits.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum MfError {
     /// X and Y factor dimensionalities disagree.
-    #[error("factor dimension mismatch: X is {}x{}, Y is {}x{}", x.0, x.1, y.0, y.1)]
     DimensionMismatch {
         /// Shape of the X factor.
         x: (usize, usize),
@@ -17,10 +19,8 @@ pub enum MfError {
         y: (usize, usize),
     },
     /// Input matrix shape is unusable (empty, or d exceeds size).
-    #[error("invalid input: {0}")]
     InvalidInput(String),
     /// NMF requires nonnegative input.
-    #[error("NMF input has negative entry {value} at ({row},{col})")]
     NegativeInput {
         /// Row of the offending entry.
         row: usize,
@@ -30,6 +30,60 @@ pub enum MfError {
         value: f64,
     },
     /// Propagated linear-algebra failure.
-    #[error("linear algebra error: {0}")]
-    Linalg(#[from] ides_linalg::LinalgError),
+    Linalg(ides_linalg::LinalgError),
+}
+
+impl fmt::Display for MfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MfError::DimensionMismatch { x, y } => write!(
+                f,
+                "factor dimension mismatch: X is {}x{}, Y is {}x{}",
+                x.0, x.1, y.0, y.1
+            ),
+            MfError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            MfError::NegativeInput { row, col, value } => {
+                write!(f, "NMF input has negative entry {value} at ({row},{col})")
+            }
+            MfError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MfError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ides_linalg::LinalgError> for MfError {
+    fn from(e: ides_linalg::LinalgError) -> Self {
+        MfError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MfError::DimensionMismatch {
+            x: (5, 3),
+            y: (4, 2),
+        };
+        assert!(e.to_string().contains("5x3"));
+        assert!(e.to_string().contains("4x2"));
+        let e = MfError::NegativeInput {
+            row: 1,
+            col: 2,
+            value: -3.0,
+        };
+        assert!(e.to_string().contains("-3"));
+        let e: MfError = ides_linalg::LinalgError::NotPositiveDefinite.into();
+        assert!(e.to_string().contains("linear algebra error"));
+    }
 }

@@ -37,7 +37,13 @@ pub struct GnpConfig {
 impl GnpConfig {
     /// Defaults sized like the original GNP software's settings.
     pub fn new(dim: usize) -> Self {
-        GnpConfig { dim, landmark_evals: 120_000, restarts: 4, host_evals: 4_000, seed: 42 }
+        GnpConfig {
+            dim,
+            landmark_evals: 120_000,
+            restarts: 4,
+            host_evals: 4_000,
+            seed: 42,
+        }
     }
 }
 
@@ -55,14 +61,20 @@ impl GnpModel {
     /// the summed relative error.
     pub fn fit_landmarks(data: &DistanceMatrix, config: GnpConfig) -> Result<Self> {
         if !data.is_square() {
-            return Err(MfError::InvalidInput("GNP landmark matrix must be square".into()));
+            return Err(MfError::InvalidInput(
+                "GNP landmark matrix must be square".into(),
+            ));
         }
         if !data.is_complete() {
-            return Err(MfError::InvalidInput("GNP cannot handle missing entries".into()));
+            return Err(MfError::InvalidInput(
+                "GNP cannot handle missing entries".into(),
+            ));
         }
         let m = data.rows();
         if m < 2 || config.dim == 0 {
-            return Err(MfError::InvalidInput("need >= 2 landmarks and dim >= 1".into()));
+            return Err(MfError::InvalidInput(
+                "need >= 2 landmarks and dim >= 1".into(),
+            ));
         }
         let d = config.dim;
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -94,7 +106,7 @@ impl GnpModel {
         for _ in 0..restarts {
             let x0: Vec<f64> = (0..m * d).map(|_| rng.gen_range(-spread..spread)).collect();
             let r = nelder_mead(
-                &objective,
+                objective,
                 &x0,
                 NelderMeadOptions {
                     max_evals: budget,
@@ -102,13 +114,13 @@ impl GnpModel {
                     initial_step: spread * 0.25,
                 },
             );
-            if best.as_ref().map_or(true, |(_, f)| r.fx < *f) {
+            if best.as_ref().is_none_or(|(_, f)| r.fx < *f) {
                 best = Some((r.x, r.fx));
             }
         }
         let (start, _) = best.expect("at least one restart ran");
         let polished = nelder_mead(
-            &objective,
+            objective,
             &start,
             NelderMeadOptions {
                 max_evals: budget,
@@ -136,7 +148,8 @@ impl GnpModel {
             )));
         }
         let d = self.dim;
-        let mut rng = StdRng::seed_from_u64(config.seed ^ host_seed.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ host_seed.wrapping_mul(0x9E3779B97F4A7C15));
         // Start at the centroid of the landmarks plus noise — standard GNP.
         let mut x0 = vec![0.0; d];
         for i in 0..m {
@@ -144,7 +157,11 @@ impl GnpModel {
                 *x += self.landmarks[(i, k)] / m as f64;
             }
         }
-        let spread = distances_to_landmarks.iter().copied().fold(0.0_f64, f64::max).max(1.0);
+        let spread = distances_to_landmarks
+            .iter()
+            .copied()
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
         for x in &mut x0 {
             *x += rng.gen_range(-0.1 * spread..0.1 * spread);
         }
@@ -161,7 +178,7 @@ impl GnpModel {
             total
         };
         let first = nelder_mead(
-            &objective,
+            objective,
             &x0,
             NelderMeadOptions {
                 max_evals: config.host_evals / 2,
@@ -171,7 +188,7 @@ impl GnpModel {
         );
         // Polish with a fresh simplex around the found optimum.
         let polished = nelder_mead(
-            &objective,
+            objective,
             &first.x,
             NelderMeadOptions {
                 max_evals: config.host_evals / 2,
@@ -179,7 +196,11 @@ impl GnpModel {
                 initial_step: spread * 0.03,
             },
         );
-        Ok(if polished.fx < first.fx { polished.x } else { first.x })
+        Ok(if polished.fx < first.fx {
+            polished.x
+        } else {
+            first.x
+        })
     }
 
     /// Landmark coordinate matrix (`m x d`).
@@ -216,7 +237,11 @@ impl DistanceEstimator for GnpModel {
 }
 
 fn euclid(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -224,8 +249,14 @@ mod tests {
     use super::*;
 
     fn euclidean_dataset(n: usize) -> (DistanceMatrix, Vec<(f64, f64)>) {
-        let coords: Vec<(f64, f64)> =
-            (0..n).map(|i| (((i * 13) % 7) as f64 * 12.0, ((i * 5) % 9) as f64 * 8.0 + 1.0)).collect();
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                (
+                    ((i * 13) % 7) as f64 * 12.0,
+                    ((i * 5) % 9) as f64 * 8.0 + 1.0,
+                )
+            })
+            .collect();
         let values = Matrix::from_fn(n, n, |i, j| {
             let (xi, yi) = coords[i];
             let (xj, yj) = coords[j];
@@ -276,7 +307,10 @@ mod tests {
             }
         }
         let mean_rel = total_rel / count as f64;
-        assert!(mean_rel < 0.2, "host fit deviates from landmark-3 embedding by {mean_rel}");
+        assert!(
+            mean_rel < 0.2,
+            "host fit deviates from landmark-3 embedding by {mean_rel}"
+        );
     }
 
     #[test]
@@ -302,7 +336,14 @@ mod tests {
         // Structural check: whatever GNP produces is symmetric, unlike the
         // factor model — this is §2.2's limitation.
         let ds = ides_datasets::generators::gnp_like(10, 5).unwrap();
-        let model = GnpModel::fit_landmarks(&ds.matrix, GnpConfig { landmark_evals: 5_000, ..GnpConfig::new(3) }).unwrap();
+        let model = GnpModel::fit_landmarks(
+            &ds.matrix,
+            GnpConfig {
+                landmark_evals: 5_000,
+                ..GnpConfig::new(3)
+            },
+        )
+        .unwrap();
         for i in 0..10 {
             for j in 0..10 {
                 assert_eq!(model.estimate(i, j), model.estimate(j, i));

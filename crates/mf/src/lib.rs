@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod als;
+mod banded;
 pub mod error;
 pub mod gnp;
 pub mod lipschitz;

@@ -12,7 +12,6 @@ use ides_linalg::pca::{self, Pca};
 #[cfg(test)]
 use ides_linalg::Matrix;
 
-
 use crate::error::{MfError, Result};
 use crate::model::{DistanceEstimator, EuclideanModel};
 
@@ -31,7 +30,9 @@ impl LipschitzPca {
     /// hosts as Lipschitz landmarks (the reconstruction setting of Fig. 3).
     pub fn fit(data: &DistanceMatrix, dim: usize) -> Result<Self> {
         if !data.is_square() {
-            return Err(MfError::InvalidInput("Lipschitz embedding needs a square matrix".into()));
+            return Err(MfError::InvalidInput(
+                "Lipschitz embedding needs a square matrix".into(),
+            ));
         }
         if !data.is_complete() {
             return Err(MfError::InvalidInput(
@@ -64,7 +65,11 @@ impl LipschitzPca {
             1.0
         };
         let calibrated = EuclideanModel::new(raw.coords().scale(scale));
-        Ok(LipschitzPca { projection, scale, model: calibrated })
+        Ok(LipschitzPca {
+            projection,
+            scale,
+            model: calibrated,
+        })
     }
 
     /// The calibrated Euclidean model over the training hosts.
@@ -80,8 +85,29 @@ impl LipschitzPca {
     /// Embeds a *new* host from its Lipschitz vector (distances to the same
     /// landmark set used in training), returning calibrated coordinates.
     pub fn embed(&self, distances_to_landmarks: &[f64]) -> Result<Vec<f64>> {
-        let projected = self.projection.transform_row(distances_to_landmarks)?;
-        Ok(projected.into_iter().map(|c| c * self.scale).collect())
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.embed_into(distances_to_landmarks, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`LipschitzPca::embed`]: writes the
+    /// calibrated coordinates into `out` (resized to the model dimension),
+    /// reusing both buffers' capacity across calls.
+    pub fn embed_into(
+        &self,
+        distances_to_landmarks: &[f64],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        out.clear();
+        out.resize(self.projection.dim(), 0.0);
+        self.projection
+            .transform_row_into(distances_to_landmarks, scratch, out)?;
+        for c in out.iter_mut() {
+            *c *= self.scale;
+        }
+        Ok(())
     }
 
     /// Estimated distance between two embedded coordinate vectors.
@@ -103,9 +129,17 @@ impl LipschitzPca {
         }
         let cols: Vec<usize> = (0..d).collect();
         // Undo the previous calibration before re-estimating it.
-        let raw_coords = self.model.coords().select_cols(&cols).scale(1.0 / self.scale);
+        let raw_coords = self
+            .model
+            .coords()
+            .select_cols(&cols)
+            .scale(1.0 / self.scale);
         let raw = EuclideanModel::new(raw_coords);
-        let scale = if data.is_square() { calibrate(&raw, data) } else { 1.0 };
+        let scale = if data.is_square() {
+            calibrate(&raw, data)
+        } else {
+            1.0
+        };
         let projection = Pca {
             mean: self.projection.mean.clone(),
             components: self.projection.components.select_cols(&cols),
@@ -159,8 +193,9 @@ mod tests {
     fn euclidean_dataset(n: usize) -> DistanceMatrix {
         // Points on a 2-D grid: distances are exactly Euclidean, so
         // Lipschitz+PCA (d>=2) should reconstruct them very well.
-        let coords: Vec<(f64, f64)> =
-            (0..n).map(|i| ((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0)).collect();
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0))
+            .collect();
         let values = Matrix::from_fn(n, n, |i, j| {
             let (xi, yi) = coords[i];
             let (xj, yj) = coords[j];

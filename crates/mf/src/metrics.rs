@@ -189,8 +189,7 @@ mod tests {
 
     #[test]
     fn reconstruction_errors_skip_diagonal_and_missing() {
-        let values =
-            Matrix::from_vec(2, 2, vec![0.0, 10.0, 0.0, 0.0]).unwrap();
+        let values = Matrix::from_vec(2, 2, vec![0.0, 10.0, 0.0, 0.0]).unwrap();
         let mut mask = Matrix::filled(2, 2, 1.0);
         mask[(1, 0)] = 0.0;
         let data = ides_datasets::DistanceMatrix::with_mask("t", values, mask).unwrap();

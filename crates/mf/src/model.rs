@@ -40,7 +40,10 @@ impl FactorModel {
     /// vector matrices. The column counts must agree.
     pub fn new(x: Matrix, y: Matrix) -> Result<Self> {
         if x.cols() != y.cols() {
-            return Err(MfError::DimensionMismatch { x: x.shape(), y: y.shape() });
+            return Err(MfError::DimensionMismatch {
+                x: x.shape(),
+                y: y.shape(),
+            });
         }
         Ok(FactorModel { x, y })
     }
@@ -72,13 +75,19 @@ impl FactorModel {
 
     /// Reconstructed matrix `X Yᵀ`.
     pub fn reconstruct(&self) -> Matrix {
-        self.x.matmul_tr(&self.y).expect("column counts checked at construction")
+        self.x
+            .matmul_tr(&self.y)
+            .expect("column counts checked at construction")
     }
 
     /// Estimates the distance between two *external* vector pairs (used by
     /// IDES for ordinary hosts that are not rows of the model).
     pub fn dot(out_vec: &[f64], in_vec: &[f64]) -> f64 {
-        out_vec.iter().zip(in_vec.iter()).map(|(&a, &b)| a * b).sum()
+        out_vec
+            .iter()
+            .zip(in_vec.iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 }
 
@@ -125,7 +134,11 @@ impl EuclideanModel {
 
     /// Euclidean distance between two coordinate vectors.
     pub fn distance(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

@@ -55,12 +55,21 @@ pub struct NmfConfig {
 impl NmfConfig {
     /// Paper defaults: 200 iterations, SVD warm start, fixed seed.
     pub fn new(dim: usize) -> Self {
-        NmfConfig { dim, iterations: 200, seed: 1729, tolerance: 0.0, init: NmfInit::Svd }
+        NmfConfig {
+            dim,
+            iterations: 200,
+            seed: 1729,
+            tolerance: 0.0,
+            init: NmfInit::Svd,
+        }
     }
 
     /// The paper's literal setup: random initialization.
     pub fn random_init(dim: usize) -> Self {
-        NmfConfig { init: NmfInit::Random, ..NmfConfig::new(dim) }
+        NmfConfig {
+            init: NmfInit::Random,
+            ..NmfConfig::new(dim)
+        }
     }
 }
 
@@ -79,7 +88,11 @@ pub fn fit_matrix(d: &Matrix, config: NmfConfig) -> Result<NmfFit> {
     validate(d, config.dim)?;
     for (i, j, v) in d.iter_entries() {
         if v < 0.0 {
-            return Err(MfError::NegativeInput { row: i, col: j, value: v });
+            return Err(MfError::NegativeInput {
+                row: i,
+                col: j,
+                value: v,
+            });
         }
     }
     let mask = Matrix::filled(d.rows(), d.cols(), 1.0);
@@ -90,7 +103,12 @@ pub fn fit_matrix(d: &Matrix, config: NmfConfig) -> Result<NmfFit> {
 /// entries are missing.
 pub fn fit(data: &DistanceMatrix, config: NmfConfig) -> Result<NmfFit> {
     validate(data.values(), config.dim)?;
-    Ok(fit_masked_inner(data.values(), data.mask(), config, data.is_complete()))
+    Ok(fit_masked_inner(
+        data.values(),
+        data.mask(),
+        config,
+        data.is_complete(),
+    ))
 }
 
 fn validate(d: &Matrix, dim: usize) -> Result<()> {
@@ -101,6 +119,46 @@ fn validate(d: &Matrix, dim: usize) -> Result<()> {
         return Err(MfError::InvalidInput("dimension must be at least 1".into()));
     }
     Ok(())
+}
+
+/// Preallocated iteration workspace: every buffer the multiplicative
+/// updates touch, sized once before the loop so the **iterations perform
+/// no heap allocation** (asserted by `tests/alloc_free.rs`).
+struct Workspace {
+    /// `k x k` Gram matrix (`YᵀY`, then `XᵀX`).
+    gram: Matrix,
+    /// `m x k` numerator / denominator for the X update.
+    num_x: Matrix,
+    den_x: Matrix,
+    /// `n x k` numerator / denominator for the Y update.
+    num_y: Matrix,
+    den_y: Matrix,
+    /// Masked path: `D ∘ mask`, fixed across iterations.
+    md: Matrix,
+    /// Masked path: current masked reconstruction `(X Yᵀ) ∘ mask`.
+    recon: Matrix,
+    /// Complete path: row band of the reconstruction for the fused error.
+    band: Matrix,
+}
+
+impl Workspace {
+    fn new(m: usize, n: usize, k: usize, complete: bool) -> Self {
+        let (mn_rows, mn_cols, band_rows) = if complete {
+            (0, 0, crate::banded::ERROR_BAND_ROWS.min(m.max(1)))
+        } else {
+            (m, n, 0)
+        };
+        Workspace {
+            gram: Matrix::zeros(k, k),
+            num_x: Matrix::zeros(m, k),
+            den_x: Matrix::zeros(m, k),
+            num_y: Matrix::zeros(n, k),
+            den_y: Matrix::zeros(n, k),
+            md: Matrix::zeros(mn_rows, mn_cols),
+            recon: Matrix::zeros(mn_rows, mn_cols),
+            band: Matrix::zeros(band_rows, n),
+        }
+    }
 }
 
 fn fit_masked_inner(d: &Matrix, mask: &Matrix, config: NmfConfig, complete: bool) -> NmfFit {
@@ -121,42 +179,77 @@ fn fit_masked_inner(d: &Matrix, mask: &Matrix, config: NmfConfig, complete: bool
             }
         }
         let mean = if count > 0 { sum / count as f64 } else { 0.0 };
-        Matrix::from_fn(m, n, |i, j| if mask[(i, j)] == 1.0 { d[(i, j)] } else { mean })
+        Matrix::from_fn(
+            m,
+            n,
+            |i, j| if mask[(i, j)] == 1.0 { d[(i, j)] } else { mean },
+        )
     };
     let (mut x, mut y) = initial_factors(&init_matrix, k, config);
+
+    let mut ws = Workspace::new(m, n, k, complete);
+    if !complete {
+        // Fixed numerator operand D ∘ mask, and the masked reconstruction
+        // of the initial factors. Inside the loop the reconstruction is
+        // recomputed exactly once per half-update and the end-of-iteration
+        // error pass doubles as the next iteration's masking pass.
+        for ((md, &dv), &mv) in ws
+            .md
+            .as_mut_slice()
+            .iter_mut()
+            .zip(d.as_slice())
+            .zip(mask.as_slice())
+        {
+            *md = if mv == 1.0 { dv } else { 0.0 };
+        }
+        x.matmul_tr_into(&y, &mut ws.recon).expect("shapes agree");
+        mask_recon_and_error(&mut ws.recon, d, mask);
+    }
 
     let mut error_trace = Vec::with_capacity(config.iterations);
     let mut prev_err = f64::INFINITY;
     for _it in 0..config.iterations {
-        if complete {
+        let err = if complete {
             // Dense updates: X ← X ∘ (D Y) / (X (YᵀY)).
-            let yty = y.tr_matmul(&y).expect("shapes agree");
-            let dy = d.matmul(&y).expect("shapes agree");
-            let xyty = x.matmul(&yty).expect("shapes agree");
-            update_factor(&mut x, &dy, &xyty);
+            y.tr_matmul_into(&y, &mut ws.gram).expect("shapes agree");
+            d.matmul_into(&y, &mut ws.num_x).expect("shapes agree");
+            x.matmul_into(&ws.gram, &mut ws.den_x)
+                .expect("shapes agree");
+            update_factor(&mut x, &ws.num_x, &ws.den_x);
 
-            let xtx = x.tr_matmul(&x).expect("shapes agree");
-            let dtx = d.tr_matmul(&x).expect("shapes agree");
-            let yxtx = y.matmul(&xtx).expect("shapes agree");
-            update_factor(&mut y, &dtx, &yxtx);
+            x.tr_matmul_into(&x, &mut ws.gram).expect("shapes agree");
+            d.tr_matmul_into(&x, &mut ws.num_y).expect("shapes agree");
+            y.matmul_into(&ws.gram, &mut ws.den_y)
+                .expect("shapes agree");
+            update_factor(&mut y, &ws.num_y, &ws.den_y);
+
+            crate::banded::banded_sq_error(d, None, &x, &y, &mut ws.band)
         } else {
             // Masked updates (Eqs. 8–9): reconstruction enters only through
-            // observed cells.
-            let recon = x.matmul_tr(&y).expect("shapes agree");
-            let md = d.hadamard(mask).expect("shapes agree");
-            let mr = recon.hadamard(mask).expect("shapes agree");
-            let num_x = md.matmul(&y).expect("shapes agree");
-            let den_x = mr.matmul(&y).expect("shapes agree");
-            update_factor(&mut x, &num_x, &den_x);
+            // observed cells. `ws.recon` holds `(X Yᵀ) ∘ mask` for the
+            // current factors, carried over from the previous iteration's
+            // fused error pass.
+            ws.md.matmul_into(&y, &mut ws.num_x).expect("shapes agree");
+            ws.recon
+                .matmul_into(&y, &mut ws.den_x)
+                .expect("shapes agree");
+            update_factor(&mut x, &ws.num_x, &ws.den_x);
 
-            let recon = x.matmul_tr(&y).expect("shapes agree");
-            let mr = recon.hadamard(mask).expect("shapes agree");
-            let num_y = md.tr_matmul(&x).expect("shapes agree");
-            let den_y = mr.tr_matmul(&x).expect("shapes agree");
-            update_factor(&mut y, &num_y, &den_y);
-        }
+            x.matmul_tr_into(&y, &mut ws.recon).expect("shapes agree");
+            mask_recon_and_error(&mut ws.recon, d, mask);
+            ws.md
+                .tr_matmul_into(&x, &mut ws.num_y)
+                .expect("shapes agree");
+            ws.recon
+                .tr_matmul_into(&x, &mut ws.den_y)
+                .expect("shapes agree");
+            update_factor(&mut y, &ws.num_y, &ws.den_y);
 
-        let err = masked_sq_error(d, mask, &x, &y);
+            // Fused: one pass masks the fresh reconstruction for the next
+            // iteration *and* accumulates this iteration's squared error.
+            x.matmul_tr_into(&y, &mut ws.recon).expect("shapes agree");
+            mask_recon_and_error(&mut ws.recon, d, mask)
+        };
         error_trace.push(err);
         if config.tolerance > 0.0 && prev_err.is_finite() {
             let rel_impr = (prev_err - err) / prev_err.max(EPS);
@@ -233,7 +326,14 @@ fn initial_factors(d: &Matrix, k: usize, config: NmfConfig) -> (Matrix, Matrix) 
                     y.map_inplace(|v| if v <= 0.0 { fill } else { v });
                     (x, y)
                 }
-                Err(_) => initial_factors(d, k, NmfConfig { init: NmfInit::Random, ..config }),
+                Err(_) => initial_factors(
+                    d,
+                    k,
+                    NmfConfig {
+                        init: NmfInit::Random,
+                        ..config
+                    },
+                ),
             }
         }
     }
@@ -241,22 +341,32 @@ fn initial_factors(d: &Matrix, k: usize, config: NmfConfig) -> (Matrix, Matrix) 
 
 /// In-place multiplicative update `f ← f ∘ num / den` with a positive floor.
 fn update_factor(f: &mut Matrix, num: &Matrix, den: &Matrix) {
-    for i in 0..f.rows() {
-        for j in 0..f.cols() {
-            let d = den[(i, j)].max(EPS);
-            f[(i, j)] = (f[(i, j)] * num[(i, j)] / d).max(EPS);
-        }
+    for ((fv, &nv), &dv) in f
+        .as_mut_slice()
+        .iter_mut()
+        .zip(num.as_slice())
+        .zip(den.as_slice())
+    {
+        *fv = (*fv * nv / dv.max(EPS)).max(EPS);
     }
 }
 
-/// Σ_observed (D − X Yᵀ)².
-fn masked_sq_error(d: &Matrix, mask: &Matrix, x: &Matrix, y: &Matrix) -> f64 {
-    let recon = x.matmul_tr(y).expect("shapes agree");
+/// One fused row-major pass over the reconstruction: zeroes the cells the
+/// mask hides (producing `(X Yᵀ) ∘ mask` in place) and accumulates
+/// `Σ_observed (D − X Yᵀ)²` over the cells it keeps.
+fn mask_recon_and_error(recon: &mut Matrix, d: &Matrix, mask: &Matrix) -> f64 {
     let mut err = 0.0;
-    for (i, j, m) in mask.iter_entries() {
-        if m == 1.0 {
-            let diff = d[(i, j)] - recon[(i, j)];
+    for ((rv, &dv), &mv) in recon
+        .as_mut_slice()
+        .iter_mut()
+        .zip(d.as_slice())
+        .zip(mask.as_slice())
+    {
+        if mv == 1.0 {
+            let diff = dv - *rv;
             err += diff * diff;
+        } else {
+            *rv = 0.0;
         }
     }
     err
@@ -278,18 +388,41 @@ mod tests {
     fn error_descends_monotonically() {
         // Lee–Seung updates are guaranteed non-increasing in the objective.
         let d = low_rank_nonneg(12);
-        let fit = fit_matrix(&d, NmfConfig { dim: 3, iterations: 100, seed: 5, tolerance: 0.0, init: NmfInit::Random })
-            .unwrap();
+        let fit = fit_matrix(
+            &d,
+            NmfConfig {
+                dim: 3,
+                iterations: 100,
+                seed: 5,
+                tolerance: 0.0,
+                init: NmfInit::Random,
+            },
+        )
+        .unwrap();
         for w in fit.error_trace.windows(2) {
-            assert!(w[1] <= w[0] * (1.0 + 1e-9), "error increased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "error increased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
     #[test]
     fn recovers_low_rank_matrix() {
         let d = low_rank_nonneg(15);
-        let fit = fit_matrix(&d, NmfConfig { dim: 2, iterations: 500, seed: 1, tolerance: 0.0, init: NmfInit::Random })
-            .unwrap();
+        let fit = fit_matrix(
+            &d,
+            NmfConfig {
+                dim: 2,
+                iterations: 500,
+                seed: 1,
+                tolerance: 0.0,
+                init: NmfInit::Random,
+            },
+        )
+        .unwrap();
         let rel = (&d - &fit.model.reconstruct()).frobenius_norm() / d.frobenius_norm();
         assert!(rel < 0.02, "relative reconstruction error {rel}");
     }
@@ -327,7 +460,17 @@ mod tests {
         let mut mask = Matrix::filled(10, 10, 1.0);
         mask[(1, 2)] = 0.0;
         let data = DistanceMatrix::with_mask("m", corrupted, mask).unwrap();
-        let fit = fit(&data, NmfConfig { dim: 2, iterations: 400, seed: 3, tolerance: 0.0, init: NmfInit::Svd }).unwrap();
+        let fit = fit(
+            &data,
+            NmfConfig {
+                dim: 2,
+                iterations: 400,
+                seed: 3,
+                tolerance: 0.0,
+                init: NmfInit::Svd,
+            },
+        )
+        .unwrap();
         // The masked cell should be *predicted* near the true low-rank value,
         // not the corrupted 500.
         let predicted = fit.model.estimate(1, 2);
@@ -341,7 +484,13 @@ mod tests {
     #[test]
     fn masked_updates_match_dense_on_complete_data() {
         let d = low_rank_nonneg(8);
-        let cfg = NmfConfig { dim: 2, iterations: 50, seed: 9, tolerance: 0.0, init: NmfInit::Random };
+        let cfg = NmfConfig {
+            dim: 2,
+            iterations: 50,
+            seed: 9,
+            tolerance: 0.0,
+            init: NmfInit::Random,
+        };
         let dense = fit_matrix(&d, cfg).unwrap();
         // Force the masked code path with an all-ones mask.
         let mask = Matrix::filled(8, 8, 1.0);
@@ -363,15 +512,32 @@ mod tests {
         for i in 0..10 {
             d[(i, (i * 3) % 10)] += 0.5;
         }
-        let full = fit_matrix(&d, NmfConfig { iterations: 300, tolerance: 0.0, ..NmfConfig::new(2) })
-            .unwrap();
-        let early = fit_matrix(&d, NmfConfig { iterations: 300, tolerance: 1e-4, ..NmfConfig::new(2) })
-            .unwrap();
+        let full = fit_matrix(
+            &d,
+            NmfConfig {
+                iterations: 300,
+                tolerance: 0.0,
+                ..NmfConfig::new(2)
+            },
+        )
+        .unwrap();
+        let early = fit_matrix(
+            &d,
+            NmfConfig {
+                iterations: 300,
+                tolerance: 1e-4,
+                ..NmfConfig::new(2)
+            },
+        )
+        .unwrap();
         assert!(early.error_trace.len() < full.error_trace.len());
         // And the early-stopped error is still close to the full-run error.
         let e_early = early.error_trace.last().unwrap();
         let e_full = full.error_trace.last().unwrap();
-        assert!(e_early <= &(e_full * 1.05), "early {e_early} vs full {e_full}");
+        assert!(
+            e_early <= &(e_full * 1.05),
+            "early {e_early} vs full {e_full}"
+        );
     }
 
     #[test]
@@ -382,8 +548,22 @@ mod tests {
         // value, i.e. 200 iterations reach the practical optimum.
         let ds = ides_datasets::generators::gnp_like(19, 4).unwrap();
         let d = ds.matrix.values();
-        let short = fit_matrix(d, NmfConfig { iterations: 200, ..NmfConfig::new(8) }).unwrap();
-        let long = fit_matrix(d, NmfConfig { iterations: 1000, ..NmfConfig::new(8) }).unwrap();
+        let short = fit_matrix(
+            d,
+            NmfConfig {
+                iterations: 200,
+                ..NmfConfig::new(8)
+            },
+        )
+        .unwrap();
+        let long = fit_matrix(
+            d,
+            NmfConfig {
+                iterations: 1000,
+                ..NmfConfig::new(8)
+            },
+        )
+        .unwrap();
         let norm = d.frobenius_norm();
         let r200 = short.error_trace.last().unwrap().sqrt() / norm;
         let r1000 = long.error_trace.last().unwrap().sqrt() / norm;
@@ -399,9 +579,19 @@ mod tests {
         // update its error must already be well below the random start's.
         let ds = ides_datasets::generators::gnp_like(19, 12).unwrap();
         let d = ds.matrix.values();
-        let cfg = NmfConfig { iterations: 3, ..NmfConfig::new(8) };
+        let cfg = NmfConfig {
+            iterations: 3,
+            ..NmfConfig::new(8)
+        };
         let warm = fit_matrix(d, cfg).unwrap();
-        let cold = fit_matrix(d, NmfConfig { init: NmfInit::Random, ..cfg }).unwrap();
+        let cold = fit_matrix(
+            d,
+            NmfConfig {
+                init: NmfInit::Random,
+                ..cfg
+            },
+        )
+        .unwrap();
         assert!(
             warm.error_trace[0] < cold.error_trace[0],
             "warm first-iteration error {} vs cold {}",

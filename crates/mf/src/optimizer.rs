@@ -19,7 +19,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_evals: 20_000, f_tolerance: 1e-9, initial_step: 1.0 }
+        NelderMeadOptions {
+            max_evals: 20_000,
+            f_tolerance: 1e-9,
+            initial_step: 1.0,
+        }
     }
 }
 
@@ -57,7 +61,11 @@ pub fn nelder_mead(
     simplex.push((x0.to_vec(), f0));
     for i in 0..n {
         let mut xi = x0.to_vec();
-        xi[i] += if x0[i].abs() > 1e-8 { 0.05 * x0[i].abs().max(opts.initial_step) } else { opts.initial_step };
+        xi[i] += if x0[i].abs() > 1e-8 {
+            0.05 * x0[i].abs().max(opts.initial_step)
+        } else {
+            opts.initial_step
+        };
         let fi = eval(&xi, &mut evals);
         simplex.push((xi, fi));
     }
@@ -95,13 +103,20 @@ pub fn nelder_mead(
                 .map(|(&c, &w)| c + gamma * (c - w))
                 .collect();
             let f_expand = eval(&expand, &mut evals);
-            simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
         } else if f_reflect < simplex[n - 1].1 {
             simplex[n] = (reflect, f_reflect);
         } else {
             // Contract towards the better of worst/reflected.
-            let (base, f_base) =
-                if f_reflect < worst.1 { (&reflect, f_reflect) } else { (&worst.0, worst.1) };
+            let (base, f_base) = if f_reflect < worst.1 {
+                (&reflect, f_reflect)
+            } else {
+                (&worst.0, worst.1)
+            };
             let contract: Vec<f64> = centroid
                 .iter()
                 .zip(base.iter())
@@ -123,7 +138,11 @@ pub fn nelder_mead(
         }
     }
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
-    NelderMeadResult { x: simplex[0].0.clone(), fx: simplex[0].1, evals }
+    NelderMeadResult {
+        x: simplex[0].0.clone(),
+        fx: simplex[0].1,
+        evals,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +161,14 @@ mod tests {
     #[test]
     fn minimizes_rosenbrock_2d() {
         let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
-        let r = nelder_mead(f, &[-1.2, 1.0], NelderMeadOptions { max_evals: 50_000, ..Default::default() });
+        let r = nelder_mead(
+            f,
+            &[-1.2, 1.0],
+            NelderMeadOptions {
+                max_evals: 50_000,
+                ..Default::default()
+            },
+        );
         assert!(r.fx < 1e-6, "fx = {}", r.fx);
         assert!((r.x[0] - 1.0).abs() < 1e-2);
     }
@@ -150,7 +176,14 @@ mod tests {
     #[test]
     fn respects_eval_budget() {
         let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
-        let r = nelder_mead(f, &[10.0; 8], NelderMeadOptions { max_evals: 100, ..Default::default() });
+        let r = nelder_mead(
+            f,
+            &[10.0; 8],
+            NelderMeadOptions {
+                max_evals: 100,
+                ..Default::default()
+            },
+        );
         // Budget may be slightly exceeded inside a shrink step, never wildly.
         assert!(r.evals <= 100 + 10, "{} evals", r.evals);
     }
@@ -165,7 +198,14 @@ mod tests {
     #[test]
     fn higher_dimensional_sphere() {
         let f = |x: &[f64]| x.iter().map(|v| (v - 2.0) * (v - 2.0)).sum::<f64>();
-        let r = nelder_mead(f, &[0.0; 6], NelderMeadOptions { max_evals: 100_000, ..Default::default() });
+        let r = nelder_mead(
+            f,
+            &[0.0; 6],
+            NelderMeadOptions {
+                max_evals: 100_000,
+                ..Default::default()
+            },
+        );
         for &xi in &r.x {
             assert!((xi - 2.0).abs() < 1e-2, "{:?}", r.x);
         }

@@ -25,7 +25,10 @@ pub struct SvdConfig {
 impl SvdConfig {
     /// Config with dimension `d` and automatic algorithm choice.
     pub fn new(dim: usize) -> Self {
-        SvdConfig { dim, force_exact: false }
+        SvdConfig {
+            dim,
+            force_exact: false,
+        }
     }
 }
 
@@ -90,10 +93,24 @@ mod tests {
     fn paper_example_exact_rank3() {
         // §4.1: the Figure-1 matrix has S = diag(4,2,2,0), so d=3 is exact.
         let d = figure1_distance_matrix();
-        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let model = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 3,
+                force_exact: true,
+            },
+        )
+        .unwrap();
         assert!(model.reconstruct().approx_eq(&d, 1e-9));
         // And the reconstruction is NOT possible in d=2 (error > 0).
-        let m2 = fit_matrix(&d, SvdConfig { dim: 2, force_exact: true }).unwrap();
+        let m2 = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 2,
+                force_exact: true,
+            },
+        )
+        .unwrap();
         assert!(!m2.reconstruct().approx_eq(&d, 1e-6));
     }
 
@@ -102,15 +119,32 @@ mod tests {
         // Eckart–Young: rank-d SVD factorization achieves the optimal
         // Frobenius error sqrt(Σ_{i>d} σᵢ²).
         let d = Matrix::from_fn(10, 10, |i, j| {
-            if i == j { 0.0 } else { 20.0 + ((i * 3 + j * 7) % 13) as f64 }
+            if i == j {
+                0.0
+            } else {
+                20.0 + ((i * 3 + j * 7) % 13) as f64
+            }
         });
         let full = svd(&d).unwrap();
         for dim in [1, 3, 5] {
-            let model = fit_matrix(&d, SvdConfig { dim, force_exact: true }).unwrap();
+            let model = fit_matrix(
+                &d,
+                SvdConfig {
+                    dim,
+                    force_exact: true,
+                },
+            )
+            .unwrap();
             let err = (&d - &model.reconstruct()).frobenius_norm();
-            let optimal: f64 =
-                full.singular_values[dim..].iter().map(|s| s * s).sum::<f64>().sqrt();
-            assert!((err - optimal).abs() < 1e-8 * (1.0 + optimal), "dim {dim}: {err} vs {optimal}");
+            let optimal: f64 = full.singular_values[dim..]
+                .iter()
+                .map(|s| s * s)
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                (err - optimal).abs() < 1e-8 * (1.0 + optimal),
+                "dim {dim}: {err} vs {optimal}"
+            );
         }
     }
 
@@ -118,7 +152,14 @@ mod tests {
     fn asymmetric_matrix_reconstructed() {
         // Euclidean embeddings cannot represent asymmetry; SVD factorization can.
         let d = Matrix::from_vec(3, 3, vec![0.0, 10.0, 3.0, 2.0, 0.0, 9.0, 8.0, 1.0, 0.0]).unwrap();
-        let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+        let model = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 3,
+                force_exact: true,
+            },
+        )
+        .unwrap();
         assert!(model.reconstruct().approx_eq(&d, 1e-8));
         assert!((model.estimate(0, 1) - 10.0).abs() < 1e-8);
         assert!((model.estimate(1, 0) - 2.0).abs() < 1e-8);
@@ -143,10 +184,28 @@ mod tests {
     #[test]
     fn truncated_matches_exact_on_moderate_matrix() {
         let d = Matrix::from_fn(30, 30, |i, j| {
-            if i == j { 0.0 } else { 15.0 + ((i / 5) as f64 - (j / 5) as f64).abs() * 12.0 }
+            if i == j {
+                0.0
+            } else {
+                15.0 + ((i / 5) as f64 - (j / 5) as f64).abs() * 12.0
+            }
         });
-        let exact = fit_matrix(&d, SvdConfig { dim: 5, force_exact: true }).unwrap();
-        let fast = fit_matrix(&d, SvdConfig { dim: 5, force_exact: false }).unwrap();
+        let exact = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 5,
+                force_exact: true,
+            },
+        )
+        .unwrap();
+        let fast = fit_matrix(
+            &d,
+            SvdConfig {
+                dim: 5,
+                force_exact: false,
+            },
+        )
+        .unwrap();
         let e1 = (&d - &exact.reconstruct()).frobenius_norm();
         let e2 = (&d - &fast.reconstruct()).frobenius_norm();
         assert!((e1 - e2).abs() < 1e-6 * (1.0 + e1), "{e1} vs {e2}");

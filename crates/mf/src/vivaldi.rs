@@ -33,7 +33,13 @@ pub struct VivaldiConfig {
 impl VivaldiConfig {
     /// Defaults matching the Vivaldi paper's constants.
     pub fn new(dim: usize) -> Self {
-        VivaldiConfig { dim, rounds: 100, cc: 0.25, ce: 0.25, seed: 7 }
+        VivaldiConfig {
+            dim,
+            rounds: 100,
+            cc: 0.25,
+            ce: 0.25,
+            seed: 7,
+        }
     }
 }
 
@@ -49,7 +55,9 @@ pub struct VivaldiFit {
 /// Runs centralized Vivaldi over all observed pairs of a square matrix.
 pub fn fit(data: &DistanceMatrix, config: VivaldiConfig) -> Result<VivaldiFit> {
     if !data.is_square() {
-        return Err(MfError::InvalidInput("Vivaldi needs a square matrix".into()));
+        return Err(MfError::InvalidInput(
+            "Vivaldi needs a square matrix".into(),
+        ));
     }
     let n = data.rows();
     if n < 2 || config.dim == 0 {
@@ -67,7 +75,9 @@ pub fn fit(data: &DistanceMatrix, config: VivaldiConfig) -> Result<VivaldiFit> {
         .filter(|&(i, j, v)| i != j && v > 0.0)
         .collect();
     if pairs.is_empty() {
-        return Err(MfError::InvalidInput("no observed off-diagonal pairs".into()));
+        return Err(MfError::InvalidInput(
+            "no observed off-diagonal pairs".into(),
+        ));
     }
 
     let mut order: Vec<usize> = (0..pairs.len()).collect();
@@ -102,8 +112,7 @@ pub fn fit(data: &DistanceMatrix, config: VivaldiConfig) -> Result<VivaldiFit> {
             let w = node_error[i] / (node_error[i] + node_error[j]).max(1e-12);
             let rel_err = (dist - rtt).abs() / rtt;
             // Update node i's error estimate (EWMA weighted by confidence).
-            node_error[i] =
-                rel_err * config.ce * w + node_error[i] * (1.0 - config.ce * w);
+            node_error[i] = rel_err * config.ce * w + node_error[i] * (1.0 - config.ce * w);
             // Move node i along the spring force.
             let delta = config.cc * w * (rtt - dist);
             let row = coords.row_mut(i);
@@ -112,7 +121,10 @@ pub fn fit(data: &DistanceMatrix, config: VivaldiConfig) -> Result<VivaldiFit> {
             }
         }
     }
-    Ok(VivaldiFit { model: EuclideanModel::new(coords), node_error })
+    Ok(VivaldiFit {
+        model: EuclideanModel::new(coords),
+        node_error,
+    })
 }
 
 #[cfg(test)]
@@ -121,8 +133,9 @@ mod tests {
     use crate::metrics::{reconstruction_errors, Cdf};
 
     fn euclidean_dataset(n: usize) -> DistanceMatrix {
-        let coords: Vec<(f64, f64)> =
-            (0..n).map(|i| (((i * 7) % 5) as f64 * 20.0, ((i * 3) % 4) as f64 * 15.0)).collect();
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|i| (((i * 7) % 5) as f64 * 20.0, ((i * 3) % 4) as f64 * 15.0))
+            .collect();
         let values = Matrix::from_fn(n, n, |i, j| {
             let (xi, yi) = coords[i];
             let (xj, yj) = coords[j];
@@ -134,7 +147,14 @@ mod tests {
     #[test]
     fn converges_on_euclidean_data() {
         let data = euclidean_dataset(15);
-        let fit = fit(&data, VivaldiConfig { rounds: 200, ..VivaldiConfig::new(2) }).unwrap();
+        let fit = fit(
+            &data,
+            VivaldiConfig {
+                rounds: 200,
+                ..VivaldiConfig::new(2)
+            },
+        )
+        .unwrap();
         let cdf = Cdf::new(reconstruction_errors(fit.model_ref(), &data));
         assert!(cdf.median() < 0.1, "median error {}", cdf.median());
     }
@@ -160,7 +180,14 @@ mod tests {
         let rect = DistanceMatrix::full("r", Matrix::zeros(2, 3)).unwrap();
         assert!(fit(&rect, VivaldiConfig::new(2)).is_err());
         let sq = euclidean_dataset(3);
-        assert!(fit(&sq, VivaldiConfig { dim: 0, ..VivaldiConfig::new(2) }).is_err());
+        assert!(fit(
+            &sq,
+            VivaldiConfig {
+                dim: 0,
+                ..VivaldiConfig::new(2)
+            }
+        )
+        .is_err());
         // All-zero matrix has no usable pairs.
         let zeros = DistanceMatrix::full("z", Matrix::zeros(3, 3)).unwrap();
         assert!(fit(&zeros, VivaldiConfig::new(2)).is_err());

@@ -26,9 +26,16 @@ impl DriftModel {
     /// Creates a drift model; `amplitude` must be in `[0, 1)` so delays
     /// stay positive.
     pub fn new(amplitude: f64, period_epochs: f64, salt: u64) -> Self {
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
         assert!(period_epochs > 0.0, "period must be positive");
-        DriftModel { amplitude, period_epochs, salt }
+        DriftModel {
+            amplitude,
+            period_epochs,
+            salt,
+        }
     }
 
     /// The multiplicative drift factor for host pair `(i, j)` at `epoch`.
@@ -75,9 +82,8 @@ impl DriftModel {
 }
 
 fn hash3(salt: u64, a: u64, b: u64) -> u64 {
-    let mut z = salt
-        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut z =
+        salt ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -90,7 +96,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn topo() -> TransitStubTopology {
-        let params = TransitStubParams { hosts: 20, stubs: 5, ..TransitStubParams::default() };
+        let params = TransitStubParams {
+            hosts: 20,
+            stubs: 5,
+            ..TransitStubParams::default()
+        };
         TransitStubTopology::generate(&params, &mut rand::rngs::StdRng::seed_from_u64(8))
     }
 

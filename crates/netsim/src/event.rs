@@ -51,7 +51,11 @@ impl<E> Ord for Scheduled<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -75,7 +79,11 @@ impl<E> EventQueue<E> {
     /// Panics on negative or non-finite delay.
     pub fn schedule(&mut self, delay: SimTime, event: E) {
         assert!(delay.is_finite() && delay >= 0.0, "invalid delay {delay}");
-        let s = Scheduled { time: self.now + delay, seq: self.seq, event };
+        let s = Scheduled {
+            time: self.now + delay,
+            seq: self.seq,
+            event,
+        };
         self.seq += 1;
         self.heap.push(s);
     }

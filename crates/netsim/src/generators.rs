@@ -33,7 +33,12 @@ pub struct WaxmanParams {
 
 impl Default for WaxmanParams {
     fn default() -> Self {
-        WaxmanParams { nodes: 50, alpha: 0.4, beta: 0.15, delay_per_unit_ms: 30.0 }
+        WaxmanParams {
+            nodes: 50,
+            alpha: 0.4,
+            beta: 0.15,
+            delay_per_unit_ms: 30.0,
+        }
     }
 }
 
@@ -53,8 +58,9 @@ pub fn waxman(params: &WaxmanParams, rng: &mut StdRng) -> WaxmanTopology {
     assert!(params.alpha > 0.0 && params.alpha <= 1.0, "alpha in (0,1]");
     assert!(params.beta > 0.0 && params.beta <= 1.0, "beta in (0,1]");
     let n = params.nodes;
-    let positions: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
     let mut graph = Graph::new(n);
     let l = 2.0_f64.sqrt();
     let dist = |a: (f64, f64), b: (f64, f64)| -> f64 {
@@ -245,12 +251,18 @@ mod tests {
     fn waxman_beta_controls_locality() {
         let mut rng = StdRng::seed_from_u64(5);
         let local = waxman(
-            &WaxmanParams { beta: 0.05, ..WaxmanParams::default() },
+            &WaxmanParams {
+                beta: 0.05,
+                ..WaxmanParams::default()
+            },
             &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(5);
         let global = waxman(
-            &WaxmanParams { beta: 0.9, ..WaxmanParams::default() },
+            &WaxmanParams {
+                beta: 0.9,
+                ..WaxmanParams::default()
+            },
             &mut rng,
         );
         assert!(

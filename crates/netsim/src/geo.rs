@@ -33,7 +33,10 @@ impl GeoPoint {
         if lon < 0.0 {
             lon += 360.0;
         }
-        GeoPoint { lat, lon: lon - 180.0 }
+        GeoPoint {
+            lat,
+            lon: lon - 180.0,
+        }
     }
 
     /// Great-circle distance to `other` in kilometers (haversine formula).
@@ -83,20 +86,35 @@ impl Region {
 }
 
 /// North America (contiguous US / southern Canada band).
-pub const NORTH_AMERICA: Region =
-    Region { name: "north-america", lat_range: (30.0, 50.0), lon_range: (-122.0, -72.0) };
+pub const NORTH_AMERICA: Region = Region {
+    name: "north-america",
+    lat_range: (30.0, 50.0),
+    lon_range: (-122.0, -72.0),
+};
 /// Western / central Europe.
-pub const EUROPE: Region =
-    Region { name: "europe", lat_range: (38.0, 58.0), lon_range: (-8.0, 25.0) };
+pub const EUROPE: Region = Region {
+    name: "europe",
+    lat_range: (38.0, 58.0),
+    lon_range: (-8.0, 25.0),
+};
 /// East / south-east Asia.
-pub const ASIA: Region =
-    Region { name: "asia", lat_range: (5.0, 42.0), lon_range: (95.0, 140.0) };
+pub const ASIA: Region = Region {
+    name: "asia",
+    lat_range: (5.0, 42.0),
+    lon_range: (95.0, 140.0),
+};
 /// South America.
-pub const SOUTH_AMERICA: Region =
-    Region { name: "south-america", lat_range: (-35.0, 5.0), lon_range: (-72.0, -40.0) };
+pub const SOUTH_AMERICA: Region = Region {
+    name: "south-america",
+    lat_range: (-35.0, 5.0),
+    lon_range: (-72.0, -40.0),
+};
 /// Australia / Oceania.
-pub const OCEANIA: Region =
-    Region { name: "oceania", lat_range: (-40.0, -15.0), lon_range: (115.0, 153.0) };
+pub const OCEANIA: Region = Region {
+    name: "oceania",
+    lat_range: (-40.0, -15.0),
+    lon_range: (115.0, 153.0),
+};
 
 /// All five modeled continental regions, in a fixed order.
 pub const ALL_REGIONS: [Region; 5] = [NORTH_AMERICA, EUROPE, ASIA, SOUTH_AMERICA, OCEANIA];

@@ -29,7 +29,9 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n] }
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -51,8 +53,14 @@ impl Graph {
     /// Adds a directed edge `u → v`. Panics on out-of-range nodes or
     /// non-finite/negative delay (these indicate generator bugs).
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, delay_ms: f64) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
-        assert!(delay_ms.is_finite() && delay_ms >= 0.0, "invalid delay {delay_ms}");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        assert!(
+            delay_ms.is_finite() && delay_ms >= 0.0,
+            "invalid delay {delay_ms}"
+        );
         self.adj[u].push(Edge { to: v, delay_ms });
     }
 
@@ -89,7 +97,11 @@ impl Graph {
     /// Policy routing (valley-free constraints, peering restrictions) is
     /// expressed through the filter rather than by materializing per-policy
     /// subgraphs.
-    pub fn dijkstra_filtered(&self, src: NodeId, allow: impl Fn(NodeId, &Edge) -> bool) -> Vec<f64> {
+    pub fn dijkstra_filtered(
+        &self,
+        src: NodeId,
+        allow: impl Fn(NodeId, &Edge) -> bool,
+    ) -> Vec<f64> {
         let n = self.adj.len();
         let mut dist = vec![f64::INFINITY; n];
         if src >= n {
@@ -97,7 +109,10 @@ impl Graph {
         }
         dist[src] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapItem { cost: 0.0, node: src });
+        heap.push(HeapItem {
+            cost: 0.0,
+            node: src,
+        });
         while let Some(HeapItem { cost, node }) = heap.pop() {
             if cost > dist[node] {
                 continue;
@@ -109,7 +124,10 @@ impl Graph {
                 let next = cost + e.delay_ms;
                 if next < dist[e.to] {
                     dist[e.to] = next;
-                    heap.push(HeapItem { cost: next, node: e.to });
+                    heap.push(HeapItem {
+                        cost: next,
+                        node: e.to,
+                    });
                 }
             }
         }
@@ -201,8 +219,9 @@ mod tests {
     fn filtered_dijkstra_respects_policy() {
         let mut g = line_graph();
         g.add_link(0, 3, 0.5); // forbidden shortcut
-        // Policy: the 0-3 shortcut is not usable.
-        let allow = |from: NodeId, e: &Edge| !((from == 0 && e.to == 3) || (from == 3 && e.to == 0));
+                               // Policy: the 0-3 shortcut is not usable.
+        let allow =
+            |from: NodeId, e: &Edge| !((from == 0 && e.to == 3) || (from == 3 && e.to == 0));
         let d = g.dijkstra_filtered(0, allow);
         assert_eq!(d[3], 6.0);
         // Unfiltered uses the shortcut.

@@ -32,17 +32,32 @@ pub struct MeasurementParams {
 impl MeasurementParams {
     /// NLANR-style: once-a-minute pings over a day, min filter → very clean.
     pub fn nlanr_style() -> Self {
-        MeasurementParams { probes: 24, jitter_frac: 0.08, floor_jitter_ms: 0.1, loss_prob: 0.0 }
+        MeasurementParams {
+            probes: 24,
+            jitter_frac: 0.08,
+            floor_jitter_ms: 0.1,
+            loss_prob: 0.0,
+        }
     }
 
     /// King-style indirect measurement: few probes, heavy jitter, losses.
     pub fn king_style() -> Self {
-        MeasurementParams { probes: 4, jitter_frac: 0.35, floor_jitter_ms: 0.5, loss_prob: 0.02 }
+        MeasurementParams {
+            probes: 4,
+            jitter_frac: 0.35,
+            floor_jitter_ms: 0.5,
+            loss_prob: 0.02,
+        }
     }
 
     /// Single clean probe (used by the IDES host-join protocol simulation).
     pub fn single_probe() -> Self {
-        MeasurementParams { probes: 3, jitter_frac: 0.1, floor_jitter_ms: 0.1, loss_prob: 0.0 }
+        MeasurementParams {
+            probes: 3,
+            jitter_frac: 0.1,
+            floor_jitter_ms: 0.1,
+            loss_prob: 0.0,
+        }
     }
 }
 
@@ -127,12 +142,9 @@ pub fn measure_submatrix(
                 mask[(ri, cj)] = 1.0;
                 continue;
             }
-            match measure_rtt(topo.host_rtt(i, j), params, rng) {
-                Some(v) => {
-                    d[(ri, cj)] = v;
-                    mask[(ri, cj)] = 1.0;
-                }
-                None => {}
+            if let Some(v) = measure_rtt(topo.host_rtt(i, j), params, rng) {
+                d[(ri, cj)] = v;
+                mask[(ri, cj)] = 1.0;
             }
         }
     }
@@ -155,7 +167,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn topo() -> TransitStubTopology {
-        let params = TransitStubParams { hosts: 30, stubs: 8, ..TransitStubParams::default() };
+        let params = TransitStubParams {
+            hosts: 30,
+            stubs: 8,
+            ..TransitStubParams::default()
+        };
         TransitStubTopology::generate(&params, &mut StdRng::seed_from_u64(5))
     }
 
@@ -174,23 +190,45 @@ mod tests {
     #[test]
     fn more_probes_tighter_estimate() {
         let mut rng = StdRng::seed_from_u64(1);
-        let few = MeasurementParams { probes: 1, loss_prob: 0.0, ..MeasurementParams::king_style() };
-        let many = MeasurementParams { probes: 50, loss_prob: 0.0, ..MeasurementParams::king_style() };
+        let few = MeasurementParams {
+            probes: 1,
+            loss_prob: 0.0,
+            ..MeasurementParams::king_style()
+        };
+        let many = MeasurementParams {
+            probes: 50,
+            loss_prob: 0.0,
+            ..MeasurementParams::king_style()
+        };
         let base = 50.0;
         let avg = |p: &MeasurementParams, rng: &mut StdRng| -> f64 {
-            (0..200).map(|_| measure_rtt(base, p, rng).unwrap()).sum::<f64>() / 200.0
+            (0..200)
+                .map(|_| measure_rtt(base, p, rng).unwrap())
+                .sum::<f64>()
+                / 200.0
         };
         let few_avg = avg(&few, &mut rng);
         let many_avg = avg(&many, &mut rng);
-        assert!(many_avg < few_avg, "min-of-50 {many_avg} not below min-of-1 {few_avg}");
-        assert!(many_avg - base < 0.1 * base, "min filter should approach base");
+        assert!(
+            many_avg < few_avg,
+            "min-of-50 {many_avg} not below min-of-1 {few_avg}"
+        );
+        assert!(
+            many_avg - base < 0.1 * base,
+            "min filter should approach base"
+        );
     }
 
     #[test]
     fn loss_produces_missing_entries() {
         let mut rng = StdRng::seed_from_u64(2);
-        let p = MeasurementParams { loss_prob: 0.5, ..MeasurementParams::default() };
-        let lost = (0..1000).filter(|_| measure_rtt(10.0, &p, &mut rng).is_none()).count();
+        let p = MeasurementParams {
+            loss_prob: 0.5,
+            ..MeasurementParams::default()
+        };
+        let lost = (0..1000)
+            .filter(|_| measure_rtt(10.0, &p, &mut rng).is_none())
+            .count();
         assert!((350..650).contains(&lost), "lost {lost}/1000 at p=0.5");
     }
 
@@ -198,7 +236,10 @@ mod tests {
     fn matrix_mask_consistency() {
         let t = topo();
         let mut rng = StdRng::seed_from_u64(3);
-        let p = MeasurementParams { loss_prob: 0.1, ..MeasurementParams::king_style() };
+        let p = MeasurementParams {
+            loss_prob: 0.1,
+            ..MeasurementParams::king_style()
+        };
         let (d, mask) = measure_matrix(&t, &p, &mut rng);
         let n = t.host_count();
         assert_eq!(d.shape(), (n, n));
@@ -224,7 +265,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let rows: Vec<usize> = (0..10).collect();
         let cols: Vec<usize> = (10..15).collect();
-        let (d, mask) = measure_submatrix(&t, &rows, &cols, &MeasurementParams::default(), &mut rng);
+        let (d, mask) =
+            measure_submatrix(&t, &rows, &cols, &MeasurementParams::default(), &mut rng);
         assert_eq!(d.shape(), (10, 5));
         assert_eq!(mask.shape(), (10, 5));
         for i in 0..10 {
@@ -238,7 +280,12 @@ mod tests {
     #[test]
     fn zero_jitter_reproduces_base() {
         let mut rng = StdRng::seed_from_u64(6);
-        let p = MeasurementParams { probes: 1, jitter_frac: 0.0, floor_jitter_ms: 0.0, loss_prob: 0.0 };
+        let p = MeasurementParams {
+            probes: 1,
+            jitter_frac: 0.0,
+            floor_jitter_ms: 0.0,
+            loss_prob: 0.0,
+        };
         let m = measure_rtt(42.0, &p, &mut rng).unwrap();
         assert!((m - 42.0).abs() < 1e-9);
     }

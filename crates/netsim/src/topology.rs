@@ -170,10 +170,8 @@ impl TransitStubTopology {
         // Region indices: 0 NA, 1 EU, 2 AS, 3 SA, 4 OC.
         const CABLES: [(usize, usize); 5] = [(0, 1), (0, 2), (1, 2), (0, 3), (2, 4)];
         for &(ra, rb) in &CABLES {
-            let a_candidates: Vec<usize> =
-                (0..t).filter(|&i| transit_regions[i] == ra).collect();
-            let b_candidates: Vec<usize> =
-                (0..t).filter(|&i| transit_regions[i] == rb).collect();
+            let a_candidates: Vec<usize> = (0..t).filter(|&i| transit_regions[i] == ra).collect();
+            let b_candidates: Vec<usize> = (0..t).filter(|&i| transit_regions[i] == rb).collect();
             // Pick the geographically closest pair plus one random backup.
             let mut best = (a_candidates[0], b_candidates[0], f64::INFINITY);
             for &a in &a_candidates {
@@ -232,7 +230,13 @@ impl TransitStubTopology {
             for (&h, &d) in homes.iter().zip(home_delays.iter()) {
                 graph.add_link(router, transit_nodes[h], d);
             }
-            stubs.push(Stub { router, region, location, homes, home_delays });
+            stubs.push(Stub {
+                router,
+                region,
+                location,
+                homes,
+                home_delays,
+            });
         }
 
         // Private peering between same-region stub pairs.
@@ -251,8 +255,10 @@ impl TransitStubTopology {
         // --- End hosts ---------------------------------------------------------
         // Hosts are placed on stubs with probability proportional to the
         // stub's region weight (so host geography follows `region_weights`).
-        let stub_weights: Vec<f64> =
-            stubs.iter().map(|s| params.region_weights[s.region].max(1e-9)).collect();
+        let stub_weights: Vec<f64> = stubs
+            .iter()
+            .map(|s| params.region_weights[s.region].max(1e-9))
+            .collect();
         let stub_weight_total: f64 = stub_weights.iter().sum();
         let mut hosts = Vec::with_capacity(params.hosts);
         for _ in 0..params.hosts {
@@ -280,7 +286,13 @@ impl TransitStubTopology {
                 stubs[stub_idx].location.lat + jitter_lat,
                 stubs[stub_idx].location.lon + jitter_lon,
             );
-            hosts.push(Host { node, stub: stub_idx, up_ms, down_ms, location: loc });
+            hosts.push(Host {
+                node,
+                stub: stub_idx,
+                up_ms,
+                down_ms,
+                location: loc,
+            });
         }
 
         let diversity_salt = rng.gen::<u64>();
@@ -376,7 +388,8 @@ impl TransitStubTopology {
 
 /// Deterministic hash of an ordered pair mapped to `[-1, 1]` (splitmix64).
 fn pair_hash(salt: u64, a: u64, b: u64) -> f64 {
-    let mut z = salt ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z =
+        salt ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -407,7 +420,9 @@ pub fn figure1_distance_matrix() -> ides_linalg::Matrix {
     ides_linalg::Matrix::from_vec(
         4,
         4,
-        vec![0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0],
+        vec![
+            0.0, 1.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 1.0, 2.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0,
+        ],
     )
     .expect("static shape")
 }
@@ -485,7 +500,9 @@ mod tests {
         // fraction of pairs some relay k gives rtt(i,k)+rtt(k,j) < rtt(i,j).
         let t = small_topology(3);
         let n = t.host_count();
-        let rtt: Vec<Vec<f64>> = (0..n).map(|i| (0..n).map(|j| t.host_rtt(i, j)).collect()).collect();
+        let rtt: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| t.host_rtt(i, j)).collect())
+            .collect();
         let mut violated = 0;
         let mut total = 0;
         for i in 0..n {
@@ -494,9 +511,8 @@ mod tests {
                     continue;
                 }
                 total += 1;
-                let has_detour = (0..n).any(|k| {
-                    k != i && k != j && rtt[i][k] + rtt[k][j] < rtt[i][j] * 0.999
-                });
+                let has_detour =
+                    (0..n).any(|k| k != i && k != j && rtt[i][k] + rtt[k][j] < rtt[i][j] * 0.999);
                 if has_detour {
                     violated += 1;
                 }
@@ -525,7 +541,10 @@ mod tests {
         if !same.is_empty() && !diff.is_empty() {
             let mean_same: f64 = same.iter().sum::<f64>() / same.len() as f64;
             let mean_diff: f64 = diff.iter().sum::<f64>() / diff.len() as f64;
-            assert!(mean_same < mean_diff, "same-stub {mean_same} >= cross-stub {mean_diff}");
+            assert!(
+                mean_same < mean_diff,
+                "same-stub {mean_same} >= cross-stub {mean_diff}"
+            );
         }
     }
 
@@ -588,7 +607,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one host")]
     fn zero_hosts_rejected() {
-        let params = TransitStubParams { hosts: 0, ..TransitStubParams::default() };
+        let params = TransitStubParams {
+            hosts: 0,
+            ..TransitStubParams::default()
+        };
         TransitStubTopology::generate(&params, &mut StdRng::seed_from_u64(0));
     }
 }

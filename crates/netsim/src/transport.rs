@@ -113,7 +113,11 @@ pub struct Context<'a> {
 impl Context<'_> {
     /// Queues a frame to `to`; it will be delivered after the network latency.
     pub fn send(&mut self, to: Address, payload: Bytes) {
-        self.outbox.push(Envelope { from: self.self_addr, to, payload });
+        self.outbox.push(Envelope {
+            from: self.self_addr,
+            to,
+            payload,
+        });
     }
 
     /// Current simulated time in milliseconds.
@@ -135,7 +139,11 @@ pub struct SimNetwork<'l> {
 impl<'l> SimNetwork<'l> {
     /// Creates a network with the given one-way latency function (ms).
     pub fn new(latency: impl Fn(Address, Address) -> f64 + 'l) -> Self {
-        SimNetwork { latency: Box::new(latency), queue: EventQueue::new(), delivered: 0 }
+        SimNetwork {
+            latency: Box::new(latency),
+            queue: EventQueue::new(),
+            delivered: 0,
+        }
     }
 
     /// Injects an initial message from `from` to `to`.
@@ -158,7 +166,11 @@ impl<'l> SimNetwork<'l> {
             }
             self.delivered += 1;
             if env.to < nodes.len() {
-                let mut ctx = Context { outbox: &mut outbox, self_addr: env.to, now };
+                let mut ctx = Context {
+                    outbox: &mut outbox,
+                    self_addr: env.to,
+                    now,
+                };
                 nodes[env.to].on_message(env.from, env.payload, &mut ctx);
             }
             for out in outbox.drain(..) {
@@ -249,8 +261,14 @@ mod tests {
     fn request_reply_latency_accumulates() {
         // one-way latency 10 ms both directions => echo completes at t=20.
         let mut net = SimNetwork::new(|_, _| 10.0);
-        let mut a = Echo { received: vec![], echoed: true }; // no re-echo
-        let mut b = Echo { received: vec![], echoed: false };
+        let mut a = Echo {
+            received: vec![],
+            echoed: true,
+        }; // no re-echo
+        let mut b = Echo {
+            received: vec![],
+            echoed: false,
+        };
         net.send(0, 1, Bytes::from_static(b"ping"));
         let end = net.run(&mut [&mut a, &mut b], 100);
         assert_eq!(end, 20.0);
@@ -263,8 +281,14 @@ mod tests {
     #[test]
     fn asymmetric_latency() {
         let mut net = SimNetwork::new(|from, to| if from < to { 5.0 } else { 15.0 });
-        let mut a = Echo { received: vec![], echoed: true };
-        let mut b = Echo { received: vec![], echoed: false };
+        let mut a = Echo {
+            received: vec![],
+            echoed: true,
+        };
+        let mut b = Echo {
+            received: vec![],
+            echoed: false,
+        };
         net.send(0, 1, Bytes::from_static(b"x"));
         let end = net.run(&mut [&mut a, &mut b], 100);
         assert_eq!(end, 20.0); // 5 out + 15 back

@@ -22,17 +22,21 @@ fn main() {
 
     // Landmarks 0..20; the information server factors their RTT matrix.
     let landmark_hosts: Vec<usize> = (0..20).collect();
-    let lm_values =
-        Matrix::from_fn(20, 20, |i, j| topo.host_rtt(landmark_hosts[i], landmark_hosts[j]));
+    let lm_values = Matrix::from_fn(20, 20, |i, j| {
+        topo.host_rtt(landmark_hosts[i], landmark_hosts[j])
+    });
     let lm = DistanceMatrix::full("landmarks", lm_values).expect("landmark matrix");
     let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(8)).expect("server"));
-    println!("information server ready: 20 landmarks factored at d = {}", server.dim());
+    println!(
+        "information server ready: 20 landmarks factored at d = {}",
+        server.dim()
+    );
 
     // Three ordinary hosts join over the wire, 3 ping probes per landmark.
     let mut joined = Vec::new();
     for &host in &[30usize, 45, 60] {
-        let outcome = simulate_join(topo, server.clone(), &landmark_hosts, host, 3)
-            .expect("protocol join");
+        let outcome =
+            simulate_join(topo, server.clone(), &landmark_hosts, host, 3).expect("protocol join");
         println!(
             "host {host} joined in {:.1} simulated ms using {} messages",
             outcome.elapsed_ms, outcome.messages

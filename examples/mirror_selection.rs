@@ -74,13 +74,26 @@ fn main() {
 
     let accuracy = correct as f64 / clients.len() as f64;
     let mean_stretch = total_chosen / total_true_best;
-    println!("mirror selection over {} clients, {} mirrors, 20 landmarks, d=8", clients.len(), mirrors.len());
-    println!("  picked the true closest mirror: {:.1}% of clients", accuracy * 100.0);
+    println!(
+        "mirror selection over {} clients, {} mirrors, 20 landmarks, d=8",
+        clients.len(),
+        mirrors.len()
+    );
+    println!(
+        "  picked the true closest mirror: {:.1}% of clients",
+        accuracy * 100.0
+    );
     println!("  mean latency stretch vs oracle: {mean_stretch:.3}x");
     println!("  worst single-client stretch:    {worst_stretch:.2}x");
     println!("  measurement cost per client:    20 landmark probes (vs {} for probing all mirrors of a big CDN)", mirrors.len());
 
-    assert!(accuracy > 0.5, "selection should beat random guessing by far");
-    assert!(mean_stretch < 1.5, "average chosen mirror should be near-optimal");
+    assert!(
+        accuracy > 0.5,
+        "selection should beat random guessing by far"
+    );
+    assert!(
+        mean_stretch < 1.5,
+        "average chosen mirror should be near-optimal"
+    );
     println!("\nmirror_selection OK");
 }

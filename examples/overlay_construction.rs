@@ -30,8 +30,9 @@ fn main() {
 
     let landmark_ids = select_random_landmarks(n, 20, 3);
     let landmark_hosts: Vec<usize> = landmark_ids.iter().map(|&i| hosts[i]).collect();
-    let lm_values =
-        Matrix::from_fn(20, 20, |i, j| topo.host_rtt(landmark_hosts[i], landmark_hosts[j]));
+    let lm_values = Matrix::from_fn(20, 20, |i, j| {
+        topo.host_rtt(landmark_hosts[i], landmark_hosts[j])
+    });
     let lm = DistanceMatrix::full("landmarks", lm_values).expect("landmark matrix");
     let server = InformationServer::build(&lm, IdesConfig::new(10)).expect("server build");
 
@@ -39,8 +40,10 @@ fn main() {
     let vectors: Vec<HostVectors> = hosts
         .iter()
         .map(|&h| {
-            let d_out: Vec<f64> =
-                landmark_hosts.iter().map(|&l| topo.host_rtt(h, l)).collect();
+            let d_out: Vec<f64> = landmark_hosts
+                .iter()
+                .map(|&l| topo.host_rtt(h, l))
+                .collect();
             server.join(&d_out, &d_out).expect("host join")
         })
         .collect();
@@ -63,12 +66,13 @@ fn main() {
         truth.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RTTs"));
         let oracle: Vec<usize> = truth[..K].iter().map(|&(j, _)| j).collect();
         let oracle_cost: f64 = truth[..K].iter().map(|&(_, d)| d).sum();
-        let picked_cost: f64 =
-            picked.iter().map(|&j| topo.host_rtt(hosts[i], hosts[j])).sum();
+        let picked_cost: f64 = picked
+            .iter()
+            .map(|&j| topo.host_rtt(hosts[i], hosts[j]))
+            .sum();
 
         stretch_sum += picked_cost / oracle_cost.max(1e-9);
-        overlap_sum +=
-            picked.iter().filter(|j| oracle.contains(j)).count() as f64 / K as f64;
+        overlap_sum += picked.iter().filter(|j| oracle.contains(j)).count() as f64 / K as f64;
     }
 
     let mean_stretch = stretch_sum / n as f64;
@@ -77,10 +81,16 @@ fn main() {
     let oracle_probes = n * (n - 1) / 2;
     println!("overlay construction over {n} nodes, k={K} neighbors, 20 landmarks, d=10");
     println!("  neighbor-set latency stretch vs oracle: {mean_stretch:.2}x");
-    println!("  overlap with oracle neighbor sets:      {:.1}%", mean_overlap * 100.0);
+    println!(
+        "  overlap with oracle neighbor sets:      {:.1}%",
+        mean_overlap * 100.0
+    );
     println!("  probes used: {ides_probes} (IDES) vs {oracle_probes} (probe-everything)");
 
-    assert!(mean_stretch < 5.0, "IDES neighbor sets should be in the oracle's ballpark");
+    assert!(
+        mean_stretch < 5.0,
+        "IDES neighbor sets should be in the oracle's ballpark"
+    );
     assert!(
         mean_overlap > 0.2,
         "IDES should recover a meaningful share of true nearest neighbors"

@@ -22,7 +22,14 @@ fn main() {
     println!("distance matrix D =\n{d:?}\n");
 
     // --- 2. Factor D = X Yᵀ at rank 3 (exact: the 4th singular value is 0)
-    let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).expect("svd fit");
+    let model = fit_matrix(
+        &d,
+        SvdConfig {
+            dim: 3,
+            force_exact: true,
+        },
+    )
+    .expect("svd fit");
     println!("outgoing vectors X =\n{:?}", model.x());
     println!("incoming vectors Y =\n{:?}", model.y());
     let recon_err = (&model.reconstruct() - &d).frobenius_norm();
@@ -39,8 +46,12 @@ fn main() {
     // --- 4. Ordinary hosts join by measuring the landmarks --------------
     // H1 sits on the left edge of the ring (Figure 4): distances to the
     // four landmarks are [0.5, 1.5, 1.5, 2.5]. H2 mirrors it on the right.
-    let h1 = server.join(&[0.5, 1.5, 1.5, 2.5], &[0.5, 1.5, 1.5, 2.5]).expect("join H1");
-    let h2 = server.join(&[2.5, 1.5, 1.5, 0.5], &[2.5, 1.5, 1.5, 0.5]).expect("join H2");
+    let h1 = server
+        .join(&[0.5, 1.5, 1.5, 2.5], &[0.5, 1.5, 1.5, 2.5])
+        .expect("join H1");
+    let h2 = server
+        .join(&[2.5, 1.5, 1.5, 0.5], &[2.5, 1.5, 1.5, 0.5])
+        .expect("join H2");
 
     // --- 5. Predict the unmeasured H1–H2 distance -----------------------
     let predicted = h1.distance_to_host(&h2);

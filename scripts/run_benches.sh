@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the criterion bench suite and snapshots the results into the next
+# numbered BENCH_NNNN.json at the repo root — the perf trajectory every
+# PR's kernel claims are judged against.
+#
+# Usage:
+#   scripts/run_benches.sh             # full run, all bench targets
+#   QUICK=1 scripts/run_benches.sh     # CI smoke: fewer samples, kernels only
+#   BENCHES="kernels qr" scripts/run_benches.sh
+#
+# The vendored criterion shim writes a JSON record array per bench binary
+# when CRITERION_JSON is set (see vendor/criterion); this script merges
+# those arrays and adds host metadata.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES="${BENCHES:-kernels nmf_convergence projection table1}"
+if [ "${QUICK:-0}" = "1" ]; then
+    BENCHES="${BENCHES_OVERRIDE:-kernels}"
+    export CRITERION_QUICK=1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in $BENCHES; do
+    echo "== bench: $bench" >&2
+    CRITERION_JSON="$tmpdir/$bench.json" \
+        cargo bench -p ides-bench --bench "$bench" >&2
+done
+
+# Next free BENCH_NNNN.json slot.
+n=1
+while [ -e "$(printf 'BENCH_%04d.json' "$n")" ]; do
+    n=$((n + 1))
+done
+out="$(printf 'BENCH_%04d.json' "$n")"
+if [ "${QUICK:-0}" = "1" ]; then
+    out="$tmpdir/bench_smoke.json" # smoke runs don't extend the trajectory
+fi
+
+jq -n \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg host "$(uname -m) $(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^ *//' || echo unknown)" \
+    --arg cores "$(nproc)" \
+    --arg rustc "$(rustc --version)" \
+    '{date: $date, host: $host, cores: ($cores | tonumber), rustc: $rustc, benches: {}}' \
+    > "$out.tmp"
+for bench in $BENCHES; do
+    jq --arg name "$bench" --slurpfile records "$tmpdir/$bench.json" \
+        '.benches[$name] = $records[0]' "$out.tmp" > "$out.tmp2"
+    mv "$out.tmp2" "$out.tmp"
+done
+mv "$out.tmp" "$out"
+echo "wrote $out" >&2
+
+# Surface the headline number: blocked vs naive matmul at 512.
+jq -r '.benches.kernels // [] | map(select(.group == "matmul")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."blocked/512") then
+         "matmul/512 speedup vs naive_ijk: \((."naive_ijk/512" / ."blocked/512") * 100 | round / 100)x, " +
+         "vs seed_ikj: \((."seed_ikj/512" / ."blocked/512") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true

@@ -24,7 +24,10 @@ fn end_to_end_prediction_beats_ics() {
     let m_ides = ides.cdf().median();
     let m_ics = ics.cdf().median();
     assert!(m_ides < m_ics, "IDES {m_ides} vs ICS {m_ics}");
-    assert!(m_ides < 0.3, "IDES median error {m_ides} out of expected range");
+    assert!(
+        m_ides < 0.3,
+        "IDES median error {m_ides} out of expected range"
+    );
 }
 
 /// Fig. 3 shape: at d = 10, SVD/NMF reconstruction is several times more
@@ -41,7 +44,10 @@ fn reconstruction_ordering_matches_figure3() {
     let m_nmf = Cdf::new(reconstruction_errors(&nmf, &ds.matrix)).median();
     let m_lip = Cdf::new(reconstruction_errors(&lip, &ds.matrix)).median();
 
-    assert!(m_svd <= m_nmf * 1.05, "SVD {m_svd} should be <= NMF {m_nmf}");
+    assert!(
+        m_svd <= m_nmf * 1.05,
+        "SVD {m_svd} should be <= NMF {m_nmf}"
+    );
     assert!(
         m_svd * 2.0 < m_lip,
         "SVD {m_svd} should be several times better than Lipschitz {m_lip}"
@@ -79,7 +85,10 @@ fn failure_robustness_scales_with_landmark_count() {
          (20lm: {d20_0}->{d20_4}, 50lm: {d50_0}->{d50_4})"
     );
     // The paper's headline: 40% failures with 50 landmarks ≈ no failures.
-    assert!(degradation_50 < 2.2, "50 landmarks should tolerate 40% failures, got {degradation_50}x");
+    assert!(
+        degradation_50 < 2.2,
+        "50 landmarks should tolerate 40% failures, got {degradation_50}x"
+    );
 }
 
 /// The substrate must exhibit the structural phenomena the paper's model
@@ -104,16 +113,23 @@ fn nmf_pipeline_never_predicts_negative() {
     let ds = nlanr_like(40, 106).unwrap();
     let (landmarks, ordinary) = split_landmarks(40, 15, 4);
     let mut config = IdesConfig::nmf(6);
-    config.join = JoinOptions { solver: JoinSolver::NonNegative, ridge: 0.0 };
+    config.join = JoinOptions {
+        solver: JoinSolver::NonNegative,
+        ridge: 0.0,
+    };
     let lm = ds.matrix.submatrix(&landmarks, &landmarks);
     let server = ides::system::InformationServer::build(&lm, config).unwrap();
     let joined: Vec<_> = ordinary
         .iter()
         .map(|&h| {
-            let d_out: Vec<f64> =
-                landmarks.iter().map(|&l| ds.matrix.get(h, l).unwrap()).collect();
-            let d_in: Vec<f64> =
-                landmarks.iter().map(|&l| ds.matrix.get(l, h).unwrap()).collect();
+            let d_out: Vec<f64> = landmarks
+                .iter()
+                .map(|&l| ds.matrix.get(h, l).unwrap())
+                .collect();
+            let d_in: Vec<f64> = landmarks
+                .iter()
+                .map(|&l| ds.matrix.get(l, h).unwrap())
+                .collect();
             server.join(&d_out, &d_in).unwrap()
         })
         .collect();

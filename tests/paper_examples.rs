@@ -21,7 +21,14 @@ fn paper_fig1_svd_worked_example() {
     assert!((sv[2] - 2.0).abs() < 1e-10, "S33 = {}", sv[2]);
     assert!(sv[3].abs() < 1e-10, "S44 = {}", sv[3]);
 
-    let model = fit_matrix(&d, SvdConfig { dim: 3, force_exact: true }).unwrap();
+    let model = fit_matrix(
+        &d,
+        SvdConfig {
+            dim: 3,
+            force_exact: true,
+        },
+    )
+    .unwrap();
     assert!(model.reconstruct().approx_eq(&d, 1e-9), "XYᵀ != D");
 
     // The paper's specific factor matrices are one valid solution; ours may
@@ -42,12 +49,7 @@ fn paper_fig1_svd_worked_example() {
 #[test]
 fn paper_fig1_euclidean_embedding_fails() {
     // The paper's "intuitive" embedding of the four hosts.
-    let coords = Matrix::from_vec(
-        4,
-        2,
-        vec![-0.5, 0.5, 0.5, 0.5, -0.5, -0.5, 0.5, -0.5],
-    )
-    .unwrap();
+    let coords = Matrix::from_vec(4, 2, vec![-0.5, 0.5, 0.5, 0.5, -0.5, -0.5, 0.5, -0.5]).unwrap();
     let emb = ides_mf::model::EuclideanModel::new(coords);
     // Adjacent pairs are exact...
     assert!((emb.estimate(0, 1) - 1.0).abs() < 1e-12);
@@ -89,7 +91,9 @@ fn paper_fig5_relaxed_join() {
     let server = InformationServer::build(&lm, IdesConfig::new(3)).unwrap();
 
     // H1 via L1, L2, L3.
-    let h1 = server.join_partial(&[0, 1, 2], &[0.5, 1.5, 1.5], &[0.5, 1.5, 1.5]).unwrap();
+    let h1 = server
+        .join_partial(&[0, 1, 2], &[0.5, 1.5, 1.5], &[0.5, 1.5, 1.5])
+        .unwrap();
     let l4 = server.landmark_vectors(3);
     assert!((h1.distance_to(&l4.incoming) - 2.5).abs() < 1e-9, "H1->L4");
 
@@ -121,7 +125,14 @@ fn asymmetric_matrix_fully_recovered() {
         ],
     )
     .unwrap();
-    let model = fit_matrix(&d, SvdConfig { dim: 4, force_exact: true }).unwrap();
+    let model = fit_matrix(
+        &d,
+        SvdConfig {
+            dim: 4,
+            force_exact: true,
+        },
+    )
+    .unwrap();
     assert!(model.reconstruct().approx_eq(&d, 1e-8));
     // Spot-check asymmetry preserved.
     assert!((model.estimate(0, 3) - 40.0).abs() < 1e-8);
@@ -133,8 +144,18 @@ fn asymmetric_matrix_fully_recovered() {
 #[test]
 fn rectangular_factorization() {
     let d = Matrix::from_fn(6, 3, |i, j| 10.0 + (i as f64) * 2.0 + (j as f64) * 5.0);
-    let model = fit_matrix(&d, SvdConfig { dim: 2, force_exact: true }).unwrap();
+    let model = fit_matrix(
+        &d,
+        SvdConfig {
+            dim: 2,
+            force_exact: true,
+        },
+    )
+    .unwrap();
     assert_eq!(model.x().shape(), (6, 2));
     assert_eq!(model.y().shape(), (3, 2));
-    assert!(model.reconstruct().approx_eq(&d, 1e-8), "rank-2 structure is exact");
+    assert!(
+        model.reconstruct().approx_eq(&d, 1e-8),
+        "rank-2 structure is exact"
+    );
 }

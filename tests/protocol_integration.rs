@@ -10,10 +10,7 @@ use ides_datasets::generators::nlanr_like;
 use ides_datasets::DistanceMatrix;
 use ides_linalg::Matrix;
 
-fn landmark_matrix(
-    topo: &ides_netsim::TransitStubTopology,
-    landmarks: &[usize],
-) -> DistanceMatrix {
+fn landmark_matrix(topo: &ides_netsim::TransitStubTopology, landmarks: &[usize]) -> DistanceMatrix {
     let m = landmarks.len();
     let values = Matrix::from_fn(m, m, |i, j| topo.host_rtt(landmarks[i], landmarks[j]));
     DistanceMatrix::full("landmarks", values).unwrap()
@@ -32,7 +29,10 @@ fn protocol_join_matches_offline_join() {
     let host = 25usize;
     let outcome = simulate_join(&ds.topology, server.clone(), &landmarks, host, 2).unwrap();
 
-    let rtts: Vec<f64> = landmarks.iter().map(|&l| ds.topology.host_rtt(host, l)).collect();
+    let rtts: Vec<f64> = landmarks
+        .iter()
+        .map(|&l| ds.topology.host_rtt(host, l))
+        .collect();
     let offline = server.join(&rtts, &rtts).unwrap();
     for (a, b) in outcome.vectors.outgoing.iter().zip(offline.outgoing.iter()) {
         assert!((a - b).abs() < 1e-6, "protocol {a} vs offline {b}");
@@ -89,7 +89,9 @@ fn probe_parallelism() {
     let t1 = simulate_join(&ds.topology, server.clone(), &landmarks, host, 1)
         .unwrap()
         .elapsed_ms;
-    let t4 = simulate_join(&ds.topology, server, &landmarks, host, 4).unwrap().elapsed_ms;
+    let t4 = simulate_join(&ds.topology, server, &landmarks, host, 4)
+        .unwrap()
+        .elapsed_ms;
     assert!(
         t4 < t1 * 1.5,
         "4-probe join took {t4} ms vs 1-probe {t1} ms — probes are not parallel"
@@ -105,8 +107,7 @@ fn message_accounting() {
     let lm = landmark_matrix(&ds.topology, &landmarks);
     let server = Arc::new(InformationServer::build(&lm, IdesConfig::new(4)).unwrap());
     for probes in [1u32, 3, 5] {
-        let outcome =
-            simulate_join(&ds.topology, server.clone(), &landmarks, 30, probes).unwrap();
+        let outcome = simulate_join(&ds.topology, server.clone(), &landmarks, 30, probes).unwrap();
         let expected = 2 + 8 * probes as usize * 2 + 2;
         assert_eq!(outcome.messages, expected, "probes = {probes}");
     }

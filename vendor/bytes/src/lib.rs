@@ -1,0 +1,257 @@
+//! Vendored, offline subset of the `bytes` crate API.
+//!
+//! Provides cheaply clonable immutable [`Bytes`], a growable [`BytesMut`]
+//! with a consumed-prefix cursor, and the tiny slices of the [`Buf`] /
+//! [`BufMut`] traits the workspace's framing code uses. `Bytes` is backed
+//! by an `Arc<[u8]>` so clones are O(1), matching upstream semantics
+//! closely enough for a deterministic network simulation.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Shared printable-ASCII debug formatting for both buffer types.
+macro_rules! fmt_bytes_debug {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "b\"")?;
+            for &b in self.iter() {
+                if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\x{b:02x}")?;
+                }
+            }
+            write!(f, "\"")
+        }
+    };
+}
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copied; upstream borrows, but the
+    /// observable behavior is identical).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(b) }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes { data: Arc::from(b) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Self {
+        Bytes::copy_from_slice(b)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fmt_bytes_debug!();
+}
+
+/// Growable byte buffer with an O(1) consumed-prefix cursor.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Readable length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// True when no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends bytes.
+    pub fn extend_from_slice(&mut self, b: &[u8]) {
+        self.data.extend_from_slice(b);
+    }
+
+    /// Splits off and returns the first `n` readable bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let out = BytesMut {
+            data: self.data[self.head..self.head + n].to_vec(),
+            head: 0,
+        };
+        self.head += n;
+        self.compact_if_large();
+        out
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(&self.data[self.head..]),
+        }
+    }
+
+    fn compact_if_large(&mut self) {
+        // Reclaim the consumed prefix once it dominates the allocation.
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fmt_bytes_debug!();
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Remaining readable bytes.
+    fn remaining(&self) -> usize;
+    /// Consumes `n` bytes from the front.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.head += n;
+        self.compact_if_large();
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, b: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, b: &[u8]) {
+        self.data.extend_from_slice(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_and_clone() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(Bytes::from_static(b"hi").len(), 2);
+    }
+
+    #[test]
+    fn bytes_mut_cursor_ops() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32(5);
+        m.put_slice(b"hello");
+        assert_eq!(m.len(), 9);
+        assert_eq!(&m[..4], &5u32.to_be_bytes());
+        m.advance(4);
+        let word = m.split_to(5);
+        assert_eq!(&word[..], b"hello");
+        assert!(m.is_empty());
+        assert_eq!(&word.freeze()[..], b"hello");
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&vec![7u8; 10_000]);
+        m.advance(9_000);
+        assert_eq!(m.len(), 1_000);
+        assert!(m.iter().all(|&b| b == 7));
+    }
+}

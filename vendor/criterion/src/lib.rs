@@ -1,0 +1,376 @@
+//! Vendored, offline subset of the `criterion` benchmarking API.
+//!
+//! Implements the calling convention the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box` — over a compact measurement loop:
+//! each sample times a batch of iterations sized so one sample takes
+//! roughly `target_sample_ms`, and the reported statistics are computed
+//! over the per-iteration sample means.
+//!
+//! Results print as a table and, when the `CRITERION_JSON` environment
+//! variable names a file, are also written as a JSON array of
+//! `{group, bench, mean_ns, median_ns, min_ns, samples, iters_per_sample}`
+//! records — the hook the repo's `scripts/run_benches.sh` uses to build
+//! the committed `BENCH_*.json` trajectory files.
+//!
+//! Environment knobs:
+//! * `CRITERION_JSON=path` — append JSON records to `path`.
+//! * `CRITERION_SAMPLE_MS=n` — target milliseconds per sample (default 50).
+//! * `CRITERION_QUICK=1` — cap samples at 10 and the batch target at 10 ms
+//!   (used by CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark's measurement summary.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (empty for ungrouped benches).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample batch.
+    pub iters_per_sample: u64,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn target_sample_ms() -> f64 {
+    let base = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(50.0);
+    if quick_mode() {
+        base.min(10.0)
+    } else {
+        base
+    }
+}
+
+/// Runs one benchmark: calibrates a batch size, then takes samples.
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    bench: &str,
+    sample_size: usize,
+    mut f: F,
+) -> BenchRecord {
+    // Calibrate: grow the iteration count until one batch is long enough
+    // to time reliably.
+    let target_ns = target_sample_ms() * 1e6;
+    let mut iters: u64 = 1;
+    let mut per_iter_ns;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        per_iter_ns = b.elapsed_ns / iters as f64;
+        if b.elapsed_ns >= target_ns / 4.0 || iters >= 1 << 24 {
+            break;
+        }
+        // Aim directly for the target, conservatively.
+        let scale = (target_ns / b.elapsed_ns.max(1.0)).clamp(2.0, 64.0);
+        iters = ((iters as f64) * scale).ceil() as u64;
+    }
+    iters = ((target_ns / per_iter_ns.max(1.0)).ceil() as u64).clamp(1, 1 << 24);
+
+    let samples = if quick_mode() {
+        sample_size.min(10)
+    } else {
+        sample_size
+    }
+    .max(3);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed_ns / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    let record = BenchRecord {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: per_iter[0],
+        samples,
+        iters_per_sample: iters,
+    };
+    let label = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    eprintln!(
+        "{label:<50} {:>12} /iter  (median {}, {samples} samples x {iters} iters)",
+        format_ns(mean),
+        format_ns(median)
+    );
+    record
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark harness: collects results across groups.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+
+    /// Benches an ungrouped function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let record = run_bench("", &id.into_id(), 30, f);
+        self.results.push(record);
+        self
+    }
+
+    /// All records measured so far.
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
+    }
+
+    /// Writes the JSON report if `CRITERION_JSON` is set. Called by
+    /// [`criterion_main!`] after all groups have run.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \
+                 \"iters_per_sample\": {}}}",
+                r.group.replace('"', "'"),
+                r.bench.replace('"', "'"),
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample
+            ));
+        }
+        out.push_str("\n]\n");
+        match std::fs::File::create(&path).and_then(|mut fh| fh.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("criterion: wrote {} records to {path}", self.results.len()),
+            Err(e) => eprintln!("criterion: failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benches `f` under the given id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let record = run_bench(&self.name, &id.into_id(), self.sample_size, f);
+        self.criterion.results.push(record);
+        self
+    }
+
+    /// Benches `f` with a borrowed input under the given id.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let record = run_bench(&self.name, &id.id, self.sample_size, |b| f(b, input));
+        self.criterion.results.push(record);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results are recorded
+    /// eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function calling each bench in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $bench_fn(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group then writing the
+/// optional JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("matmul", 512).id, "matmul/512");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+
+    #[test]
+    fn measurement_runs_and_records() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("free", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert_eq!(c.results()[0].group, "g");
+        assert_eq!(c.results()[0].bench, "sum/100");
+        assert_eq!(c.results()[1].group, "");
+        std::env::remove_var("CRITERION_SAMPLE_MS");
+    }
+}

@@ -1,0 +1,96 @@
+//! Vendored, offline subset of the `crossbeam` API.
+//!
+//! Scoped threads with the crossbeam calling convention (`scope(|s| ...)`
+//! returning `Result`, spawn closures receiving the scope), implemented
+//! over `std::thread::scope` (stable since Rust 1.63).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Spawning handle passed to the [`scope`] closure and to each spawned
+    /// closure (crossbeam lets spawned threads spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    // A `Scope` is just a shared reference; copying it lets spawned
+    // closures receive their own handle without borrowing the parent's.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if the
+        /// thread panicked).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. Returns `Ok` unless a spawned thread
+    /// panicked without being joined (std propagates that panic instead,
+    /// so in practice this is always `Ok` — matching how the workspace
+    /// uses crossbeam's `.unwrap()`).
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let h1 = s.spawn(|_| data[..2].iter().sum::<i32>());
+            let h2 = s.spawn(|_| data[2..].iter().sum::<i32>());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,335 @@
+//! Vendored, offline subset of the `serde` API.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! minimal self-consistent serialization framework under the familiar
+//! names: `Serialize` / `Deserialize` traits plus same-named derive macros
+//! (from the sibling `serde_derive` shim). Instead of upstream serde's
+//! visitor architecture, values round-trip through an owned JSON-like
+//! [`Value`] tree; the `serde_json` shim prints/parses that tree. The
+//! derive output uses serde_json's *externally tagged* enum representation
+//! and plain field-name objects for structs, so documents look like the
+//! ones upstream serde_json would produce.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree: the interchange format between
+/// [`Serialize`], [`Deserialize`], and the `serde_json` shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (all numbers are `f64`, as in JavaScript).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object, or errors.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => {
+                        let cast = *n as $t;
+                        // Reject values that do not round-trip (fractional
+                        // or out-of-range for the integer types).
+                        if (cast as f64 - *n).abs() < 1e-9 {
+                            Ok(cast)
+                        } else {
+                            Err(DeError(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(DeError(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Deserializing into &'static str requires owned storage; the
+            // workspace only does this for a handful of short region names
+            // in tests, so the leak is bounded and acceptable.
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(|t| t.to_value()).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(|t| t.to_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(|t| t.to_value()).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError(format!("expected 2-tuple, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError(format!("expected 3-tuple, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Obj(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&2.5f64.to_value()).unwrap(), 2.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&String::from("hi").to_value()).unwrap(),
+            "hi"
+        );
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = Some(4.0);
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), o);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        let t = (1.0f64, 2.0f64);
+        assert_eq!(<(f64, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let a = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(<[f64; 5]>::from_value(&a.to_value()).unwrap(), a);
+        assert!(<[f64; 5]>::from_value(&vec![1.0f64].to_value()).is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.field("a").unwrap(), &Value::Num(1.0));
+        assert!(v.field("b").is_err());
+        assert!(Value::Null.field("a").is_err());
+    }
+}
