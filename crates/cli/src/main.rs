@@ -55,6 +55,10 @@ commands:
                               with --out model.json
   reconstruct <matrix> --dim D  reconstruction-error report per algorithm
   join <model> --out-row \"..\"  solve a host join from landmark measurements
+                              (--rows-file FILE batch-joins one host per line
+                               through a single shared factorization;
+                               --in-rows-file FILE adds asymmetric incoming
+                               rows, else incoming = outgoing)
   predict <model> i j         estimated distance between model hosts i and j
   eval <matrix> --landmarks M --dim D   full prediction experiment
 ";
@@ -245,15 +249,100 @@ fn parse_row(s: &str, label: &str) -> Vec<f64> {
         .collect()
 }
 
+/// Parses a measurement file: one host per line, space-separated distances
+/// to every landmark (`#` comments and blank lines skipped). Exits unless
+/// every row has exactly `k` entries.
+fn parse_rows_file(path: &str, k: usize, label: &str) -> ides_linalg::Matrix {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(1);
+    });
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|l| parse_row(l, label))
+        .collect();
+    if rows.is_empty() {
+        eprintln!("error: {path} contains no measurement rows");
+        exit(1);
+    }
+    if rows.iter().any(|r| r.len() != k) {
+        eprintln!("error: every row of {path} must have {k} landmark distances");
+        exit(1);
+    }
+    ides_linalg::Matrix::from_rows(&rows).expect("rows validated consistent")
+}
+
+/// Batch join: each line of `rows_path` is one host's space-separated
+/// distances **to** every landmark; `in_rows_path` optionally provides the
+/// distances **from** the landmarks (same shape). Without it the outgoing
+/// measurements are reused for both directions (symmetric-RTT assumption).
+/// All hosts are joined with one factorization through the batched
+/// multi-RHS path.
+fn cmd_join_batch(model_path: &str, rows_path: &str, in_rows_path: &str) {
+    let model = load_model(model_path);
+    let k = model.x().rows();
+    let d_out = parse_rows_file(rows_path, k, "rows-file");
+    let d_in = if in_rows_path.is_empty() {
+        d_out.clone()
+    } else {
+        let m = parse_rows_file(in_rows_path, k, "in-rows-file");
+        if m.rows() != d_out.rows() {
+            eprintln!(
+                "error: {} hosts in {rows_path} but {} in {in_rows_path}",
+                d_out.rows(),
+                m.rows()
+            );
+            exit(1);
+        }
+        m
+    };
+    let mut ws = ides::projection::JoinWorkspace::new();
+    let hosts = ides::projection::join_hosts_with(
+        &mut ws,
+        model.x(),
+        model.y(),
+        &d_out,
+        &d_in,
+        ides::projection::JoinOptions::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("batch join failed: {e}");
+        exit(1);
+    });
+    println!(
+        "joined {} hosts against {k} landmarks (one factorization{})",
+        hosts.len(),
+        if in_rows_path.is_empty() {
+            "; incoming = outgoing, pass --in-rows-file for asymmetric data"
+        } else {
+            ""
+        }
+    );
+    for (h, host) in hosts.iter().enumerate() {
+        println!(
+            "host {h}: outgoing {:?} incoming {:?}",
+            host.outgoing, host.incoming
+        );
+    }
+}
+
 fn cmd_join(args: &Args) {
     let Some(path) = args.positional.first() else {
-        eprintln!("usage: ides-cli join <model.json> --out-row \"d1 d2 ...\" [--in-row \"...\"]");
+        eprintln!(
+            "usage: ides-cli join <model.json> --out-row \"d1 d2 ...\" [--in-row \"...\"] | --rows-file hosts.txt"
+        );
         exit(2);
     };
+    let rows_file = args.get("rows-file", "");
+    if !rows_file.is_empty() {
+        cmd_join_batch(path, &rows_file, &args.get("in-rows-file", ""));
+        return;
+    }
     let model = load_model(path);
     let out_row = parse_row(&args.get("out-row", ""), "out-row");
     if out_row.is_empty() {
-        eprintln!("error: --out-row is required (distances to each landmark)");
+        eprintln!("error: --out-row is required (distances to each landmark), or pass --rows-file");
         exit(2);
     }
     let in_row = {
@@ -339,11 +428,11 @@ fn cmd_eval(args: &Args) {
         eprintln!("evaluation failed: {e}");
         exit(1);
     });
-    let cdf = r.cdf();
     println!("landmarks:        {landmarks_n}");
     println!("hosts joined:     {}", r.hosts_joined);
     println!("pairs evaluated:  {}", r.pairs_evaluated);
     println!("build time:       {:.3}s", r.build_seconds);
+    let cdf = r.into_cdf();
     println!("median rel error: {:.4}", cdf.median());
     println!("p90 rel error:    {:.4}", cdf.p90());
     println!("fraction <= 0.1:  {:.3}", cdf.fraction_below(0.1));

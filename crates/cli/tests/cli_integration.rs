@@ -132,6 +132,93 @@ fn join_reproduces_landmark_distances() {
 }
 
 #[test]
+fn batch_join_from_rows_file() {
+    let dir = tmpdir("join_batch");
+    let matrix = dir.join("m.json");
+    let model = dir.join("model.json");
+    let rows = dir.join("hosts.txt");
+    bin()
+        .args(["gen", "gnp", "--hosts", "10", "--seed", "9", "--out"])
+        .arg(&matrix)
+        .output()
+        .expect("gen");
+    bin()
+        .arg("factor")
+        .arg(&matrix)
+        .args(["--dim", "8", "--out"])
+        .arg(&model)
+        .output()
+        .expect("factor");
+    std::fs::write(
+        &rows,
+        "# two hosts, one measurement row each\n\
+         10 20 30 40 50 60 70 80 90 100\n\
+         100 90 80 70 60 50 40 30 20 10\n",
+    )
+    .expect("write rows file");
+    let out = bin()
+        .arg("join")
+        .arg(&model)
+        .arg("--rows-file")
+        .arg(&rows)
+        .output()
+        .expect("batch join");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("joined 2 hosts"), "{text}");
+    assert!(
+        text.contains("host 0:") && text.contains("host 1:"),
+        "{text}"
+    );
+    // The symmetric fallback is called out on stdout.
+    assert!(text.contains("incoming = outgoing"), "{text}");
+
+    // Asymmetric data via --in-rows-file: same shape, different values.
+    let in_rows = dir.join("hosts_in.txt");
+    std::fs::write(
+        &in_rows,
+        "12 22 32 42 52 62 72 82 92 102\n\
+         102 92 82 72 62 52 42 32 22 12\n",
+    )
+    .expect("write in-rows file");
+    let out = bin()
+        .arg("join")
+        .arg(&model)
+        .arg("--rows-file")
+        .arg(&rows)
+        .arg("--in-rows-file")
+        .arg(&in_rows)
+        .output()
+        .expect("asymmetric batch join");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("joined 2 hosts"), "{text}");
+    assert!(!text.contains("incoming = outgoing"), "{text}");
+
+    // Host-count mismatch between the two files is rejected.
+    std::fs::write(&in_rows, "12 22 32 42 52 62 72 82 92 102\n").expect("rewrite");
+    let out = bin()
+        .arg("join")
+        .arg(&model)
+        .arg("--rows-file")
+        .arg(&rows)
+        .arg("--in-rows-file")
+        .arg(&in_rows)
+        .output()
+        .expect("mismatched batch join");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn eval_subcommand_reports() {
     let dir = tmpdir("eval");
     let matrix = dir.join("m.json");

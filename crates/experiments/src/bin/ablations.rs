@@ -33,11 +33,12 @@ fn solver_ablation() {
         let mut config = IdesConfig::new(8);
         config.join = JoinOptions { solver, ridge: 0.0 };
         let r = evaluate_ides(&ds.matrix, &landmarks, &ordinary, config).expect("evaluation");
+        let build = r.build_seconds;
+        let cdf = r.into_cdf();
         println!(
-            "  {label:<26} median {:.4}  p90 {:.4}  build {:.3}s",
-            r.cdf().median(),
-            r.cdf().p90(),
-            r.build_seconds
+            "  {label:<26} median {:.4}  p90 {:.4}  build {build:.3}s",
+            cdf.median(),
+            cdf.p90(),
         );
     }
 }
@@ -56,10 +57,11 @@ fn landmark_ablation() {
             let ordinary: Vec<usize> = (0..n).filter(|i| !landmarks.contains(i)).collect();
             let r = evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8))
                 .expect("evaluation");
+            let cdf = r.into_cdf();
             println!(
                 "  m={m:<3} {label:<16} median {:.4}  p90 {:.4}",
-                r.cdf().median(),
-                r.cdf().p90()
+                cdf.median(),
+                cdf.p90()
             );
         }
     }
@@ -78,6 +80,9 @@ fn relaxed_ablation() {
         if k > m {
             continue;
         }
+        // One workspace across all partial joins: the gathered reference
+        // submatrices and solver scratch are reused host to host.
+        let mut ws = ides::projection::JoinWorkspace::new();
         let mut joined = Vec::new();
         for (hi, &h) in ordinary.iter().enumerate() {
             // Deterministic per-host subset: rotate through the landmarks.
@@ -93,7 +98,7 @@ fn relaxed_ablation() {
                 .iter()
                 .map(|&i| ds.matrix.get(landmarks[i], h).unwrap())
                 .collect();
-            if let Ok(v) = server.join_partial(&obs_sorted, &d_out, &d_in) {
+            if let Ok(v) = server.join_partial_with(&mut ws, &obs_sorted, &d_out, &d_in) {
                 joined.push((h, v));
             }
         }

@@ -45,7 +45,7 @@ fn run(dataset: Dataset, dim: usize) {
                                 seed() ^ (m as u64) << 8,
                             )
                             .expect("failure evaluation");
-                            (f, r.cdf().median())
+                            (f, r.into_cdf().median())
                         })
                         .collect();
                     (m, points)

@@ -51,14 +51,13 @@ fn main() {
             ics.build_seconds,
             gnp.build_seconds
         );
+        let (hosts_joined, pairs_evaluated) = (svd.hosts_joined, svd.pairs_evaluated);
         println!(
-            "#   medians: SVD {:.3}  NMF {:.3}  ICS {:.3}  GNP {:.3}  ({} hosts joined, {} pairs)",
-            svd.cdf().median(),
-            nmf.cdf().median(),
-            ics.cdf().median(),
-            gnp.cdf().median(),
-            svd.hosts_joined,
-            svd.pairs_evaluated
+            "#   medians: SVD {:.3}  NMF {:.3}  ICS {:.3}  GNP {:.3}  ({hosts_joined} hosts joined, {pairs_evaluated} pairs)",
+            svd.into_cdf().median(),
+            nmf.into_cdf().median(),
+            ics.into_cdf().median(),
+            gnp.into_cdf().median(),
         );
     }
 }

@@ -6,16 +6,41 @@
 //! host from its measured distances to/from the landmarks, then score
 //! predictions on ordinary-to-ordinary pairs **that were never measured by
 //! the model** using the modified relative error (Eq. 10).
+//!
+//! # Batched, sharded pipeline
+//!
+//! Every evaluator runs the same three-stage pipeline:
+//!
+//! 1. **Gather** — the ordinary hosts with complete landmark measurements
+//!    are collected and their measured rows packed into `hosts x k`
+//!    matrices;
+//! 2. **Batch join/embed** — the whole batch is joined in one multi-RHS
+//!    solve ([`crate::projection::join_hosts_into`] for IDES) or embedded
+//!    through the estimator-level [`BatchEmbed`] entry point (ICS's PCA
+//!    GEMM, GNP's per-host simplex fits);
+//! 3. **Score** — the `O(n²)` ordinary-pair sweep reads coordinate rows
+//!    straight out of the batch matrices, with no per-host vector clones.
+//!
+//! With the `parallel` cargo feature, stages 2 and 3 are **sharded over
+//! std scoped threads** (one shard per core; `IDES_LINALG_THREADS`
+//! overrides the count). Sharding is deterministic and bit-identical to
+//! the single-threaded sweep: every host's join/embedding depends only on
+//! its own measurement row plus the shared landmark model, pair errors are
+//! pure per-pair functions, and shard outputs are merged in fixed host
+//! order — so the `errors` vector is byte-for-byte the same at any thread
+//! count (asserted by `tests/parallel_eval.rs`).
 
 use std::time::Instant;
 
 use ides_datasets::DistanceMatrix;
+use ides_linalg::Matrix;
 use ides_mf::gnp::{GnpConfig, GnpModel};
 use ides_mf::lipschitz::LipschitzPca;
 use ides_mf::metrics::{modified_relative_error, Cdf};
+use ides_mf::BatchEmbed;
 
 use crate::error::{IdesError, Result};
-use crate::projection::{HostVectors, JoinWorkspace};
+use crate::projection::{BatchHostVectors, HostVectors, JoinWorkspace};
 use crate::system::{IdesConfig, InformationServer};
 
 /// Result of one prediction experiment.
@@ -32,41 +57,177 @@ pub struct PredictionResult {
 }
 
 impl PredictionResult {
-    /// CDF over the prediction errors.
+    /// CDF over the prediction errors (copies the error slice; use
+    /// [`PredictionResult::into_cdf`] when the result is no longer needed).
     pub fn cdf(&self) -> Cdf {
-        Cdf::new(self.errors.clone())
+        Cdf::from_slice(&self.errors)
+    }
+
+    /// Consumes the result into a CDF over its errors without copying the
+    /// error vector.
+    pub fn into_cdf(self) -> Cdf {
+        Cdf::new(self.errors)
     }
 }
 
-/// Measured landmark rows for one ordinary host, gathered into shared
-/// buffers: fills `d_out`/`d_in` in place (parallel to the landmark index
-/// list) and reports whether every landmark measurement was observed. The
-/// evaluation sweeps call this once per host with shared buffers, so the
-/// join loop performs no per-host measurement allocation.
-fn landmark_rows_into(
-    data: &DistanceMatrix,
-    host: usize,
-    landmarks: &[usize],
-    d_out: &mut Vec<f64>,
-    d_in: &mut Vec<f64>,
-) -> bool {
-    d_out.clear();
-    d_in.clear();
-    for &l in landmarks {
-        let (Some(out), Some(inn)) = (data.get(host, l), data.get(l, host)) else {
-            return false;
-        };
-        d_out.push(out);
-        d_in.push(inn);
+/// Number of shards the evaluation sweeps fan out to. Always 1 without the
+/// `parallel` feature; with it, one per available core unless
+/// `IDES_LINALG_THREADS` overrides (the same knob the GEMM kernels honor).
+fn eval_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::env::var("IDES_LINALG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+            })
     }
-    true
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Splits `n` items into at most `shards` contiguous ranges whose sizes
+/// differ by at most one.
+fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `f` over contiguous shards of `items` — on scoped threads when the
+/// `parallel` feature enables more than one shard, inline otherwise — and
+/// returns the per-shard outputs **in shard order**. `f` receives each
+/// shard slice plus its offset into `items`; because shards are contiguous
+/// and merged in order, any per-item-independent `f` yields output
+/// identical to a single-shard run.
+fn map_shards<T, R, F>(items: &[T], f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], usize) -> Result<R> + Sync,
+{
+    let threads = eval_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return Ok(vec![f(items, 0)?]);
+    }
+    let ranges = shard_ranges(items.len(), threads);
+    let mut slots: Vec<Option<Result<R>>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, &(lo, hi)) in slots.iter_mut().zip(&ranges) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(&items[lo..hi], lo));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard thread ran"))
+        .collect()
+}
+
+/// True when `host` measured distances to **and** from every landmark (the
+/// paper's completeness filter for ordinary hosts).
+fn measurements_complete(data: &DistanceMatrix, host: usize, landmarks: &[usize]) -> bool {
+    landmarks
+        .iter()
+        .all(|&l| data.get(host, l).is_some() && data.get(l, host).is_some())
+}
+
+/// Packs the measured landmark rows of `hosts` (all previously checked
+/// complete) into `hosts x k` out/in matrices, reusing the buffers'
+/// capacity.
+fn gather_measurements(
+    data: &DistanceMatrix,
+    hosts: &[usize],
+    landmarks: &[usize],
+    d_out: &mut Matrix,
+    d_in: &mut Matrix,
+) {
+    d_out.reset_shape(hosts.len(), landmarks.len());
+    d_in.reset_shape(hosts.len(), landmarks.len());
+    for (r, &h) in hosts.iter().enumerate() {
+        for (c, &l) in landmarks.iter().enumerate() {
+            d_out[(r, c)] = data.get(h, l).expect("host filtered complete");
+            d_in[(r, c)] = data.get(l, h).expect("host filtered complete");
+        }
+    }
+}
+
+/// Ordinary hosts eligible for joining: those with complete measurements.
+fn complete_hosts(data: &DistanceMatrix, landmarks: &[usize], ordinary: &[usize]) -> Vec<usize> {
+    ordinary
+        .iter()
+        .copied()
+        .filter(|&h| measurements_complete(data, h, landmarks))
+        .collect()
+}
+
+/// Scores every ordered ordinary pair `(ids[i], ids[j])`, `i != j`, whose
+/// true distance is observed and positive, in row-major `(i, j)` order.
+/// `dist(i, j)` estimates the distance between batch members `i` and `j`.
+///
+/// Sharded over the first index under the `parallel` feature and merged in
+/// shard order, so the returned error vector is byte-identical to the
+/// sequential sweep.
+fn score_pairs<F>(data: &DistanceMatrix, ids: &[usize], dist: F) -> Result<Vec<f64>>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let shards = map_shards(ids, |shard, offset| {
+        let mut errors = Vec::new();
+        for (r, &hi) in shard.iter().enumerate() {
+            let i = offset + r;
+            for (j, &hj) in ids.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if let Some(actual) = data.get(hi, hj) {
+                    if actual > 0.0 {
+                        errors.push(modified_relative_error(actual, dist(i, j)));
+                    }
+                }
+            }
+        }
+        Ok(errors)
+    })?;
+    Ok(shards.concat())
+}
+
+/// Merges per-shard coordinate matrices (same column count) in shard order.
+fn vcat_shards(shards: Vec<Matrix>) -> Result<Matrix> {
+    let mut merged: Option<Matrix> = None;
+    for m in shards {
+        merged = Some(match merged {
+            None => m,
+            Some(acc) => acc.vcat(&m)?,
+        });
+    }
+    Ok(merged.unwrap_or_else(|| Matrix::zeros(0, 0)))
 }
 
 /// Runs the IDES prediction experiment on a square data set.
 ///
 /// `landmarks` and `ordinary` index hosts of `data`; hosts whose landmark
 /// measurements are incomplete are skipped (consistent with the paper's
-/// filtering).
+/// filtering). Hosts are joined in shard-sized batches through the
+/// multi-RHS join path and scored straight from the batch matrices; see
+/// the module docs for the sharding/determinism contract.
 pub fn evaluate_ides(
     data: &DistanceMatrix,
     landmarks: &[usize],
@@ -77,36 +238,27 @@ pub fn evaluate_ides(
     let lm = data.submatrix(landmarks, landmarks);
     let server = InformationServer::build(&lm, config)?;
 
-    // One workspace and one pair of measurement buffers for every join:
-    // the per-host loop clones no factor matrices and reuses all scratch.
-    let mut ws = JoinWorkspace::new();
-    let mut d_out = Vec::with_capacity(landmarks.len());
-    let mut d_in = Vec::with_capacity(landmarks.len());
-    let mut joined: Vec<(usize, HostVectors)> = Vec::with_capacity(ordinary.len());
-    for &h in ordinary {
-        if landmark_rows_into(data, h, landmarks, &mut d_out, &mut d_in) {
-            let v = server.join_with(&mut ws, &d_out, &d_in)?;
-            joined.push((h, v));
-        }
+    let ids = complete_hosts(data, landmarks, ordinary);
+    let shards = map_shards(&ids, |hosts, _| {
+        let mut d_out = Matrix::zeros(0, 0);
+        let mut d_in = Matrix::zeros(0, 0);
+        gather_measurements(data, hosts, landmarks, &mut d_out, &mut d_in);
+        let mut ws = JoinWorkspace::new();
+        let mut batch = BatchHostVectors::new();
+        server.join_batch_into(&mut ws, &d_out, &d_in, &mut batch)?;
+        Ok(batch)
+    })?;
+    let mut shards = shards.into_iter();
+    let mut joined = shards.next().unwrap_or_default();
+    for shard in shards {
+        joined.extend_from(&shard)?;
     }
     let build_seconds = start.elapsed().as_secs_f64();
 
-    let mut errors = Vec::new();
-    for (i, (hi, vi)) in joined.iter().enumerate() {
-        for (j, (hj, vj)) in joined.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            if let Some(actual) = data.get(*hi, *hj) {
-                if actual > 0.0 {
-                    errors.push(modified_relative_error(actual, vi.distance_to_host(vj)));
-                }
-            }
-        }
-    }
+    let errors = score_pairs(data, &ids, |i, j| joined.distance(i, j))?;
     Ok(PredictionResult {
         pairs_evaluated: errors.len(),
-        hosts_joined: joined.len(),
+        hosts_joined: ids.len(),
         errors,
         build_seconds,
     })
@@ -114,7 +266,8 @@ pub fn evaluate_ides(
 
 /// Runs the ICS (Lipschitz+PCA) prediction experiment: the landmark matrix
 /// is embedded by PCA; ordinary hosts are embedded from their Lipschitz
-/// rows (distances to landmarks).
+/// rows (distances to landmarks) in per-shard batches — one GEMM per shard
+/// through [`BatchEmbed`].
 pub fn evaluate_ics(
     data: &DistanceMatrix,
     landmarks: &[usize],
@@ -124,46 +277,32 @@ pub fn evaluate_ics(
     let start = Instant::now();
     let lm = data.submatrix(landmarks, landmarks);
     let model = LipschitzPca::fit(&lm, dim)?;
-    let mut d_out = Vec::with_capacity(landmarks.len());
-    let mut d_in = Vec::with_capacity(landmarks.len());
-    let mut scratch = Vec::new();
-    let mut joined: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ordinary.len());
-    for &h in ordinary {
-        if landmark_rows_into(data, h, landmarks, &mut d_out, &mut d_in) {
-            // The stored coordinates are the output; only the centering
-            // scratch is shared across hosts.
-            let mut coords = Vec::with_capacity(dim);
-            model.embed_into(&d_out, &mut scratch, &mut coords)?;
-            joined.push((h, coords));
-        }
-    }
+
+    let ids = complete_hosts(data, landmarks, ordinary);
+    let shards = map_shards(&ids, |hosts, _| {
+        let mut d_out = Matrix::zeros(0, 0);
+        let mut d_in = Matrix::zeros(0, 0);
+        gather_measurements(data, hosts, landmarks, &mut d_out, &mut d_in);
+        let seeds: Vec<u64> = hosts.iter().map(|&h| h as u64).collect();
+        Ok(BatchEmbed::embed_batch(&model, &d_out, &seeds)?)
+    })?;
+    let coords = vcat_shards(shards)?;
     let build_seconds = start.elapsed().as_secs_f64();
 
-    let mut errors = Vec::new();
-    for (i, (hi, ci)) in joined.iter().enumerate() {
-        for (j, (hj, cj)) in joined.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            if let Some(actual) = data.get(*hi, *hj) {
-                if actual > 0.0 {
-                    errors.push(modified_relative_error(
-                        actual,
-                        LipschitzPca::distance(ci, cj),
-                    ));
-                }
-            }
-        }
-    }
+    let errors = score_pairs(data, &ids, |i, j| {
+        LipschitzPca::distance(coords.row(i), coords.row(j))
+    })?;
     Ok(PredictionResult {
         pairs_evaluated: errors.len(),
-        hosts_joined: joined.len(),
+        hosts_joined: ids.len(),
         errors,
         build_seconds,
     })
 }
 
-/// Runs the GNP prediction experiment (Simplex Downhill embedding).
+/// Runs the GNP prediction experiment (Simplex Downhill embedding). Host
+/// fits are independent simplex runs seeded by host id, dispatched through
+/// the same [`BatchEmbed`] shard driver as ICS.
 pub fn evaluate_gnp(
     data: &DistanceMatrix,
     landmarks: &[usize],
@@ -174,35 +313,26 @@ pub fn evaluate_gnp(
     let lm = data.submatrix(landmarks, landmarks);
     let model =
         GnpModel::fit_landmarks(&lm, config).map_err(|e| IdesError::InvalidInput(e.to_string()))?;
-    let mut d_out = Vec::with_capacity(landmarks.len());
-    let mut d_in = Vec::with_capacity(landmarks.len());
-    let mut joined: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ordinary.len());
-    for &h in ordinary {
-        if landmark_rows_into(data, h, landmarks, &mut d_out, &mut d_in) {
-            let coords = model
-                .fit_host(&d_out, config, h as u64)
-                .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
-            joined.push((h, coords));
-        }
-    }
+
+    let ids = complete_hosts(data, landmarks, ordinary);
+    let shards = map_shards(&ids, |hosts, _| {
+        let mut d_out = Matrix::zeros(0, 0);
+        let mut d_in = Matrix::zeros(0, 0);
+        gather_measurements(data, hosts, landmarks, &mut d_out, &mut d_in);
+        let seeds: Vec<u64> = hosts.iter().map(|&h| h as u64).collect();
+        model
+            .fit_hosts(&d_out, config, &seeds)
+            .map_err(|e| IdesError::InvalidInput(e.to_string()))
+    })?;
+    let coords = vcat_shards(shards)?;
     let build_seconds = start.elapsed().as_secs_f64();
 
-    let mut errors = Vec::new();
-    for (i, (hi, ci)) in joined.iter().enumerate() {
-        for (j, (hj, cj)) in joined.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            if let Some(actual) = data.get(*hi, *hj) {
-                if actual > 0.0 {
-                    errors.push(modified_relative_error(actual, GnpModel::distance(ci, cj)));
-                }
-            }
-        }
-    }
+    let errors = score_pairs(data, &ids, |i, j| {
+        GnpModel::distance(coords.row(i), coords.row(j))
+    })?;
     Ok(PredictionResult {
         pairs_evaluated: errors.len(),
-        hosts_joined: joined.len(),
+        hosts_joined: ids.len(),
         errors,
         build_seconds,
     })
@@ -235,15 +365,16 @@ pub fn evaluate_ides_with_failures(
     let m = landmarks.len();
     let keep = m - ((m as f64 * unobserved_fraction).round() as usize).min(m);
 
+    // The per-host observed subsets come from one sequential RNG stream, so
+    // the join loop stays sequential; the O(n²) scoring below still shards.
     let mut ws = JoinWorkspace::new();
-    let mut d_out_full = Vec::with_capacity(m);
-    let mut d_in_full = Vec::with_capacity(m);
     let mut idx: Vec<usize> = Vec::with_capacity(m);
     let mut d_out: Vec<f64> = Vec::with_capacity(m);
     let mut d_in: Vec<f64> = Vec::with_capacity(m);
-    let mut joined: Vec<(usize, HostVectors)> = Vec::new();
+    let mut ids: Vec<usize> = Vec::new();
+    let mut joined: Vec<HostVectors> = Vec::new();
     for &h in ordinary {
-        if !landmark_rows_into(data, h, landmarks, &mut d_out_full, &mut d_in_full) {
+        if !measurements_complete(data, h, landmarks) {
             continue;
         }
         // Independent random observed subset per host.
@@ -253,9 +384,15 @@ pub fn evaluate_ides_with_failures(
         idx.truncate(keep.max(1));
         idx.sort_unstable();
         d_out.clear();
-        d_out.extend(idx.iter().map(|&i| d_out_full[i]));
+        d_out.extend(
+            idx.iter()
+                .map(|&i| data.get(h, landmarks[i]).expect("complete")),
+        );
         d_in.clear();
-        d_in.extend(idx.iter().map(|&i| d_in_full[i]));
+        d_in.extend(
+            idx.iter()
+                .map(|&i| data.get(landmarks[i], h).expect("complete")),
+        );
         // With very few observations the plain solve is singular; the
         // evaluation mirrors the paper by still attempting the join (ridge
         // fallback keeps it defined).
@@ -275,27 +412,16 @@ pub fn evaluate_ides_with_failures(
                 )
             });
         if let Ok(v) = result {
-            joined.push((h, v));
+            ids.push(h);
+            joined.push(v);
         }
     }
     let build_seconds = start.elapsed().as_secs_f64();
 
-    let mut errors = Vec::new();
-    for (i, (hi, vi)) in joined.iter().enumerate() {
-        for (j, (hj, vj)) in joined.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            if let Some(actual) = data.get(*hi, *hj) {
-                if actual > 0.0 {
-                    errors.push(modified_relative_error(actual, vi.distance_to_host(vj)));
-                }
-            }
-        }
-    }
+    let errors = score_pairs(data, &ids, |i, j| joined[i].distance_to_host(&joined[j]))?;
     Ok(PredictionResult {
         pairs_evaluated: errors.len(),
-        hosts_joined: joined.len(),
+        hosts_joined: ids.len(),
         errors,
         build_seconds,
     })

@@ -11,11 +11,17 @@
 //! (Eqs. 13–16) for their own outgoing/incoming vectors. Distance queries
 //! then reduce to dot products with no further measurement.
 //!
-//! * [`system`] — landmark selection, [`system::InformationServer`], joins.
+//! * [`system`] — landmark selection, [`system::InformationServer`], joins
+//!   (single-host and batched).
 //! * [`projection`] — the least-squares host join with QR / normal-equation
-//!   / nonnegative solvers.
+//!   / nonnegative solvers; the batched multi-RHS path
+//!   ([`projection::join_hosts_with`]) joins every host sharing a landmark
+//!   set through one factorization + one GEMM, bit-identical to per-host
+//!   solves.
 //! * [`eval`] — the §6 evaluation harness (IDES vs ICS vs GNP, landmark
-//!   failure injection).
+//!   failure injection), batched per shard and — with the `parallel`
+//!   feature — sharded over scoped threads with byte-identical results
+//!   (`IDES_LINALG_THREADS` overrides the thread count).
 //! * [`protocol`] — the wire protocol simulated over `ides-netsim`
 //!   (framed serde messages, ping-based RTT measurement, deterministic
 //!   discrete-event timing).
@@ -45,5 +51,5 @@ pub mod protocol;
 pub mod system;
 
 pub use error::{IdesError, Result};
-pub use projection::{HostVectors, JoinOptions, JoinSolver};
+pub use projection::{BatchHostVectors, HostVectors, JoinOptions, JoinSolver};
 pub use system::{Algorithm, IdesConfig, InformationServer};

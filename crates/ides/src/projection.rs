@@ -9,6 +9,29 @@
 //! X_new = argmin Σᵢ (Dᵒᵘᵗᵢ − U · Y_i)²   =>  (Dᵒᵘᵗ Y)(YᵀY)⁻¹
 //! Y_new = argmin Σᵢ (Dᶦⁿᵢ  − X_i · U)²   =>  (Dᶦⁿ X)(XᵀX)⁻¹
 //! ```
+//!
+//! # Batched joins
+//!
+//! The design matrix of every join against one landmark set is the *same*
+//! `k x d` factor matrix; only the measurement vector differs per host. The
+//! batch API ([`join_hosts_with`] / [`join_hosts_into`]) exploits this: the
+//! factorization (QR of the references, or Cholesky of the shared Gram
+//! matrix `AᵀA + λI`) is computed **once per batch**, the right-hand sides
+//! for all hosts are assembled as a single `hosts x d` GEMM on the blocked
+//! kernel layer, and each host's solution reduces to one triangular solve.
+//! Joining a batch of `H` hosts therefore costs one factorization plus
+//! `O(H)` small solves instead of `H` factorizations — the refactor that
+//! makes an information server absorb many ordinary hosts cheaply (§5).
+//!
+//! The per-host [`join_host_with`] is a thin wrapper over a batch of one,
+//! so batched and sequential joins run the exact same arithmetic: every
+//! output cell of the blocked GEMM accumulates over the shared `k`
+//! dimension in an order independent of the batch's row count, making
+//! batched results **bit-identical** to one-at-a-time joins (property-
+//! tested in `tests/proptests.rs`). The nonnegative (NNLS) solver is the
+//! one exception with no batched factorization: the batch API falls back
+//! to an active-set solve per host while still amortizing the gathered
+//! buffers.
 
 use ides_linalg::{nnls, qr, solve, Matrix};
 use ides_mf::FactorModel;
@@ -72,17 +95,117 @@ impl HostVectors {
     }
 }
 
+/// Outgoing/incoming vectors for a whole batch of joined hosts, stored as
+/// matrix rows (`hosts x d` each) so evaluation sweeps can score pairs
+/// without materializing one [`HostVectors`] allocation per host.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchHostVectors {
+    outgoing: Matrix,
+    incoming: Matrix,
+}
+
+impl BatchHostVectors {
+    /// Creates an empty batch; reused across [`join_hosts_into`] calls, the
+    /// matrices grow to their high-water shape and then stop allocating.
+    pub fn new() -> Self {
+        BatchHostVectors::default()
+    }
+
+    /// Number of hosts in the batch.
+    pub fn len(&self) -> usize {
+        self.outgoing.rows()
+    }
+
+    /// True when the batch holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.outgoing.rows() == 0
+    }
+
+    /// Vector dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.outgoing.cols()
+    }
+
+    /// Outgoing vector of batch host `i`.
+    pub fn outgoing(&self, i: usize) -> &[f64] {
+        self.outgoing.row(i)
+    }
+
+    /// Incoming vector of batch host `i`.
+    pub fn incoming(&self, i: usize) -> &[f64] {
+        self.incoming.row(i)
+    }
+
+    /// The `hosts x d` outgoing-vector matrix.
+    pub fn outgoing_matrix(&self) -> &Matrix {
+        &self.outgoing
+    }
+
+    /// The `hosts x d` incoming-vector matrix.
+    pub fn incoming_matrix(&self) -> &Matrix {
+        &self.incoming
+    }
+
+    /// Estimated distance from batch host `i` to batch host `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        FactorModel::dot(self.outgoing.row(i), self.incoming.row(j))
+    }
+
+    /// Copies batch host `i` out into an owned [`HostVectors`].
+    pub fn host(&self, i: usize) -> HostVectors {
+        HostVectors {
+            outgoing: self.outgoing.row(i).to_vec(),
+            incoming: self.incoming.row(i).to_vec(),
+        }
+    }
+
+    /// Copies the whole batch into per-host [`HostVectors`].
+    pub fn to_hosts(&self) -> Vec<HostVectors> {
+        (0..self.len()).map(|i| self.host(i)).collect()
+    }
+
+    /// Appends another batch's hosts (same dimensionality) — how sharded
+    /// evaluation merges per-shard join results in deterministic order.
+    pub fn extend_from(&mut self, other: &BatchHostVectors) -> Result<()> {
+        if self.is_empty() {
+            self.outgoing = other.outgoing.clone();
+            self.incoming = other.incoming.clone();
+            return Ok(());
+        }
+        if other.is_empty() {
+            return Ok(());
+        }
+        if other.dim() != self.dim() {
+            return Err(IdesError::InvalidInput(format!(
+                "cannot merge batches of dimension {} and {}",
+                self.dim(),
+                other.dim()
+            )));
+        }
+        self.outgoing = self.outgoing.vcat(&other.outgoing)?;
+        self.incoming = self.incoming.vcat(&other.incoming)?;
+        Ok(())
+    }
+}
+
 /// Reusable buffers for repeated host joins (evaluation sweeps, simulated
 /// protocol servers). Holds the gathered reference submatrices for partial
-/// joins and the normal-equation solver scratch, so the join hot path
-/// never clones the factor matrices and — on the normal-equation and ridge
-/// paths — performs no factor-sized allocation per join.
+/// joins, the single-host measurement staging rows, and the normal-equation
+/// solver scratch, so the join hot path never clones the factor matrices
+/// and — on the batched normal-equation, ridge, and QR paths — performs no
+/// allocation per additional host once warm.
 #[derive(Debug, Default)]
 pub struct JoinWorkspace {
     /// Gathered outgoing reference vectors (partial joins).
     x_sub: Matrix,
     /// Gathered incoming reference vectors (partial joins).
     y_sub: Matrix,
+    /// Single-host staging for the thin per-host wrappers (1 x k).
+    d_out_row: Matrix,
+    /// Single-host staging for the thin per-host wrappers (1 x k).
+    d_in_row: Matrix,
+    /// Batch-of-one output staging for the per-host wrappers.
+    single: BatchHostVectors,
     /// Normal-equation / ridge solver scratch.
     ne: solve::NormalEqWorkspace,
 }
@@ -119,9 +242,10 @@ pub fn join_host(
     join_host_with(&mut ws, x_refs, y_refs, d_out, d_in, opts)
 }
 
-/// [`join_host`] with caller-provided workspace: the variant evaluation
-/// sweeps use to join thousands of hosts without per-join clones of the
-/// reference matrices.
+/// [`join_host`] with caller-provided workspace: the variant repeated-join
+/// callers (protocol servers, per-host sweeps) use to avoid per-join clones
+/// of the reference matrices. A thin wrapper over a batch of one —
+/// [`join_hosts_with`] is the same computation for many hosts at once.
 pub fn join_host_with(
     ws: &mut JoinWorkspace,
     x_refs: &Matrix,
@@ -131,6 +255,99 @@ pub fn join_host_with(
     opts: JoinOptions,
 ) -> Result<HostVectors> {
     let k = x_refs.rows();
+    if d_out.len() != k || d_in.len() != k {
+        return Err(IdesError::InvalidInput(format!(
+            "expected {k} out/in measurements, got {}/{}",
+            d_out.len(),
+            d_in.len()
+        )));
+    }
+    ws.d_out_row.reset_shape(1, k);
+    ws.d_out_row.row_mut(0).copy_from_slice(d_out);
+    ws.d_in_row.reset_shape(1, k);
+    ws.d_in_row.row_mut(0).copy_from_slice(d_in);
+    join_refs_batch(
+        &mut ws.ne,
+        x_refs,
+        y_refs,
+        &ws.d_out_row,
+        &ws.d_in_row,
+        opts,
+        &mut ws.single,
+    )?;
+    Ok(ws.single.host(0))
+}
+
+/// Joins a whole batch of ordinary hosts against one reference set in one
+/// shot, returning owned per-host vectors.
+///
+/// * `x_refs` / `y_refs`: outgoing / incoming vectors of the `k` shared
+///   reference nodes as rows (`k x d`).
+/// * `d_out` / `d_in`: `hosts x k` measurement matrices — row `h` holds
+///   host `h`'s measured distances to (`d_out`) and from (`d_in`) each
+///   reference.
+///
+/// One factorization of the shared system serves every host; see the
+/// module docs for the cost model and the bit-identity guarantee relative
+/// to per-host [`join_host_with`] calls. Convenience wrapper over
+/// [`join_hosts_into`], which reuses the output batch across calls.
+pub fn join_hosts_with(
+    ws: &mut JoinWorkspace,
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    d_out: &Matrix,
+    d_in: &Matrix,
+    opts: JoinOptions,
+) -> Result<Vec<HostVectors>> {
+    let mut batch = BatchHostVectors::new();
+    join_hosts_into(ws, x_refs, y_refs, d_out, d_in, opts, &mut batch)?;
+    Ok(batch.to_hosts())
+}
+
+/// [`join_hosts_with`] writing the batch into a caller-owned
+/// [`BatchHostVectors`]: the zero-allocation core of the batched join
+/// path. Once `ws` and `out` are warm (have held a batch at least this
+/// large), joining additional hosts allocates nothing on the QR,
+/// normal-equation, and ridge paths.
+pub fn join_hosts_into(
+    ws: &mut JoinWorkspace,
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    d_out: &Matrix,
+    d_in: &Matrix,
+    opts: JoinOptions,
+    out: &mut BatchHostVectors,
+) -> Result<()> {
+    if d_out.shape() != d_in.shape() {
+        return Err(IdesError::InvalidInput(format!(
+            "measurement batch shapes disagree: out {:?}, in {:?}",
+            d_out.shape(),
+            d_in.shape()
+        )));
+    }
+    if d_out.cols() != x_refs.rows() {
+        return Err(IdesError::InvalidInput(format!(
+            "expected {} measurements per host, got {}",
+            x_refs.rows(),
+            d_out.cols()
+        )));
+    }
+    join_refs_batch(&mut ws.ne, x_refs, y_refs, d_out, d_in, opts, out)
+}
+
+/// Shared batched-join core: validates the reference system, then solves
+/// the outgoing batch against `y_refs` and the incoming batch against
+/// `x_refs`.
+fn join_refs_batch(
+    ne: &mut solve::NormalEqWorkspace,
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    d_out: &Matrix,
+    d_in: &Matrix,
+    opts: JoinOptions,
+    out: &mut BatchHostVectors,
+) -> Result<()> {
+    let k = x_refs.rows();
     let d = x_refs.cols();
     if y_refs.shape() != (k, d) {
         return Err(IdesError::InvalidInput(format!(
@@ -139,25 +356,17 @@ pub fn join_host_with(
             y_refs.shape()
         )));
     }
-    if d_out.len() != k || d_in.len() != k {
-        return Err(IdesError::InvalidInput(format!(
-            "expected {k} out/in measurements, got {}/{}",
-            d_out.len(),
-            d_in.len()
-        )));
-    }
     if k < d && opts.ridge <= 0.0 {
         return Err(IdesError::TooFewObservations {
             observed: k,
             needed: d,
         });
     }
-
     // X_new solves min ‖Y_refs · X_newᵀ − d_out‖ (each reference's incoming
     // vector dotted with X_new approximates the outgoing distance).
-    let outgoing = solve_one(&mut ws.ne, y_refs, d_out, opts)?;
-    let incoming = solve_one(&mut ws.ne, x_refs, d_in, opts)?;
-    Ok(HostVectors { outgoing, incoming })
+    solve_batch(ne, y_refs, d_out, opts, &mut out.outgoing)?;
+    solve_batch(ne, x_refs, d_in, opts, &mut out.incoming)?;
+    Ok(())
 }
 
 /// Partial join through the reference subset `observed` (row indices into
@@ -192,37 +401,81 @@ pub fn join_host_subset_with(
     }
     x_refs.select_rows_into(observed, &mut ws.x_sub);
     y_refs.select_rows_into(observed, &mut ws.y_sub);
-    let outgoing = solve_one(&mut ws.ne, &ws.y_sub, d_out, opts)?;
-    let incoming = solve_one(&mut ws.ne, &ws.x_sub, d_in, opts)?;
-    Ok(HostVectors { outgoing, incoming })
+    ws.d_out_row.reset_shape(1, observed.len());
+    ws.d_out_row.row_mut(0).copy_from_slice(d_out);
+    ws.d_in_row.reset_shape(1, observed.len());
+    ws.d_in_row.row_mut(0).copy_from_slice(d_in);
+    join_refs_batch(
+        &mut ws.ne,
+        &ws.x_sub,
+        &ws.y_sub,
+        &ws.d_out_row,
+        &ws.d_in_row,
+        opts,
+        &mut ws.single,
+    )?;
+    Ok(ws.single.host(0))
 }
 
-fn solve_one(
+/// Solves `min ‖A xₕᵀ − bₕ‖` for every measurement row `bₕ` of `b` with one
+/// shared factorization, writing host `h`'s solution into row `h` of `out`.
+fn solve_batch(
     ne: &mut solve::NormalEqWorkspace,
     a: &Matrix,
-    b: &[f64],
+    b: &Matrix,
     opts: JoinOptions,
-) -> Result<Vec<f64>> {
-    let mut out = vec![0.0; a.cols()];
+    out: &mut Matrix,
+) -> Result<()> {
+    let hosts = b.rows();
+    let d = a.cols();
     if opts.ridge > 0.0 {
-        solve::lstsq_ridge_with(a, b, opts.ridge, ne, &mut out)?;
-        return Ok(out);
+        solve::lstsq_ridge_multi_with(a, b, opts.ridge, ne, out)?;
+        return Ok(());
     }
     match opts.solver {
         JoinSolver::Qr => {
-            out = qr::lstsq(a, b).or_else(|_| solve::lstsq_normal(a, b))?;
+            out.reset_shape(hosts, d);
+            match qr::qr(a) {
+                Ok(qr::Qr { q, r }) => {
+                    // QᵀB for the whole batch in one GEMM (row h = Qᵀ bₕ),
+                    // then one in-place back-substitution per host.
+                    b.matmul_into(&q, out)?;
+                    for h in 0..hosts {
+                        if qr::solve_upper_triangular_in_place(&r, out.row_mut(h)).is_err() {
+                            // Rank-deficient column: same fallback the
+                            // scalar `qr::lstsq` path used per host.
+                            let x = solve::lstsq_normal(a, b.row(h))?;
+                            out.row_mut(h).copy_from_slice(&x);
+                        }
+                    }
+                }
+                // k < d (ridge-regularized callers only) or a degenerate
+                // reference system: minimum-norm solution per host.
+                Err(_) => {
+                    for h in 0..hosts {
+                        let x = solve::lstsq_normal(a, b.row(h))?;
+                        out.row_mut(h).copy_from_slice(&x);
+                    }
+                }
+            }
         }
         JoinSolver::NormalEquations => {
             // λ = 0 ridge is exactly the normal equations, solved through
             // the workspace (falls back to the pseudo-inverse path on
             // rank deficiency, like `lstsq_normal`).
-            solve::lstsq_ridge_with(a, b, 0.0, ne, &mut out)?;
+            solve::lstsq_ridge_multi_with(a, b, 0.0, ne, out)?;
         }
         JoinSolver::NonNegative => {
-            out = nnls::nnls(a, b)?;
+            // NNLS is an active-set iteration with no shared factorization;
+            // solve per host (the one non-amortized solver).
+            out.reset_shape(hosts, d);
+            for h in 0..hosts {
+                let x = nnls::nnls(a, b.row(h))?;
+                out.row_mut(h).copy_from_slice(&x);
+            }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ use ides_mf::{DistanceEstimator, FactorModel};
 
 use crate::error::{IdesError, Result};
 use crate::projection::{
-    join_host, join_host_subset_with, join_host_with, HostVectors, JoinOptions, JoinSolver,
-    JoinWorkspace,
+    join_host, join_host_subset_with, join_host_with, join_hosts_into, join_hosts_with,
+    BatchHostVectors, HostVectors, JoinOptions, JoinSolver, JoinWorkspace,
 };
 
 /// Which factorization algorithm the information server runs.
@@ -156,6 +156,54 @@ impl InformationServer {
             d_out,
             d_in,
             self.config.join,
+        )
+    }
+
+    /// Joins a whole batch of ordinary hosts in one shot: row `h` of
+    /// `d_out`/`d_in` holds host `h`'s measured distances to/from **all**
+    /// landmarks. One factorization of the landmark system serves the
+    /// entire batch (see [`crate::projection::join_hosts_with`]); results
+    /// are bit-identical to per-host [`InformationServer::join`] calls.
+    pub fn join_batch(&self, d_out: &Matrix, d_in: &Matrix) -> Result<Vec<HostVectors>> {
+        let mut ws = JoinWorkspace::new();
+        self.join_batch_with(&mut ws, d_out, d_in)
+    }
+
+    /// [`InformationServer::join_batch`] with caller-provided workspace.
+    pub fn join_batch_with(
+        &self,
+        ws: &mut JoinWorkspace,
+        d_out: &Matrix,
+        d_in: &Matrix,
+    ) -> Result<Vec<HostVectors>> {
+        join_hosts_with(
+            ws,
+            self.model.x(),
+            self.model.y(),
+            d_out,
+            d_in,
+            self.config.join,
+        )
+    }
+
+    /// [`InformationServer::join_batch`] writing into a caller-owned
+    /// [`BatchHostVectors`] — the zero-allocation variant the sharded
+    /// evaluation sweeps drive.
+    pub fn join_batch_into(
+        &self,
+        ws: &mut JoinWorkspace,
+        d_out: &Matrix,
+        d_in: &Matrix,
+        out: &mut BatchHostVectors,
+    ) -> Result<()> {
+        join_hosts_into(
+            ws,
+            self.model.x(),
+            self.model.y(),
+            d_out,
+            d_in,
+            self.config.join,
+            out,
         )
     }
 

@@ -1,0 +1,78 @@
+//! Byte-identity of the sharded (`parallel` feature) evaluation sweeps:
+//! running the §6 evaluators at any thread count must produce exactly the
+//! same `PredictionResult` payload (errors bitwise, host and pair counts)
+//! as the single-threaded sweep, because shard boundaries only partition
+//! per-host-independent work and shard outputs merge in fixed order.
+//!
+//! The thread count is driven through `IDES_LINALG_THREADS` — the same
+//! override the GEMM kernels honor. This file is its own test binary (own
+//! process) and runs everything from one `#[test]`, so the env-var
+//! mutation cannot race other tests.
+
+#![cfg(feature = "parallel")]
+
+use ides::eval::{
+    evaluate_gnp, evaluate_ics, evaluate_ides, evaluate_ides_with_failures, PredictionResult,
+};
+use ides::system::{split_landmarks, IdesConfig};
+use ides_mf::gnp::GnpConfig;
+
+fn assert_results_identical(a: &PredictionResult, b: &PredictionResult, context: &str) {
+    assert_eq!(a.hosts_joined, b.hosts_joined, "{context}: hosts_joined");
+    assert_eq!(
+        a.pairs_evaluated, b.pairs_evaluated,
+        "{context}: pairs_evaluated"
+    );
+    assert_eq!(a.errors.len(), b.errors.len(), "{context}: error count");
+    for (i, (x, y)) in a.errors.iter().zip(b.errors.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: error {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn sharded_evaluation_is_byte_identical_to_sequential() {
+    let ds = ides_datasets::generators::nlanr_like(60, 33).expect("dataset");
+    let (landmarks, ordinary) = split_landmarks(60, 20, 5);
+    let gnp_cfg = GnpConfig {
+        landmark_evals: 10_000,
+        host_evals: 1_000,
+        ..GnpConfig::new(6)
+    };
+
+    let run_all = || {
+        let ides_svd =
+            evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::new(8)).expect("ides");
+        let ides_nmf =
+            evaluate_ides(&ds.matrix, &landmarks, &ordinary, IdesConfig::nmf(8)).expect("nmf");
+        let ics = evaluate_ics(&ds.matrix, &landmarks, &ordinary, 8).expect("ics");
+        let gnp = evaluate_gnp(&ds.matrix, &landmarks, &ordinary, gnp_cfg).expect("gnp");
+        let failures = evaluate_ides_with_failures(
+            &ds.matrix,
+            &landmarks,
+            &ordinary,
+            IdesConfig::new(8),
+            0.3,
+            17,
+        )
+        .expect("failures");
+        [ides_svd, ides_nmf, ics, gnp, failures]
+    };
+
+    std::env::set_var("IDES_LINALG_THREADS", "1");
+    let sequential = run_all();
+    for threads in ["2", "4", "7"] {
+        std::env::set_var("IDES_LINALG_THREADS", threads);
+        let sharded = run_all();
+        for (label, (a, b)) in ["ides/svd", "ides/nmf", "ics", "gnp", "failures"]
+            .iter()
+            .zip(sequential.iter().zip(sharded.iter()))
+        {
+            assert_results_identical(a, b, &format!("{label} @ {threads} threads"));
+        }
+    }
+    std::env::remove_var("IDES_LINALG_THREADS");
+}

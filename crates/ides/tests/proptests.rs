@@ -1,6 +1,9 @@
-//! Property-based tests for the IDES host-join algebra.
+//! Property-based tests for the IDES host-join algebra, including the
+//! bit-identity contract between batched and sequential joins.
 
-use ides::projection::{join_host, JoinOptions, JoinSolver};
+use ides::projection::{
+    join_host, join_host_with, join_hosts_with, JoinOptions, JoinSolver, JoinWorkspace,
+};
 use ides_linalg::Matrix;
 use ides_mf::FactorModel;
 use proptest::prelude::*;
@@ -21,8 +24,165 @@ fn reference(k: usize, d: usize, seed: u64) -> Matrix {
     m
 }
 
+/// Asserts two vectors are equal down to the last bit.
+fn assert_bits_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: component {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// Joins every measurement row batched and sequentially with the given
+/// options and asserts the results are bit-identical.
+fn assert_batch_matches_sequential(
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    d_out: &Matrix,
+    d_in: &Matrix,
+    opts: JoinOptions,
+    context: &str,
+) {
+    let mut ws = JoinWorkspace::new();
+    let batch = join_hosts_with(&mut ws, x_refs, y_refs, d_out, d_in, opts)
+        .unwrap_or_else(|e| panic!("{context}: batch join failed: {e}"));
+    assert_eq!(batch.len(), d_out.rows(), "{context}");
+    let mut seq_ws = JoinWorkspace::new();
+    for (h, joined) in batch.iter().enumerate() {
+        let single = join_host_with(&mut seq_ws, x_refs, y_refs, d_out.row(h), d_in.row(h), opts)
+            .unwrap_or_else(|e| panic!("{context}: sequential join of host {h} failed: {e}"));
+        assert_bits_eq(
+            &joined.outgoing,
+            &single.outgoing,
+            &format!("{context}: host {h} outgoing"),
+        );
+        assert_bits_eq(
+            &joined.incoming,
+            &single.incoming,
+            &format!("{context}: host {h} incoming"),
+        );
+    }
+}
+
+/// Batched joins of an SVD landmark model (complete data) are bit-identical
+/// to one-host-at-a-time joins for every solver.
+#[test]
+fn batched_join_bit_identical_svd_model() {
+    let ds = ides_datasets::generators::nlanr_like(40, 7).expect("dataset");
+    let landmarks: Vec<usize> = (0..20).collect();
+    let lm = ds.matrix.submatrix(&landmarks, &landmarks);
+    let server =
+        ides::system::InformationServer::build(&lm, ides::system::IdesConfig::new(8)).unwrap();
+    let hosts: Vec<usize> = (20..40).collect();
+    let d_out = Matrix::from_fn(hosts.len(), landmarks.len(), |r, c| {
+        ds.matrix.get(hosts[r], landmarks[c]).unwrap()
+    });
+    let d_in = Matrix::from_fn(hosts.len(), landmarks.len(), |r, c| {
+        ds.matrix.get(landmarks[c], hosts[r]).unwrap()
+    });
+    for (solver, ridge) in [
+        (JoinSolver::Qr, 0.0),
+        (JoinSolver::NormalEquations, 0.0),
+        (JoinSolver::Qr, 0.05),
+        (JoinSolver::NonNegative, 0.0),
+    ] {
+        assert_batch_matches_sequential(
+            server.model().x(),
+            server.model().y(),
+            &d_out,
+            &d_in,
+            JoinOptions { solver, ridge },
+            &format!("svd model, {solver:?} ridge={ridge}"),
+        );
+    }
+}
+
+/// Same bit-identity for an NMF model fit on **masked** (incomplete) data,
+/// including the NNLS solver the paper pairs with NMF.
+#[test]
+fn batched_join_bit_identical_nmf_masked_model() {
+    let ds = ides_datasets::generators::nlanr_like(36, 11).expect("dataset");
+    let landmarks: Vec<usize> = (0..18).collect();
+    let lm = ds.matrix.submatrix(&landmarks, &landmarks);
+    // Punch a hole pattern into the landmark matrix; NMF handles the mask.
+    let mut values = lm.values().clone();
+    let mut mask = ides_linalg::Matrix::filled(18, 18, 1.0);
+    for i in 0..18 {
+        let j = (i * 5 + 3) % 18;
+        if i != j {
+            mask[(i, j)] = 0.0;
+            values[(i, j)] = 0.0;
+        }
+    }
+    let masked = ides_datasets::DistanceMatrix::with_mask("masked-lm", values, mask).unwrap();
+    let server =
+        ides::system::InformationServer::build(&masked, ides::system::IdesConfig::nmf(6)).unwrap();
+    let hosts: Vec<usize> = (18..36).collect();
+    let d_out = Matrix::from_fn(hosts.len(), landmarks.len(), |r, c| {
+        ds.matrix.get(hosts[r], landmarks[c]).unwrap()
+    });
+    let d_in = Matrix::from_fn(hosts.len(), landmarks.len(), |r, c| {
+        ds.matrix.get(landmarks[c], hosts[r]).unwrap()
+    });
+    for (solver, ridge) in [
+        (JoinSolver::NonNegative, 0.0),
+        (JoinSolver::Qr, 0.0),
+        (JoinSolver::NormalEquations, 0.0),
+        (JoinSolver::NormalEquations, 0.1),
+    ] {
+        assert_batch_matches_sequential(
+            server.model().x(),
+            server.model().y(),
+            &d_out,
+            &d_in,
+            JoinOptions { solver, ridge },
+            &format!("nmf masked model, {solver:?} ridge={ridge}"),
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batched multi-RHS joins are bit-identical to sequential per-host
+    /// joins on arbitrary well-posed systems, for every solver and with
+    /// and without ridge regularization.
+    #[test]
+    fn batched_join_bit_identical_random_systems(
+        seed in 0u64..300,
+        hosts in 1usize..12,
+        solver_idx in 0usize..3,
+        ridged in proptest::bool::ANY
+    ) {
+        let k = 7;
+        let d = 3;
+        let x_refs = reference(k, d, seed);
+        let y_refs = reference(k, d, seed ^ 0xBEEF);
+        // Nonnegative measurements keep NNLS meaningful.
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut gen = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * 50.0
+        };
+        let d_out = Matrix::from_fn(hosts, k, |_, _| gen());
+        let d_in = Matrix::from_fn(hosts, k, |_, _| gen());
+        let solver = [JoinSolver::Qr, JoinSolver::NormalEquations, JoinSolver::NonNegative]
+            [solver_idx];
+        let ridge = if ridged { 0.25 } else { 0.0 };
+        assert_batch_matches_sequential(
+            &x_refs,
+            &y_refs,
+            &d_out,
+            &d_in,
+            JoinOptions { solver, ridge },
+            &format!("random system seed={seed} {solver:?} ridge={ridge}"),
+        );
+    }
 
     /// When the measurements are *exactly* generated by some vector pair,
     /// the least-squares join recovers that pair (all three solvers agree

@@ -90,6 +90,30 @@ pub fn solve_cholesky_in_place(l: &Matrix, b: &mut [f64]) -> Result<()> {
     Ok(())
 }
 
+/// Solves `A xᵀ = bᵀ` for **every row** of `rhs` in place, given a factored
+/// lower triangle `l`: row `h` of `rhs` enters holding one right-hand side
+/// and leaves holding the corresponding solution.
+///
+/// This is the multi-RHS building block of the batched host join
+/// (`ides::projection::join_hosts_with`): one Cholesky factorization of the
+/// shared Gram matrix serves every right-hand-side row, and because each
+/// row is solved by exactly the arithmetic of [`solve_cholesky_in_place`],
+/// the batched solutions are bit-identical to per-host solves. No heap
+/// allocation.
+pub fn solve_cholesky_rows_in_place(l: &Matrix, rhs: &mut Matrix) -> Result<()> {
+    if rhs.cols() != l.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (rhs.rows(), l.rows()),
+            got: rhs.shape(),
+            op: "cholesky_solve_rows",
+        });
+    }
+    for h in 0..rhs.rows() {
+        solve_cholesky_in_place(l, rhs.row_mut(h))?;
+    }
+    Ok(())
+}
+
 impl Cholesky {
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
@@ -124,6 +148,12 @@ impl Cholesky {
             x[i] = s / self.l[(i, i)];
         }
         Ok(x)
+    }
+
+    /// Solves `A xᵀ = bᵀ` for every row of `rhs` in place; see
+    /// [`solve_cholesky_rows_in_place`].
+    pub fn solve_rows_in_place(&self, rhs: &mut Matrix) -> Result<()> {
+        solve_cholesky_rows_in_place(&self.l, rhs)
     }
 
     /// Solves `A X = B` column by column.
@@ -189,6 +219,25 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_rows_in_place_matches_per_vector_solve() {
+        let b = Matrix::from_fn(5, 3, |i, j| ((i * 2 + j) as f64 * 0.7).sin());
+        let g = &b.tr_matmul(&b).unwrap() + &Matrix::identity(3).scale(0.3);
+        let c = cholesky(&g).unwrap();
+        let mut rhs = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 - 1.5);
+        let expected: Vec<Vec<f64>> = (0..4).map(|h| c.solve(rhs.row(h)).unwrap()).collect();
+        c.solve_rows_in_place(&mut rhs).unwrap();
+        for h in 0..4 {
+            for j in 0..3 {
+                // Bitwise: the row solve is the same arithmetic.
+                assert_eq!(rhs[(h, j)].to_bits(), expected[h][j].to_bits());
+            }
+        }
+        // Shape mismatch rejected.
+        let mut bad = Matrix::zeros(2, 4);
+        assert!(c.solve_rows_in_place(&mut bad).is_err());
     }
 
     #[test]

@@ -117,22 +117,47 @@ pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             op: "solve_upper_triangular",
         });
     }
+    let mut x = b.to_vec();
+    solve_upper_triangular_in_place(r, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve_upper_triangular`] overwriting `b` with the solution — the
+/// allocation-free variant the batched host join uses to back-substitute
+/// every right-hand-side row of a `QᵀB` product in place.
+///
+/// The singular check (any diagonal entry negligibly small relative to the
+/// largest) runs up front, so `b` is untouched on error.
+pub fn solve_upper_triangular_in_place(r: &Matrix, b: &mut [f64]) -> Result<()> {
+    let n = r.rows();
+    if !r.is_square() {
+        return Err(LinalgError::NotSquare {
+            got: r.shape(),
+            op: "solve_upper_triangular",
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, 1),
+            got: (b.len(), 1),
+            op: "solve_upper_triangular",
+        });
+    }
     let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(r[(i, i)].abs()));
     let tol = max_diag * 1e-13;
-    let mut x = vec![0.0; n];
+    if (0..n).any(|i| r[(i, i)].abs() <= tol) {
+        return Err(LinalgError::Singular {
+            op: "solve_upper_triangular",
+        });
+    }
     for i in (0..n).rev() {
         let mut s = b[i];
         for j in (i + 1)..n {
-            s -= r[(i, j)] * x[j];
+            s -= r[(i, j)] * b[j];
         }
-        if r[(i, i)].abs() <= tol {
-            return Err(LinalgError::Singular {
-                op: "solve_upper_triangular",
-            });
-        }
-        x[i] = s / r[(i, i)];
+        b[i] = s / r[(i, i)];
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solves the least-squares problem `min ‖A x − b‖₂` via QR.

@@ -169,6 +169,70 @@ pub fn lstsq_ridge_with(
     }
 }
 
+/// Batched, multi-right-hand-side ridge least squares: solves
+/// `min ‖A xₕᵀ − bₕ‖² + λ‖xₕ‖²` for **every row** `bₕ` of `b` with a
+/// single factorization.
+///
+/// * `a` is the shared `k x d` design matrix (one reference node per row).
+/// * `b` is `hosts x k` — one right-hand side per row.
+/// * `out` is reshaped to `hosts x d`; row `h` receives host `h`'s solution.
+///
+/// The Gram matrix `AᵀA + λI` is formed and Cholesky-factored **once**, and
+/// the right-hand sides are assembled as the single GEMM `B·A` (row `h` of
+/// which is `Aᵀbₕ`), so the per-host cost collapses to one triangular
+/// solve. Because every output cell of the blocked GEMM accumulates over
+/// the shared `k` dimension in the same order regardless of the batch's
+/// row count, the solutions are **bit-identical** to solving each host
+/// separately through the same batched path — the property the evaluation
+/// sharding relies on.
+///
+/// Falls back to the per-row [`lstsq_normal`] pseudo-inverse path when
+/// `AᵀA + λI` is numerically indefinite (rank-deficient input with
+/// `lambda = 0`), mirroring [`lstsq_ridge_with`]. Steady-state allocation
+/// is zero once `ws` and `out` have reached their high-water shapes.
+pub fn lstsq_ridge_multi_with(
+    a: &Matrix,
+    b: &Matrix,
+    lambda: f64,
+    ws: &mut NormalEqWorkspace,
+    out: &mut Matrix,
+) -> Result<()> {
+    if a.rows() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (b.rows(), a.rows()),
+            got: b.shape(),
+            op: "lstsq_ridge_multi",
+        });
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::InvalidArgument(
+            "ridge lambda must be nonnegative",
+        ));
+    }
+    let d = a.cols();
+    let hosts = b.rows();
+    out.reset_shape(hosts, d);
+    ws.fit_to(d);
+    a.tr_matmul_into(a, &mut ws.ata)?;
+    for i in 0..d {
+        ws.ata[(i, i)] += lambda;
+    }
+    match crate::cholesky::cholesky_in_place(&mut ws.ata) {
+        Ok(()) => {
+            // RHS for all hosts in one GEMM: row h of B·A is Aᵀ bₕ.
+            b.matmul_into(a, out)?;
+            crate::cholesky::solve_cholesky_rows_in_place(&ws.ata, out)
+        }
+        Err(_) => {
+            for h in 0..hosts {
+                let x = lstsq_normal(a, b.row(h))?;
+                out.row_mut(h).copy_from_slice(&x);
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +301,58 @@ mod tests {
         let a = Matrix::zeros(3, 2);
         assert!(lstsq_normal(&a, &[1.0]).is_err());
         assert!(lstsq_ridge(&a, &[1.0], 0.1).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_matches_single_solves() {
+        let a = Matrix::from_fn(9, 4, |i, j| ((i * 4 + j) as f64 * 0.63).sin() + 0.2);
+        let b = Matrix::from_fn(6, 9, |h, i| ((h * 9 + i) as f64 * 0.31).cos() * 5.0);
+        for lambda in [0.0, 0.5] {
+            let mut ws = NormalEqWorkspace::default();
+            let mut out = Matrix::zeros(0, 0);
+            lstsq_ridge_multi_with(&a, &b, lambda, &mut ws, &mut out).unwrap();
+            assert_eq!(out.shape(), (6, 4));
+            for h in 0..6 {
+                let x = lstsq_ridge(&a, b.row(h), lambda).unwrap();
+                for j in 0..4 {
+                    assert!(
+                        (out[(h, j)] - x[j]).abs() < 1e-10,
+                        "host {h} λ={lambda}: {:?} vs {x:?}",
+                        out.row(h)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_rank_deficient_falls_back() {
+        // Duplicate columns: AᵀA singular at λ=0; per-row minimum-norm
+        // solutions split the coefficient evenly, like `lstsq_normal`.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let b = Matrix::from_vec(2, 3, vec![2.0, 4.0, 6.0, 4.0, 8.0, 12.0]).unwrap();
+        let mut ws = NormalEqWorkspace::default();
+        let mut out = Matrix::zeros(0, 0);
+        lstsq_ridge_multi_with(&a, &b, 0.0, &mut ws, &mut out).unwrap();
+        assert!((out[(0, 0)] - 1.0).abs() < 1e-9);
+        assert!((out[(0, 1)] - 1.0).abs() < 1e-9);
+        assert!((out[(1, 0)] - 2.0).abs() < 1e-9);
+        assert!((out[(1, 1)] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_rhs_shape_and_lambda_validation() {
+        let a = Matrix::zeros(3, 2);
+        let mut ws = NormalEqWorkspace::default();
+        let mut out = Matrix::zeros(0, 0);
+        // b columns must equal a rows.
+        let bad = Matrix::zeros(2, 4);
+        assert!(lstsq_ridge_multi_with(&a, &bad, 0.1, &mut ws, &mut out).is_err());
+        let b = Matrix::zeros(2, 3);
+        assert!(lstsq_ridge_multi_with(&a, &b, -1.0, &mut ws, &mut out).is_err());
+        // Empty batch is fine.
+        let empty = Matrix::zeros(0, 3);
+        lstsq_ridge_multi_with(&a, &empty, 0.1, &mut ws, &mut out).unwrap();
+        assert_eq!(out.shape(), (0, 2));
     }
 }

@@ -53,6 +53,9 @@ pub struct GnpModel {
     /// Landmark coordinates, `m x d`.
     landmarks: Matrix,
     dim: usize,
+    /// The configuration the landmarks were fit with; reused as the default
+    /// for batched host fits ([`GnpModel::fit_hosts`] / [`BatchEmbed`]).
+    config: GnpConfig,
 }
 
 impl GnpModel {
@@ -129,7 +132,43 @@ impl GnpModel {
             },
         );
         let landmarks = Matrix::from_vec(m, d, polished.x)?;
-        Ok(GnpModel { landmarks, dim: d })
+        Ok(GnpModel {
+            landmarks,
+            dim: d,
+            config,
+        })
+    }
+
+    /// The configuration the landmark fit ran with.
+    pub fn config(&self) -> GnpConfig {
+        self.config
+    }
+
+    /// Fits the coordinates of a whole **batch** of ordinary hosts: row `h`
+    /// of `rows` holds host `h`'s measured distances to the landmarks, and
+    /// `seeds[h]` seeds its simplex initialization (the evaluation harness
+    /// passes the host's global id, keeping results independent of batch
+    /// composition). Returns the `hosts x d` coordinate matrix.
+    ///
+    /// Each host's Simplex Downhill fit is independent, so this is the
+    /// shard-friendly GNP counterpart of the GEMM-backed IDES batch join:
+    /// no cross-host factorization exists to share, but the batch entry
+    /// point lets the sharded evaluation driver treat all three systems
+    /// uniformly.
+    pub fn fit_hosts(&self, rows: &Matrix, config: GnpConfig, seeds: &[u64]) -> Result<Matrix> {
+        if seeds.len() != rows.rows() {
+            return Err(MfError::InvalidInput(format!(
+                "expected one seed per host: {} hosts, {} seeds",
+                rows.rows(),
+                seeds.len()
+            )));
+        }
+        let mut coords = Matrix::zeros(rows.rows(), self.dim);
+        for (h, &seed) in seeds.iter().enumerate() {
+            let x = self.fit_host(rows.row(h), config, seed)?;
+            coords.row_mut(h).copy_from_slice(&x);
+        }
+        Ok(coords)
     }
 
     /// Fits the coordinates of one ordinary host from its measured
@@ -221,6 +260,14 @@ impl GnpModel {
     /// The Euclidean model over the landmarks themselves.
     pub fn landmark_model(&self) -> EuclideanModel {
         EuclideanModel::new(self.landmarks.clone())
+    }
+}
+
+impl crate::model::BatchEmbed for GnpModel {
+    /// Stochastic embedder: `ids[h]` seeds host `h`'s simplex restart, using
+    /// the configuration stored at landmark-fit time.
+    fn embed_batch(&self, rows: &Matrix, ids: &[u64]) -> Result<Matrix> {
+        self.fit_hosts(rows, self.config, ids)
     }
 }
 
@@ -318,6 +365,30 @@ mod tests {
         let (data, _) = euclidean_dataset(5);
         let model = GnpModel::fit_landmarks(&data, GnpConfig::new(2)).unwrap();
         assert!(model.fit_host(&[1.0, 2.0], GnpConfig::new(2), 0).is_err());
+    }
+
+    #[test]
+    fn fit_hosts_matches_per_host_fits_bitwise() {
+        let (data, _) = euclidean_dataset(6);
+        let cfg = GnpConfig {
+            landmark_evals: 6_000,
+            host_evals: 800,
+            ..GnpConfig::new(2)
+        };
+        let model = GnpModel::fit_landmarks(&data, cfg).unwrap();
+        let rows = Matrix::from_fn(3, 6, |h, j| data.get(h + 1, j).unwrap().max(0.1));
+        let seeds = [11u64, 7, 42];
+        let batch = model.fit_hosts(&rows, cfg, &seeds).unwrap();
+        for h in 0..3 {
+            let single = model.fit_host(rows.row(h), cfg, seeds[h]).unwrap();
+            for j in 0..2 {
+                assert_eq!(batch[(h, j)].to_bits(), single[j].to_bits());
+            }
+        }
+        // Seed-count mismatch rejected.
+        assert!(model.fit_hosts(&rows, cfg, &seeds[..2]).is_err());
+        // The stored config round-trips.
+        assert_eq!(model.config().host_evals, 800);
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub mod svd_model;
 pub mod vivaldi;
 
 pub use error::{MfError, Result};
-pub use model::{DistanceEstimator, EuclideanModel, FactorModel};
+pub use model::{BatchEmbed, DistanceEstimator, EuclideanModel, FactorModel};

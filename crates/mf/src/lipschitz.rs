@@ -9,7 +9,6 @@
 
 use ides_datasets::DistanceMatrix;
 use ides_linalg::pca::{self, Pca};
-#[cfg(test)]
 use ides_linalg::Matrix;
 
 use crate::error::{MfError, Result};
@@ -110,6 +109,21 @@ impl LipschitzPca {
         Ok(())
     }
 
+    /// Embeds a whole **batch** of new hosts at once: each row of `rows` is
+    /// one host's Lipschitz vector, and row `h` of the result holds that
+    /// host's calibrated coordinates.
+    ///
+    /// The projection of the entire batch is a single `hosts x m` by
+    /// `m x d` GEMM on the blocked kernel layer, so embedding many hosts
+    /// costs one matrix product instead of per-host matrix-vector products.
+    /// Rows are embedded independently, so sharding a batch cannot change
+    /// any host's coordinates.
+    pub fn embed_batch(&self, rows: &Matrix) -> Result<Matrix> {
+        let mut coords = self.projection.transform(rows)?;
+        coords.map_inplace(|c| c * self.scale);
+        Ok(coords)
+    }
+
     /// Estimated distance between two embedded coordinate vectors.
     pub fn distance(a: &[f64], b: &[f64]) -> f64 {
         EuclideanModel::distance(a, b)
@@ -150,6 +164,13 @@ impl LipschitzPca {
             scale,
             model: EuclideanModel::new(raw.coords().scale(scale)),
         })
+    }
+}
+
+impl crate::model::BatchEmbed for LipschitzPca {
+    /// Deterministic embedder: `ids` are ignored.
+    fn embed_batch(&self, rows: &Matrix, _ids: &[u64]) -> Result<Matrix> {
+        LipschitzPca::embed_batch(self, rows)
     }
 }
 
@@ -261,6 +282,34 @@ mod tests {
             svd_med < lip_med,
             "SVD median {svd_med} should beat Lipschitz {lip_med}"
         );
+    }
+
+    #[test]
+    fn embed_batch_matches_per_host_embed() {
+        let data = euclidean_dataset(14);
+        let model = LipschitzPca::fit(&data, 3).unwrap();
+        let rows = Matrix::from_fn(6, 14, |h, j| data.get(h + 2, j).unwrap() + 0.1 * h as f64);
+        let batch = model.embed_batch(&rows).unwrap();
+        assert_eq!(batch.shape(), (6, 3));
+        for h in 0..6 {
+            let single = model.embed(rows.row(h)).unwrap();
+            for j in 0..3 {
+                assert!(
+                    (batch[(h, j)] - single[j]).abs() < 1e-10,
+                    "host {h}: {:?} vs {single:?}",
+                    batch.row(h)
+                );
+            }
+        }
+        // Shard independence: embedding a sub-batch reproduces the same rows
+        // bit for bit.
+        let sub = Matrix::from_fn(2, 14, |h, j| rows[(h + 3, j)]);
+        let sub_batch = model.embed_batch(&sub).unwrap();
+        for h in 0..2 {
+            for j in 0..3 {
+                assert_eq!(sub_batch[(h, j)].to_bits(), batch[(h + 3, j)].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -42,10 +42,20 @@ pub struct Cdf {
 
 impl Cdf {
     /// Builds a CDF from samples (NaNs are rejected by debug assertion).
+    ///
+    /// Consumes the sample vector: callers that are done with their error
+    /// list (e.g. `PredictionResult::into_cdf` in `ides::eval`) hand it
+    /// over without a copy.
     pub fn new(mut samples: Vec<f64>) -> Self {
         debug_assert!(samples.iter().all(|v| !v.is_nan()), "NaN sample in CDF");
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Cdf { sorted: samples }
+    }
+
+    /// Builds a CDF from a borrowed sample slice — one copy, for callers
+    /// that still need the samples afterwards.
+    pub fn from_slice(samples: &[f64]) -> Self {
+        Cdf::new(samples.to_vec())
     }
 
     /// Number of samples.

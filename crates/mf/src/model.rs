@@ -23,6 +23,26 @@ pub trait DistanceEstimator {
     }
 }
 
+/// Models that can embed a whole **batch** of new hosts from their
+/// measurement rows in one call — the estimator-level entry point the
+/// sharded evaluation driver (`ides::eval`) uses so every system (IDES
+/// joins, ICS PCA projection, GNP simplex fits) runs behind the same
+/// gather → batch-embed → score pipeline.
+///
+/// `rows` holds one host per row (distances to the reference/landmark
+/// set); the result has one coordinate row per host. `ids` are per-host
+/// identifiers, parallel to the rows, that stochastic embedders (GNP) use
+/// for deterministic seeding; deterministic embedders ignore them.
+///
+/// Implementations must be **per-row independent**: host `h`'s output row
+/// may depend only on its input row (and the fitted model), never on the
+/// rest of the batch, so that sharded and whole-batch embeddings are
+/// bit-identical.
+pub trait BatchEmbed {
+    /// Embeds each measurement row into one coordinate row.
+    fn embed_batch(&self, rows: &Matrix, ids: &[u64]) -> Result<Matrix>;
+}
+
 /// The paper's model (§3): each host carries an *outgoing* vector `X_i`
 /// and an *incoming* vector `Y_j`; the estimated distance from `i` to `j`
 /// is their dot product. Distances may be asymmetric

@@ -15,9 +15,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels nmf_convergence projection table1}"
+BENCHES="${BENCHES:-kernels nmf_convergence projection join_batch table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels join_batch}"
     export CRITERION_QUICK=1
 fi
 
@@ -55,10 +55,18 @@ done
 mv "$out.tmp" "$out"
 echo "wrote $out" >&2
 
-# Surface the headline number: blocked vs naive matmul at 512.
+# Surface the headline numbers: blocked vs naive matmul at 512, and the
+# batched vs per-host join speedup at 500 hosts.
 jq -r '.benches.kernels // [] | map(select(.group == "matmul")) |
        map({(.bench): .median_ns}) | add // {} |
        if (."blocked/512") then
          "matmul/512 speedup vs naive_ijk: \((."naive_ijk/512" / ."blocked/512") * 100 | round / 100)x, " +
          "vs seed_ikj: \((."seed_ikj/512" / ."blocked/512") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.join_batch // [] | map(select(.group == "join_batch")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."batched_qr/500") then
+         "join_batch/500 speedup batched vs per-host: " +
+         "qr \((."per_host_qr/500" / ."batched_qr/500") * 100 | round / 100)x, " +
+         "normal_eq \((."per_host_normal_eq/500" / ."batched_normal_eq/500") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true

@@ -4,6 +4,17 @@
 //! the repo-level `examples/` and `tests/` directories can exercise the
 //! public APIs of every crate together. Re-exports are provided for
 //! convenience.
+//!
+//! # The `parallel` feature and `IDES_LINALG_THREADS`
+//!
+//! The `ides` and `ides-linalg` crates expose an off-by-default `parallel`
+//! cargo feature. In `ides-linalg` it row-band-parallelizes the blocked
+//! GEMM kernels; in `ides` it additionally shards the §6 evaluation sweeps
+//! (batched host joins/embeddings plus O(n²) pair scoring) over std scoped
+//! threads. `IDES_LINALG_THREADS=N` overrides the detected core count for
+//! both. Outputs are bit-identical with the feature on or off and at any
+//! thread count: shards partition per-host-independent work and merge in a
+//! fixed order. See the workspace `README.md` for usage examples.
 
 #![forbid(unsafe_code)]
 
