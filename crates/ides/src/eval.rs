@@ -114,7 +114,7 @@ fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
 /// shard slice plus its offset into `items`; because shards are contiguous
 /// and merged in order, any per-item-independent `f` yields output
 /// identical to a single-shard run.
-fn map_shards<T, R, F>(items: &[T], f: F) -> Result<Vec<R>>
+pub(crate) fn map_shards<T, R, F>(items: &[T], f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,

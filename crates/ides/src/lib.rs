@@ -22,6 +22,13 @@
 //!   failure injection), batched per shard and — with the `parallel`
 //!   feature — sharded over scoped threads with byte-identical results
 //!   (`IDES_LINALG_THREADS` overrides the thread count).
+//! * [`streaming`] — epoch-driven coordinate maintenance under drift:
+//!   [`streaming::StreamingServer`] ingests epoch-stamped measurement
+//!   deltas from an [`streaming::UpdateQueue`] and keeps coordinates fresh
+//!   **without refitting from scratch** — rank-1 Cholesky surgery on the
+//!   cached join factorizations for small drift, bounded warm-start ALS
+//!   refits beyond the [`streaming::StalenessPolicy`] threshold, and
+//!   sharded re-joins of only the affected hosts.
 //! * [`protocol`] — the wire protocol simulated over `ides-netsim`
 //!   (framed serde messages, ping-based RTT measurement, deterministic
 //!   discrete-event timing).
@@ -48,8 +55,12 @@ pub mod error;
 pub mod eval;
 pub mod projection;
 pub mod protocol;
+pub mod streaming;
 pub mod system;
 
 pub use error::{IdesError, Result};
 pub use projection::{BatchHostVectors, HostVectors, JoinOptions, JoinSolver};
+pub use streaming::{
+    EpochOutcome, EpochUpdate, MeasurementDelta, StalenessPolicy, StreamingServer, UpdateQueue,
+};
 pub use system::{Algorithm, IdesConfig, InformationServer};

@@ -164,6 +164,27 @@ impl BatchHostVectors {
         (0..self.len()).map(|i| self.host(i)).collect()
     }
 
+    /// Overwrites batch host `i`'s vectors in place — how the streaming
+    /// layer's re-join of affected hosts scatters fresh coordinates into a
+    /// long-lived coordinate table without reallocating it.
+    pub fn set_host(&mut self, i: usize, outgoing: &[f64], incoming: &[f64]) {
+        self.outgoing.row_mut(i).copy_from_slice(outgoing);
+        self.incoming.row_mut(i).copy_from_slice(incoming);
+    }
+
+    /// Resizes the batch to `hosts x d` (contents unspecified) — staging
+    /// for callers that fill rows via [`BatchHostVectors::set_host`].
+    pub fn reset_shape(&mut self, hosts: usize, d: usize) {
+        self.outgoing.reset_shape(hosts, d);
+        self.incoming.reset_shape(hosts, d);
+    }
+
+    /// Mutable access to the raw `hosts x d` outgoing/incoming matrices,
+    /// for same-crate batch solvers that write whole coordinate blocks.
+    pub(crate) fn matrices_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.outgoing, &mut self.incoming)
+    }
+
     /// Appends another batch's hosts (same dimensionality) — how sharded
     /// evaluation merges per-shard join results in deterministic order.
     pub fn extend_from(&mut self, other: &BatchHostVectors) -> Result<()> {

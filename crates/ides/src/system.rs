@@ -77,18 +77,7 @@ impl InformationServer {
     /// SVD requires a complete matrix; NMF accepts missing entries (the
     /// masked updates of Eqs. 8–9).
     pub fn build(landmark_matrix: &DistanceMatrix, config: IdesConfig) -> Result<Self> {
-        if !landmark_matrix.is_square() {
-            return Err(IdesError::InvalidInput(
-                "landmark matrix must be square".into(),
-            ));
-        }
-        let m = landmark_matrix.rows();
-        if config.dim == 0 || config.dim > m {
-            return Err(IdesError::InvalidInput(format!(
-                "dimension {} out of range for {m} landmarks",
-                config.dim
-            )));
-        }
+        validate_landmark_dims(landmark_matrix.rows(), landmark_matrix.cols(), config.dim)?;
         let model = match config.algorithm {
             Algorithm::Svd => svd_model::fit(landmark_matrix, SvdConfig::new(config.dim))?,
             Algorithm::Nmf => {
@@ -100,6 +89,14 @@ impl InformationServer {
                 nmf::fit(landmark_matrix, cfg)?.model
             }
         };
+        Ok(InformationServer { model, config })
+    }
+
+    /// Wraps an already-fitted landmark factor model — the constructor the
+    /// streaming layer uses to republish a server after an incremental
+    /// (warm-start) refresh without re-running a from-scratch fit.
+    pub fn from_model(model: FactorModel, config: IdesConfig) -> Result<Self> {
+        validate_landmark_dims(model.n_from(), model.n_to(), model.dim())?;
         Ok(InformationServer { model, config })
     }
 
@@ -279,8 +276,27 @@ impl InformationServer {
     }
 }
 
+/// Shared validation of a landmark system's shape: the matrix (or factor
+/// model) must be square over the landmark set and the model dimension
+/// must fit it. Used by every server entry point
+/// ([`InformationServer::build`], [`InformationServer::from_model`], the
+/// streaming server's constructors) so the rule can't silently diverge.
+pub(crate) fn validate_landmark_dims(rows: usize, cols: usize, dim: usize) -> Result<()> {
+    if rows != cols {
+        return Err(IdesError::InvalidInput(
+            "landmark matrix must be square".into(),
+        ));
+    }
+    if dim == 0 || dim > rows {
+        return Err(IdesError::InvalidInput(format!(
+            "dimension {dim} out of range for {rows} landmarks"
+        )));
+    }
+    Ok(())
+}
+
 /// Selects `m` random landmark indices out of `n` hosts (the paper selects
-/// landmarks randomly, citing [21] that random placement is effective once
+/// landmarks randomly, citing \[21\] that random placement is effective once
 /// 20+ landmarks are used).
 pub fn select_random_landmarks(n: usize, m: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -13,7 +13,10 @@
 //! * [`qr`] — Householder QR and QR least squares,
 //! * [`svd`] — one-sided Jacobi SVD plus truncated subspace-iteration SVD,
 //! * [`eig`] — cyclic-Jacobi symmetric eigendecomposition (for PCA),
-//! * [`lu`], [`cholesky`] — exact solves for the host-join normal equations,
+//! * [`lu`], [`cholesky`] — exact solves for the host-join normal
+//!   equations, plus `O(n²)` rank-1/rank-k Cholesky up/downdates and the
+//!   incrementally maintained [`solve::CachedGram`] behind the streaming
+//!   update path,
 //! * [`nnls`] — Lawson–Hanson nonnegative least squares (§5.1 option),
 //! * [`pca`] — the projection used by the ICS / Virtual Landmark baselines,
 //! * [`random`] — seeded random matrices for NMF initialization.

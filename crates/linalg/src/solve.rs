@@ -34,7 +34,7 @@ pub fn pinv(a: &Matrix, rcond: f64) -> Result<Matrix> {
 /// Least squares via the **normal equations**: `x = (AᵀA)⁻¹ Aᵀ b`.
 ///
 /// This is the formulation written in Eqs. (13–14) of the paper. It squares
-/// the condition number, so [`qr::lstsq`] is preferred for ill-conditioned
+/// the condition number, so [`crate::qr::lstsq`] is preferred for ill-conditioned
 /// systems; both are exposed so the experiment harness can ablate the two.
 /// Falls back to the SVD pseudo-inverse when `AᵀA` is singular (e.g. when
 /// fewer than `d` reference nodes are observed).
@@ -233,6 +233,116 @@ pub fn lstsq_ridge_multi_with(
     }
 }
 
+/// An incrementally maintained normal-equation factorization: the Cholesky
+/// factor of the Gram matrix `AᵀA + λI` of a `k x d` design matrix,
+/// cached so that
+///
+/// * multi-RHS solves run with **no factorization at all** (one triangular
+///   solve per right-hand side, exactly the arithmetic of
+///   [`lstsq_ridge_multi_with`]), and
+/// * replacing one design row costs `O(d²)` (one rank-1 Cholesky update
+///   plus one downdate) instead of the `O(k d² + d³)` refactorization.
+///
+/// This is the streaming-update primitive behind `ides`' epoch-driven
+/// coordinate maintenance: when a landmark's factor row drifts, the cached
+/// join system absorbs the change by [`CachedGram::replace_row`] rather
+/// than refactoring, and joins keep being served from the same factor.
+#[derive(Debug, Clone)]
+pub struct CachedGram {
+    /// Cholesky factor `L` of `AᵀA + λI` (lower triangle).
+    l: Matrix,
+    lambda: f64,
+    /// Rank-1 scratch, reused across updates.
+    buf: Vec<f64>,
+}
+
+impl CachedGram {
+    /// Factors `AᵀA + λI` from scratch. Runs the same arithmetic as
+    /// [`lstsq_ridge_multi_with`]'s factorization step, so solves through
+    /// the cache are bit-identical to one-shot batched solves.
+    pub fn factor(a: &Matrix, lambda: f64) -> Result<Self> {
+        if lambda < 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "ridge lambda must be nonnegative",
+            ));
+        }
+        let mut cg = CachedGram {
+            l: Matrix::zeros(a.cols(), a.cols()),
+            lambda,
+            buf: Vec::with_capacity(a.cols()),
+        };
+        cg.refactor(a)?;
+        Ok(cg)
+    }
+
+    /// Refactors from the current design matrix (e.g. after a bulk factor
+    /// refresh, or after a failed downdate). Reuses the cached buffers.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        let d = a.cols();
+        self.l.reset_shape(d, d);
+        a.tr_matmul_into(a, &mut self.l)?;
+        for i in 0..d {
+            self.l[(i, i)] += self.lambda;
+        }
+        crate::cholesky::cholesky_in_place(&mut self.l)
+    }
+
+    /// System width `d`.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The ridge term baked into the Gram matrix.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The cached lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Absorbs the addition of design row `row`: the factorization becomes
+    /// that of `AᵀA + row rowᵀ + λI`. `O(d²)`.
+    pub fn update_row(&mut self, row: &[f64]) -> Result<()> {
+        self.buf.clear();
+        self.buf.extend_from_slice(row);
+        crate::cholesky::cholesky_update_in_place(&mut self.l, &mut self.buf)
+    }
+
+    /// Absorbs the removal of design row `row`. On
+    /// [`LinalgError::NotPositiveDefinite`] the cache is invalid — call
+    /// [`CachedGram::refactor`].
+    pub fn downdate_row(&mut self, row: &[f64]) -> Result<()> {
+        self.buf.clear();
+        self.buf.extend_from_slice(row);
+        crate::cholesky::cholesky_downdate_in_place(&mut self.l, &mut self.buf)
+    }
+
+    /// Absorbs an in-place change of one design row from `old_row` to
+    /// `new_row` — the update runs first so the intermediate matrix stays
+    /// safely positive definite. `O(d²)` total.
+    pub fn replace_row(&mut self, old_row: &[f64], new_row: &[f64]) -> Result<()> {
+        self.update_row(new_row)?;
+        self.downdate_row(old_row)
+    }
+
+    /// Solves `(AᵀA + λI) x = rhs` for a single right-hand side in place
+    /// (`rhs` must already hold `Aᵀb`). No heap allocation.
+    pub fn solve_in_place(&self, rhs: &mut [f64]) -> Result<()> {
+        crate::cholesky::solve_cholesky_in_place(&self.l, rhs)
+    }
+
+    /// Solves `(AᵀA + λI) xᵀ = bᵀ` for every row of `rhs` in place — the
+    /// normal-equation solve step of a batched host join, with the
+    /// factorization amortized across the cache's whole lifetime. Callers
+    /// supply `rhs` rows already multiplied through `Aᵀ` (i.e. row `h`
+    /// holds `Aᵀ bₕ`, assembled by one `B·A` GEMM).
+    pub fn solve_rows_in_place(&self, rhs: &mut Matrix) -> Result<()> {
+        crate::cholesky::solve_cholesky_rows_in_place(&self.l, rhs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +448,72 @@ mod tests {
         assert!((out[(0, 1)] - 1.0).abs() < 1e-9);
         assert!((out[(1, 0)] - 2.0).abs() < 1e-9);
         assert!((out[(1, 1)] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_gram_matches_one_shot_multi_rhs_bitwise() {
+        let a = Matrix::from_fn(20, 8, |i, j| {
+            (0.5 * (i as f64 + 3.0) * (j as f64 + 1.0)).sin() + 0.4
+        });
+        let b = Matrix::from_fn(5, 20, |h, i| ((h * 20 + i) as f64 * 0.19).cos() * 3.0);
+        for lambda in [0.0, 0.25] {
+            let cg = CachedGram::factor(&a, lambda).unwrap();
+            // Cached path: one GEMM for the RHS rows, then cached solves.
+            let mut cached = b.matmul(&a).unwrap();
+            cg.solve_rows_in_place(&mut cached).unwrap();
+            // One-shot path.
+            let mut ws = NormalEqWorkspace::default();
+            let mut oneshot = Matrix::zeros(0, 0);
+            lstsq_ridge_multi_with(&a, &b, lambda, &mut ws, &mut oneshot).unwrap();
+            for h in 0..5 {
+                for j in 0..8 {
+                    assert_eq!(
+                        cached[(h, j)].to_bits(),
+                        oneshot[(h, j)].to_bits(),
+                        "λ={lambda} host {h} col {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_gram_replace_row_tracks_refactorization() {
+        let mut a = Matrix::from_fn(12, 4, |i, j| ((i * 4 + j) as f64 * 0.61).sin() + 0.3);
+        let mut cg = CachedGram::factor(&a, 0.1).unwrap();
+        // Replace three rows, one at a time, through the rank-1 path.
+        for (step, row) in [2usize, 7, 11].into_iter().enumerate() {
+            let old: Vec<f64> = a.row(row).to_vec();
+            let newr: Vec<f64> = old
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| v + 0.2 * ((step * 4 + j) as f64 * 0.9).cos())
+                .collect();
+            a.set_row(row, &newr);
+            cg.replace_row(&old, &newr).unwrap();
+        }
+        let fresh = CachedGram::factor(&a, 0.1).unwrap();
+        assert!(
+            cg.l().approx_eq(fresh.l(), 1e-9),
+            "incrementally maintained factor drifted: {}",
+            cg.l().max_abs_diff(fresh.l())
+        );
+        assert_eq!(cg.dim(), 4);
+        assert!((cg.lambda() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cached_gram_rejects_negative_lambda_and_bad_downdate() {
+        let a = Matrix::identity(3);
+        assert!(CachedGram::factor(&a, -1.0).is_err());
+        let mut cg = CachedGram::factor(&a, 0.0).unwrap();
+        // Downdating more than the Gram holds must fail, signalling a
+        // refactor; refactor then restores a valid cache.
+        assert!(cg.downdate_row(&[5.0, 0.0, 0.0]).is_err());
+        cg.refactor(&a).unwrap();
+        let mut rhs = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        cg.solve_rows_in_place(&mut rhs).unwrap();
+        assert!((rhs[(0, 0)] - 1.0).abs() < 1e-12);
     }
 
     #[test]

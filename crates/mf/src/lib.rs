@@ -11,6 +11,11 @@
 //!   the squared error (Eq. 7).
 //! * [`nmf`] — nonnegative matrix factorization by Lee–Seung multiplicative
 //!   updates, including the masked variant (Eqs. 8–9) for missing data.
+//! * [`als`] / [`nmf`] both expose warm-start partial refits
+//!   ([`als::refine`], [`nmf::refine`]): a bounded number of
+//!   deterministic update sweeps from existing factors, the
+//!   recompute-free maintenance step behind `ides`' streaming update
+//!   subsystem.
 //! * [`lipschitz`] — the ICS / Virtual Landmark baseline (Lipschitz
 //!   embedding + PCA + linear normalization).
 //! * [`gnp`] — the GNP baseline (Euclidean embedding by Simplex Downhill).

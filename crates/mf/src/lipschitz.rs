@@ -1,4 +1,4 @@
-//! Lipschitz embedding + PCA baseline (ICS [12] / Virtual Landmark [20]).
+//! Lipschitz embedding + PCA baseline (ICS \[12\] / Virtual Landmark \[20\]).
 //!
 //! Each host is first embedded by its vector of distances to the landmark
 //! set (the Lipschitz embedding), then projected to `d` dimensions by PCA,

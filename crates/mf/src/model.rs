@@ -93,6 +93,18 @@ impl FactorModel {
         self.y.row(j)
     }
 
+    /// Overwrites host `i`'s outgoing vector — the streaming layer's
+    /// surgical row update after absorbing a drifted landmark measurement.
+    pub fn set_outgoing(&mut self, i: usize, v: &[f64]) {
+        self.x.row_mut(i).copy_from_slice(v);
+    }
+
+    /// Overwrites host `j`'s incoming vector; see
+    /// [`FactorModel::set_outgoing`].
+    pub fn set_incoming(&mut self, j: usize, v: &[f64]) {
+        self.y.row_mut(j).copy_from_slice(v);
+    }
+
     /// Reconstructed matrix `X Yᵀ`.
     pub fn reconstruct(&self) -> Matrix {
         self.x

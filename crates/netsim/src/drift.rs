@@ -81,6 +81,145 @@ impl DriftModel {
     }
 }
 
+/// One drifted measurement emitted by a [`DriftStream`]: the RTT between
+/// tracked hosts at positions `i` and `j` (indices into the stream's host
+/// list, **not** raw topology host ids) is now `rtt`. Emitted once per
+/// unordered pair — drift is symmetric, so consumers apply it in both
+/// directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSample {
+    /// Position of the first host in the stream's tracked list.
+    pub i: usize,
+    /// Position of the second host (`i < j`).
+    pub j: usize,
+    /// The newly measured RTT.
+    pub rtt: f64,
+}
+
+/// All measurements that changed at one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochBatch {
+    /// The epoch the measurements were taken at.
+    pub epoch: f64,
+    /// Pairs whose RTT moved more than the stream's threshold since they
+    /// were last emitted.
+    pub samples: Vec<DriftSample>,
+}
+
+/// An epoch-stamped stream of drifted measurements over a tracked host
+/// set — the producer side of the streaming-update subsystem.
+///
+/// Each call to [`DriftStream::next`] advances time by one epoch step and
+/// emits the pairs whose drifted RTT moved by more than `threshold`
+/// (relative) since that pair was last emitted, which models a measurement
+/// infrastructure that only reports meaningful changes. Deterministic: the
+/// same topology/model/hosts yield the same stream. The stream is
+/// infinite; bound it with `take` or schedule a fixed horizon into a
+/// discrete-event queue with [`DriftStream::schedule_into`].
+#[derive(Debug)]
+pub struct DriftStream<'a> {
+    topo: &'a TransitStubTopology,
+    model: DriftModel,
+    hosts: Vec<usize>,
+    epoch_step: f64,
+    threshold: f64,
+    /// Last *emitted* RTT per tracked pair (row-major over positions).
+    last: Vec<f64>,
+    epoch: f64,
+}
+
+impl<'a> DriftStream<'a> {
+    /// Creates a stream over `hosts` (topology host ids) starting at epoch
+    /// zero, advancing `epoch_step` per batch and emitting pairs whose RTT
+    /// moved more than `threshold` (relative) since last emitted.
+    pub fn new(
+        topo: &'a TransitStubTopology,
+        model: DriftModel,
+        hosts: Vec<usize>,
+        epoch_step: f64,
+        threshold: f64,
+    ) -> Self {
+        assert!(epoch_step > 0.0, "epoch step must be positive");
+        assert!(threshold >= 0.0, "threshold must be nonnegative");
+        let n = hosts.len();
+        let mut last = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                last[a * n + b] = model.rtt(topo, hosts[a], hosts[b], 0.0);
+            }
+        }
+        DriftStream {
+            topo,
+            model,
+            hosts,
+            epoch_step,
+            threshold,
+            last,
+            epoch: 0.0,
+        }
+    }
+
+    /// The tracked host ids (positions in emitted samples index this).
+    pub fn hosts(&self) -> &[usize] {
+        &self.hosts
+    }
+
+    /// The epoch of the last emitted batch.
+    pub fn epoch(&self) -> f64 {
+        self.epoch
+    }
+
+    /// The full drifted RTT matrix over the tracked hosts at epoch zero —
+    /// the matrix a consumer fits its initial model from.
+    pub fn initial_matrix(&self) -> ides_linalg::Matrix {
+        let n = self.hosts.len();
+        ides_linalg::Matrix::from_fn(n, n, |a, b| self.last[a * n + b])
+    }
+
+    /// Schedules the next `epochs` batches into a discrete-event queue at
+    /// their epoch timestamps (one simulated "time unit" per epoch), so a
+    /// simulation can interleave measurement arrivals with other events.
+    /// Call on a queue whose clock has not advanced past the stream.
+    pub fn schedule_into(&mut self, q: &mut crate::event::EventQueue<EpochBatch>, epochs: usize) {
+        for _ in 0..epochs {
+            let batch = self.next().expect("drift stream is infinite");
+            q.schedule(batch.epoch - q.now(), batch);
+        }
+    }
+}
+
+impl Iterator for DriftStream<'_> {
+    type Item = EpochBatch;
+
+    fn next(&mut self) -> Option<EpochBatch> {
+        self.epoch += self.epoch_step;
+        let n = self.hosts.len();
+        let mut samples = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let rtt = self
+                    .model
+                    .rtt(self.topo, self.hosts[a], self.hosts[b], self.epoch);
+                let prev = self.last[a * n + b];
+                let moved = if prev > 0.0 {
+                    (rtt - prev).abs() / prev
+                } else {
+                    rtt.abs()
+                };
+                if moved > self.threshold {
+                    self.last[a * n + b] = rtt;
+                    self.last[b * n + a] = rtt;
+                    samples.push(DriftSample { i: a, j: b, rtt });
+                }
+            }
+        }
+        Some(EpochBatch {
+            epoch: self.epoch,
+            samples,
+        })
+    }
+}
+
 fn hash3(salt: u64, a: u64, b: u64) -> u64 {
     let mut z =
         salt ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
@@ -167,6 +306,62 @@ mod tests {
     #[should_panic(expected = "amplitude")]
     fn invalid_amplitude_rejected() {
         DriftModel::new(1.5, 24.0, 0);
+    }
+
+    #[test]
+    fn stream_emits_only_meaningful_changes_and_is_deterministic() {
+        let t = topo();
+        let hosts: Vec<usize> = (0..10).collect();
+        let model = DriftModel::new(0.2, 24.0, 3);
+        let mut s1 = DriftStream::new(&t, model.clone(), hosts.clone(), 1.0, 0.02);
+        let mut s2 = DriftStream::new(&t, model.clone(), hosts.clone(), 1.0, 0.02);
+        for _ in 0..5 {
+            let b1 = s1.next().unwrap();
+            let b2 = s2.next().unwrap();
+            assert_eq!(b1, b2, "stream must be deterministic");
+            for s in &b1.samples {
+                assert!(s.i < s.j, "pairs emitted once, ordered");
+                // Every emitted RTT matches the drift model at that epoch.
+                let want = model.rtt(&t, hosts[s.i], hosts[s.j], b1.epoch);
+                assert_eq!(s.rtt, want);
+            }
+        }
+        // A huge threshold suppresses all emissions.
+        let mut quiet = DriftStream::new(&t, model, hosts, 1.0, 10.0);
+        assert!(quiet.next().unwrap().samples.is_empty());
+    }
+
+    #[test]
+    fn stream_initial_matrix_is_epoch_zero_drift() {
+        let t = topo();
+        let hosts: Vec<usize> = (2..12).collect();
+        let model = DriftModel::new(0.15, 12.0, 9);
+        let s = DriftStream::new(&t, model.clone(), hosts.clone(), 1.0, 0.0);
+        let m = s.initial_matrix();
+        assert_eq!(m.shape(), (10, 10));
+        for a in 0..10 {
+            for b in 0..10 {
+                assert_eq!(m[(a, b)], model.rtt(&t, hosts[a], hosts[b], 0.0));
+            }
+        }
+        assert_eq!(s.hosts(), &hosts[..]);
+    }
+
+    #[test]
+    fn stream_schedules_batches_in_epoch_order() {
+        let t = topo();
+        let hosts: Vec<usize> = (0..6).collect();
+        let mut s = DriftStream::new(&t, DriftModel::new(0.3, 8.0, 2), hosts, 2.0, 0.0);
+        let mut q = crate::event::EventQueue::new();
+        s.schedule_into(&mut q, 4);
+        assert_eq!(q.len(), 4);
+        let mut prev = 0.0;
+        while let Some((time, batch)) = q.pop() {
+            assert!(time > prev, "epochs must advance");
+            assert_eq!(time, batch.epoch);
+            prev = time;
+        }
+        assert_eq!(prev, 8.0); // 4 epochs at step 2
     }
 
     #[test]

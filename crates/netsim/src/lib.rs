@@ -10,6 +10,12 @@
 //! deterministic discrete-event message transport used by the simulated
 //! IDES wire protocol.
 //!
+//! The [`drift`] module additionally models slow RTT evolution (diurnal
+//! multiplicative drift) and exposes it as an epoch-stamped measurement
+//! stream ([`drift::DriftStream`]) deliverable through the event queue —
+//! the input side of the `ides::streaming` coordinate-maintenance
+//! subsystem.
+//!
 //! ```
 //! use ides_netsim::topology::{TransitStubParams, TransitStubTopology};
 //! use rand::SeedableRng;

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI bench-regression gate: compares a QUICK smoke run's key bench groups
+# against the last committed BENCH_NNNN.json and fails on a >25 %
+# regression.
+#
+# Usage:
+#   scripts/check_bench.sh SMOKE_JSON [BASELINE_JSON]
+#
+#   SMOKE_JSON     output of `QUICK=1 SMOKE_OUT=... scripts/run_benches.sh`
+#   BASELINE_JSON  defaults to the highest-numbered committed BENCH_*.json
+#
+# What is gated: the *within-group speedup ratios* of the key groups —
+#   matmul/512           blocked vs seed_ikj
+#   join_batch/500       batched_qr vs per_host_qr
+#   streaming_update/500 incremental update vs full refit
+# Ratios are used instead of raw medians because CI runners and the
+# machines that commit BENCH_*.json have different CPUs: absolute
+# nanoseconds are not comparable across hosts, but "how much faster is the
+# optimized path than its in-process control" is. A key group present in
+# the baseline but missing (or ratio-regressed beyond MAX_REGRESSION_PCT,
+# default 25) in the smoke run fails the job.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke="${1:?usage: check_bench.sh SMOKE_JSON [BASELINE_JSON]}"
+# `ls` exits non-zero when no snapshot exists; don't let set -e/pipefail
+# turn "no baseline" into an opaque abort — that case is a clean skip.
+baseline="${2:-$({ ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null || true; } | sort | tail -n 1)}"
+max_pct="${MAX_REGRESSION_PCT:-25}"
+
+if [ -z "$baseline" ]; then
+    echo "no committed BENCH_*.json baseline found; nothing to gate" >&2
+    exit 0
+fi
+echo "gate: $smoke vs baseline $baseline (max ratio regression ${max_pct}%)" >&2
+
+# median_ns FILE GROUP BENCH -> number or "null"
+median_ns() {
+    jq -r --arg g "$2" --arg b "$3" \
+        '[.benches[] | .[]? | select(.group == $g and .bench == $b)] |
+         first | .median_ns // "null"' "$1"
+}
+
+fail=0
+# check GROUP FAST_BENCH SLOW_BENCH LABEL
+check() {
+    local group="$1" fast="$2" slow="$3" label="$4"
+    local bf bs sf ss
+    bf="$(median_ns "$baseline" "$group" "$fast")"
+    bs="$(median_ns "$baseline" "$group" "$slow")"
+    sf="$(median_ns "$smoke" "$group" "$fast")"
+    ss="$(median_ns "$smoke" "$group" "$slow")"
+    if [ "$bf" = "null" ] || [ "$bs" = "null" ]; then
+        echo "  skip $label: not in baseline" >&2
+        return
+    fi
+    if [ "$sf" = "null" ] || [ "$ss" = "null" ]; then
+        echo "  FAIL $label: present in baseline but missing from smoke run" >&2
+        fail=1
+        return
+    fi
+    # speedup = slow/fast; regression when the smoke speedup falls below
+    # (1 - max_pct/100) of the baseline speedup.
+    local verdict
+    verdict="$(jq -n --argjson bf "$bf" --argjson bs "$bs" \
+                     --argjson sf "$sf" --argjson ss "$ss" \
+                     --argjson pct "$max_pct" '
+        ($bs / $bf) as $base | ($ss / $sf) as $now |
+        {base: (($base * 100 | round) / 100),
+         now: (($now * 100 | round) / 100),
+         ok: ($now >= $base * (1 - $pct / 100))} |
+        "\(if .ok then "ok  " else "FAIL" end) speedup \(.now)x vs baseline \(.base)x"')"
+    verdict="${verdict%\"}"; verdict="${verdict#\"}"
+    echo "  $verdict  $label" >&2
+    case "$verdict" in FAIL*) fail=1 ;; esac
+}
+
+check matmul           "blocked/512"     "seed_ikj/512"     "matmul/512 (blocked vs seed_ikj)"
+check join_batch       "batched_qr/500"  "per_host_qr/500"  "join_batch/500 (batched vs per-host QR)"
+check streaming_update "incremental/500" "full_refit/500"   "streaming_update/500 (incremental vs full refit)"
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench regression gate FAILED" >&2
+    exit 1
+fi
+echo "bench regression gate passed" >&2

@@ -5,19 +5,29 @@
 #
 # Usage:
 #   scripts/run_benches.sh             # full run, all bench targets
-#   QUICK=1 scripts/run_benches.sh     # CI smoke: fewer samples, kernels only
+#   QUICK=1 scripts/run_benches.sh     # CI smoke: fewer samples, key groups
+#   QUICK=1 SMOKE_OUT=bench_smoke.json scripts/run_benches.sh
+#                                      # CI smoke with a stable output path
+#                                      # (for scripts/check_bench.sh + the
+#                                      # workflow artifact upload)
 #   BENCHES="kernels qr" scripts/run_benches.sh
 #
 # The vendored criterion shim writes a JSON record array per bench binary
 # when CRITERION_JSON is set (see vendor/criterion); this script merges
-# those arrays and adds host metadata.
+# those arrays and adds host metadata. Full runs also merge the
+# streaming_update experiment's accuracy summary (--json) so the
+# accuracy-vs-staleness claim travels with the timing numbers.
+#
+# Any failing bench binary (or one that produced no JSON) aborts the run
+# with a non-zero exit *before* a snapshot is written — a partial
+# BENCH_NNNN.json would silently pass the CI regression gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels nmf_convergence projection join_batch table1}"
+BENCHES="${BENCHES:-kernels nmf_convergence projection join_batch streaming_update table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels join_batch}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels join_batch streaming_update}"
     export CRITERION_QUICK=1
 fi
 
@@ -26,8 +36,15 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 for bench in $BENCHES; do
     echo "== bench: $bench" >&2
-    CRITERION_JSON="$tmpdir/$bench.json" \
-        cargo bench -p ides-bench --bench "$bench" >&2
+    if ! CRITERION_JSON="$tmpdir/$bench.json" \
+        cargo bench -p ides-bench --bench "$bench" >&2; then
+        echo "error: bench binary '$bench' failed; not snapshotting" >&2
+        exit 1
+    fi
+    if ! [ -s "$tmpdir/$bench.json" ]; then
+        echo "error: bench binary '$bench' wrote no JSON; not snapshotting" >&2
+        exit 1
+    fi
 done
 
 # Next free BENCH_NNNN.json slot.
@@ -37,7 +54,9 @@ while [ -e "$(printf 'BENCH_%04d.json' "$n")" ]; do
 done
 out="$(printf 'BENCH_%04d.json' "$n")"
 if [ "${QUICK:-0}" = "1" ]; then
-    out="$tmpdir/bench_smoke.json" # smoke runs don't extend the trajectory
+    # Smoke runs don't extend the trajectory; SMOKE_OUT pins the path for
+    # the CI regression gate and artifact upload.
+    out="${SMOKE_OUT:-$tmpdir/bench_smoke.json}"
 fi
 
 jq -n \
@@ -52,11 +71,27 @@ for bench in $BENCHES; do
         '.benches[$name] = $records[0]' "$out.tmp" > "$out.tmp2"
     mv "$out.tmp2" "$out.tmp"
 done
+
+# Full runs: attach the streaming accuracy-vs-staleness summary so the
+# committed trajectory records accuracy next to the update-cost numbers.
+if [ "${QUICK:-0}" != "1" ] && printf '%s\n' $BENCHES | grep -qx streaming_update; then
+    echo "== experiment: streaming_update accuracy" >&2
+    if ! cargo run --release -q -p ides-experiments --bin streaming_update -- --json \
+        > "$tmpdir/streaming_accuracy.txt"; then
+        echo "error: streaming_update experiment failed; not snapshotting" >&2
+        exit 1
+    fi
+    tail -n 1 "$tmpdir/streaming_accuracy.txt" > "$tmpdir/streaming_accuracy.json"
+    jq --slurpfile acc "$tmpdir/streaming_accuracy.json" \
+        '.streaming_accuracy = $acc[0]' "$out.tmp" > "$out.tmp2"
+    mv "$out.tmp2" "$out.tmp"
+fi
 mv "$out.tmp" "$out"
 echo "wrote $out" >&2
 
-# Surface the headline numbers: blocked vs naive matmul at 512, and the
-# batched vs per-host join speedup at 500 hosts.
+# Surface the headline numbers: blocked vs naive matmul at 512, the
+# batched vs per-host join speedup at 500 hosts, and the per-epoch
+# incremental update vs full refit at 500 hosts.
 jq -r '.benches.kernels // [] | map(select(.group == "matmul")) |
        map({(.bench): .median_ns}) | add // {} |
        if (."blocked/512") then
@@ -69,4 +104,14 @@ jq -r '.benches.join_batch // [] | map(select(.group == "join_batch")) |
          "join_batch/500 speedup batched vs per-host: " +
          "qr \((."per_host_qr/500" / ."batched_qr/500") * 100 | round / 100)x, " +
          "normal_eq \((."per_host_normal_eq/500" / ."batched_normal_eq/500") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.streaming_update // [] | map(select(.group == "streaming_update")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."incremental/500") then
+         "streaming_update/500 full refit vs incremental: \((."full_refit/500" / ."incremental/500") * 100 | round / 100)x, " +
+         "vs warm refresh: \((."full_refit/500" / ."warm_refresh/500") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r 'if .streaming_accuracy then
+         "streaming accuracy: streaming vs fresh gap \((.streaming_accuracy.streaming_vs_fresh_gap * 10000 | round) / 100)% " +
+         "(stale \(.streaming_accuracy.stale_mean_median), streaming \(.streaming_accuracy.streaming_mean_median), fresh \(.streaming_accuracy.fresh_mean_median))"
        else empty end' "$out" >&2 || true
