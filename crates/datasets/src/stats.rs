@@ -90,6 +90,11 @@ pub fn asymmetry_index(d: &DistanceMatrix) -> f64 {
 /// `energy_fraction` of the total squared spectral energy (computed over
 /// the first `probe_rank` singular values; returns `probe_rank` when even
 /// those do not reach the threshold).
+///
+/// The probe runs through `ides_linalg`'s unified factorization entry
+/// points: subspace iteration re-orthonormalized by the blocked QR, with
+/// the near-full-rank fallback dispatching to the blocked Golub–Kahan SVD
+/// (Jacobi below the small-matrix cutoff).
 pub fn effective_rank(values: &Matrix, energy_fraction: f64, probe_rank: usize) -> usize {
     let k = probe_rank.min(values.rows()).min(values.cols());
     if k == 0 {

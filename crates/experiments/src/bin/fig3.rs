@@ -38,7 +38,10 @@ fn run(dataset: Dataset) {
     let dims = dims_for(n);
     let max_d = *dims.last().expect("at least one dim");
 
-    // One wide truncated SVD serves every d (truncation nests).
+    // One wide truncated SVD serves every d (truncation nests). The
+    // subspace iteration re-orthonormalizes through the blocked QR of the
+    // factorization layer, and its near-full-rank fallback is the blocked
+    // Golub–Kahan SVD — the same entry points the estimators use.
     let wide = svd_truncated(data.values(), max_d, TruncatedSvdOptions::default())
         .expect("svd of dataset");
 

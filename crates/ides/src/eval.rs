@@ -340,7 +340,18 @@ pub fn evaluate_gnp(
 
 /// §6.2 robustness experiment: each ordinary host independently fails to
 /// observe a random `unobserved_fraction` of the landmarks and joins
-/// through the remainder ([`InformationServer::join_partial`]).
+/// through the remainder.
+///
+/// Hosts are **grouped by identical observed-landmark subset** and each
+/// distinct subset's reference subsystem is gathered and factored once
+/// ([`crate::projection::join_hosts_subset_into`] through the shared
+/// [`JoinWorkspace`]), extending the batched-join amortization to the
+/// robustness path: at 0 % failures every host shares the full landmark
+/// set (one factorization total), and at higher failure rates repeated
+/// subsets still collapse to one factorization each. Per-host results are
+/// **bit-identical** to the former one-join-per-host sweep, because the
+/// batched solvers' per-row arithmetic is independent of the batch's row
+/// count (asserted in `tests/grouped_failures.rs`).
 ///
 /// Returns the modified relative errors over ordinary-pair predictions.
 pub fn evaluate_ides_with_failures(
@@ -353,6 +364,7 @@ pub fn evaluate_ides_with_failures(
 ) -> Result<PredictionResult> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
+    use std::collections::BTreeMap;
     if !(0.0..1.0).contains(&unobserved_fraction) {
         return Err(IdesError::InvalidInput(
             "unobserved fraction must be in [0, 1)".into(),
@@ -365,54 +377,113 @@ pub fn evaluate_ides_with_failures(
     let m = landmarks.len();
     let keep = m - ((m as f64 * unobserved_fraction).round() as usize).min(m);
 
-    // The per-host observed subsets come from one sequential RNG stream, so
-    // the join loop stays sequential; the O(n²) scoring below still shards.
-    let mut ws = JoinWorkspace::new();
+    // Pass 1: draw every host's observed subset from the sequential RNG
+    // stream (host order fixes the stream, so the subsets are identical to
+    // the former one-host-at-a-time sweep), then group hosts by subset.
     let mut idx: Vec<usize> = Vec::with_capacity(m);
-    let mut d_out: Vec<f64> = Vec::with_capacity(m);
-    let mut d_in: Vec<f64> = Vec::with_capacity(m);
-    let mut ids: Vec<usize> = Vec::new();
-    let mut joined: Vec<HostVectors> = Vec::new();
+    let mut hosts: Vec<usize> = Vec::new();
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
     for &h in ordinary {
         if !measurements_complete(data, h, landmarks) {
             continue;
         }
-        // Independent random observed subset per host.
         idx.clear();
         idx.extend(0..m);
         idx.shuffle(&mut rng);
         idx.truncate(keep.max(1));
         idx.sort_unstable();
-        d_out.clear();
-        d_out.extend(
-            idx.iter()
-                .map(|&i| data.get(h, landmarks[i]).expect("complete")),
-        );
-        d_in.clear();
-        d_in.extend(
-            idx.iter()
-                .map(|&i| data.get(landmarks[i], h).expect("complete")),
-        );
-        // With very few observations the plain solve is singular; the
-        // evaluation mirrors the paper by still attempting the join (ridge
-        // fallback keeps it defined).
-        let result = server
-            .join_partial_with(&mut ws, &idx, &d_out, &d_in)
-            .or_else(|_| {
-                let mut cfg = server.join_options();
-                cfg.ridge = 1e-6;
-                crate::projection::join_host_subset_with(
-                    &mut ws,
-                    server.model().x(),
-                    server.model().y(),
-                    &idx,
-                    &d_out,
-                    &d_in,
-                    cfg,
-                )
-            });
-        if let Ok(v) = result {
-            ids.push(h);
+        hosts.push(h);
+        subsets.push(idx.clone());
+    }
+    let mut groups: BTreeMap<&[usize], Vec<usize>> = BTreeMap::new();
+    for (pos, subset) in subsets.iter().enumerate() {
+        groups.entry(subset.as_slice()).or_default().push(pos);
+    }
+
+    // Pass 2: one gathered factorization per distinct subset serves all of
+    // its hosts; a group whose plain solve is singular retries with a tiny
+    // ridge (the paper still attempts the join), and only if that fails
+    // too does the group fall back to individual joins so a pathological
+    // host cannot sink its groupmates.
+    let mut ws = JoinWorkspace::new();
+    let mut d_out = Matrix::zeros(0, 0);
+    let mut d_in = Matrix::zeros(0, 0);
+    let mut batch = BatchHostVectors::new();
+    let mut results: Vec<Option<HostVectors>> = vec![None; hosts.len()];
+    let ridge_cfg = {
+        let mut cfg = server.join_options();
+        cfg.ridge = 1e-6;
+        cfg
+    };
+    for (subset, members) in &groups {
+        d_out.reset_shape(members.len(), subset.len());
+        d_in.reset_shape(members.len(), subset.len());
+        for (r, &pos) in members.iter().enumerate() {
+            let h = hosts[pos];
+            for (c, &i) in subset.iter().enumerate() {
+                d_out[(r, c)] = data.get(h, landmarks[i]).expect("complete");
+                d_in[(r, c)] = data.get(landmarks[i], h).expect("complete");
+            }
+        }
+        let joined = match crate::projection::join_hosts_subset_into(
+            &mut ws,
+            server.model().x(),
+            server.model().y(),
+            subset,
+            &d_out,
+            &d_in,
+            server.join_options(),
+            &mut batch,
+        ) {
+            // Too few observations fails every group member identically, so
+            // the ridge retry can stay batched (bit-identical to per-host
+            // ridge joins). Any other failure is potentially per-host.
+            Err(IdesError::TooFewObservations { .. }) => crate::projection::join_hosts_subset_into(
+                &mut ws,
+                server.model().x(),
+                server.model().y(),
+                subset,
+                &d_out,
+                &d_in,
+                ridge_cfg,
+                &mut batch,
+            ),
+            other => other,
+        };
+        match joined {
+            Ok(()) => {
+                for (r, &pos) in members.iter().enumerate() {
+                    results[pos] = Some(batch.host(r));
+                }
+            }
+            Err(_) => {
+                // Per-host salvage, mirroring the pre-grouping sweep.
+                for (r, &pos) in members.iter().enumerate() {
+                    let result = server
+                        .join_partial_with(&mut ws, subset, d_out.row(r), d_in.row(r))
+                        .or_else(|_| {
+                            crate::projection::join_host_subset_with(
+                                &mut ws,
+                                server.model().x(),
+                                server.model().y(),
+                                subset,
+                                d_out.row(r),
+                                d_in.row(r),
+                                ridge_cfg,
+                            )
+                        });
+                    if let Ok(v) = result {
+                        results[pos] = Some(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut ids: Vec<usize> = Vec::new();
+    let mut joined: Vec<HostVectors> = Vec::new();
+    for (pos, result) in results.into_iter().enumerate() {
+        if let Some(v) = result {
+            ids.push(hosts[pos]);
             joined.push(v);
         }
     }

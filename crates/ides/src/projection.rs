@@ -33,6 +33,8 @@
 //! to an active-set solve per host while still amortizing the gathered
 //! buffers.
 
+use ides_linalg::factor::{qr_with, FactorWorkspace};
+use ides_linalg::qr::Qr;
 use ides_linalg::{nnls, qr, solve, Matrix};
 use ides_mf::FactorModel;
 use serde::{Deserialize, Serialize};
@@ -227,8 +229,22 @@ pub struct JoinWorkspace {
     d_in_row: Matrix,
     /// Batch-of-one output staging for the per-host wrappers.
     single: BatchHostVectors,
+    /// Factorization scratch shared by every solver in the join.
+    solvers: SolverScratch,
+}
+
+/// The factorization state of a batched join: normal-equation scratch plus
+/// the blocked-QR workspace and its factor output, so the QR path factors
+/// the reference system **once per batch** through
+/// [`ides_linalg::factor::qr_with`] and allocates nothing when warm.
+#[derive(Debug, Default)]
+struct SolverScratch {
     /// Normal-equation / ridge solver scratch.
     ne: solve::NormalEqWorkspace,
+    /// Blocked-factorization workspace (QR panels, block-apply buffers).
+    factor: FactorWorkspace,
+    /// Reused QR factor of the batch's reference system.
+    qr: Qr,
 }
 
 impl JoinWorkspace {
@@ -288,7 +304,7 @@ pub fn join_host_with(
     ws.d_in_row.reset_shape(1, k);
     ws.d_in_row.row_mut(0).copy_from_slice(d_in);
     join_refs_batch(
-        &mut ws.ne,
+        &mut ws.solvers,
         x_refs,
         y_refs,
         &ws.d_out_row,
@@ -353,14 +369,14 @@ pub fn join_hosts_into(
             d_out.cols()
         )));
     }
-    join_refs_batch(&mut ws.ne, x_refs, y_refs, d_out, d_in, opts, out)
+    join_refs_batch(&mut ws.solvers, x_refs, y_refs, d_out, d_in, opts, out)
 }
 
 /// Shared batched-join core: validates the reference system, then solves
 /// the outgoing batch against `y_refs` and the incoming batch against
 /// `x_refs`.
 fn join_refs_batch(
-    ne: &mut solve::NormalEqWorkspace,
+    solvers: &mut SolverScratch,
     x_refs: &Matrix,
     y_refs: &Matrix,
     d_out: &Matrix,
@@ -385,8 +401,39 @@ fn join_refs_batch(
     }
     // X_new solves min ‖Y_refs · X_newᵀ − d_out‖ (each reference's incoming
     // vector dotted with X_new approximates the outgoing distance).
-    solve_batch(ne, y_refs, d_out, opts, &mut out.outgoing)?;
-    solve_batch(ne, x_refs, d_in, opts, &mut out.incoming)?;
+    solve_batch(solvers, y_refs, d_out, opts, &mut out.outgoing)?;
+    solve_batch(solvers, x_refs, d_in, opts, &mut out.incoming)?;
+    Ok(())
+}
+
+/// Shared validate-and-gather step of the subset joins: checks the subset
+/// indices against the reference system and the solvability condition,
+/// then gathers the observed reference rows into `ws.x_sub` / `ws.y_sub`.
+/// Both the per-host and the grouped-batch subset joins run through this
+/// one helper so their guard conditions cannot drift apart (the grouped
+/// sweep's bit-identity contract depends on that).
+fn gather_subset(
+    ws: &mut JoinWorkspace,
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    observed: &[usize],
+    opts: JoinOptions,
+) -> Result<()> {
+    let k = x_refs.rows();
+    let d = x_refs.cols();
+    if let Some(&bad) = observed.iter().find(|&&i| i >= k) {
+        return Err(IdesError::InvalidInput(format!(
+            "observed reference index {bad} out of range for {k} references"
+        )));
+    }
+    if observed.len() < d && opts.ridge <= 0.0 {
+        return Err(IdesError::TooFewObservations {
+            observed: observed.len(),
+            needed: d,
+        });
+    }
+    x_refs.select_rows_into(observed, &mut ws.x_sub);
+    y_refs.select_rows_into(observed, &mut ws.y_sub);
     Ok(())
 }
 
@@ -407,27 +454,13 @@ pub fn join_host_subset_with(
             "observed indices and measurements must have equal length".into(),
         ));
     }
-    let k = x_refs.rows();
-    let d = x_refs.cols();
-    if let Some(&bad) = observed.iter().find(|&&i| i >= k) {
-        return Err(IdesError::InvalidInput(format!(
-            "observed reference index {bad} out of range for {k} references"
-        )));
-    }
-    if observed.len() < d && opts.ridge <= 0.0 {
-        return Err(IdesError::TooFewObservations {
-            observed: observed.len(),
-            needed: d,
-        });
-    }
-    x_refs.select_rows_into(observed, &mut ws.x_sub);
-    y_refs.select_rows_into(observed, &mut ws.y_sub);
+    gather_subset(ws, x_refs, y_refs, observed, opts)?;
     ws.d_out_row.reset_shape(1, observed.len());
     ws.d_out_row.row_mut(0).copy_from_slice(d_out);
     ws.d_in_row.reset_shape(1, observed.len());
     ws.d_in_row.row_mut(0).copy_from_slice(d_in);
     join_refs_batch(
-        &mut ws.ne,
+        &mut ws.solvers,
         &ws.x_sub,
         &ws.y_sub,
         &ws.d_out_row,
@@ -438,10 +471,57 @@ pub fn join_host_subset_with(
     Ok(ws.single.host(0))
 }
 
+/// Joins a whole **batch of hosts sharing one observed reference subset**
+/// (row indices into `x_refs`/`y_refs`) through a single factorization of
+/// the gathered subsystem — the grouped form of [`join_host_subset_with`]
+/// the §6.2 failure sweep uses: hosts are grouped by identical observed
+/// subset and each distinct subset is gathered and factored **once**.
+///
+/// `d_out` / `d_in` are `hosts x observed.len()` measurement matrices in
+/// subset order. Because the batched solvers' arithmetic per host is
+/// independent of the batch's row count, the results are **bit-identical**
+/// to per-host [`join_host_subset_with`] calls with the same subset.
+#[allow(clippy::too_many_arguments)]
+pub fn join_hosts_subset_into(
+    ws: &mut JoinWorkspace,
+    x_refs: &Matrix,
+    y_refs: &Matrix,
+    observed: &[usize],
+    d_out: &Matrix,
+    d_in: &Matrix,
+    opts: JoinOptions,
+    out: &mut BatchHostVectors,
+) -> Result<()> {
+    if d_out.shape() != d_in.shape() {
+        return Err(IdesError::InvalidInput(format!(
+            "measurement batch shapes disagree: out {:?}, in {:?}",
+            d_out.shape(),
+            d_in.shape()
+        )));
+    }
+    if d_out.cols() != observed.len() {
+        return Err(IdesError::InvalidInput(format!(
+            "expected {} measurements per host, got {}",
+            observed.len(),
+            d_out.cols()
+        )));
+    }
+    gather_subset(ws, x_refs, y_refs, observed, opts)?;
+    join_refs_batch(
+        &mut ws.solvers,
+        &ws.x_sub,
+        &ws.y_sub,
+        d_out,
+        d_in,
+        opts,
+        out,
+    )
+}
+
 /// Solves `min ‖A xₕᵀ − bₕ‖` for every measurement row `bₕ` of `b` with one
 /// shared factorization, writing host `h`'s solution into row `h` of `out`.
 fn solve_batch(
-    ne: &mut solve::NormalEqWorkspace,
+    solvers: &mut SolverScratch,
     a: &Matrix,
     b: &Matrix,
     opts: JoinOptions,
@@ -450,19 +530,23 @@ fn solve_batch(
     let hosts = b.rows();
     let d = a.cols();
     if opts.ridge > 0.0 {
-        solve::lstsq_ridge_multi_with(a, b, opts.ridge, ne, out)?;
+        solve::lstsq_ridge_multi_with(a, b, opts.ridge, &mut solvers.ne, out)?;
         return Ok(());
     }
     match opts.solver {
         JoinSolver::Qr => {
             out.reset_shape(hosts, d);
-            match qr::qr(a) {
-                Ok(qr::Qr { q, r }) => {
+            // Factor the shared reference system once per batch through the
+            // blocked factorization layer; the workspace and the `Qr` output
+            // are reused across batches, so a warm join allocates nothing.
+            match qr_with(a, &mut solvers.factor, &mut solvers.qr) {
+                Ok(()) => {
+                    let Qr { q, r } = &solvers.qr;
                     // QᵀB for the whole batch in one GEMM (row h = Qᵀ bₕ),
                     // then one in-place back-substitution per host.
-                    b.matmul_into(&q, out)?;
+                    b.matmul_into(q, out)?;
                     for h in 0..hosts {
-                        if qr::solve_upper_triangular_in_place(&r, out.row_mut(h)).is_err() {
+                        if qr::solve_upper_triangular_in_place(r, out.row_mut(h)).is_err() {
                             // Rank-deficient column: same fallback the
                             // scalar `qr::lstsq` path used per host.
                             let x = solve::lstsq_normal(a, b.row(h))?;
@@ -484,7 +568,7 @@ fn solve_batch(
             // λ = 0 ridge is exactly the normal equations, solved through
             // the workspace (falls back to the pseudo-inverse path on
             // rank deficiency, like `lstsq_normal`).
-            solve::lstsq_ridge_multi_with(a, b, 0.0, ne, out)?;
+            solve::lstsq_ridge_multi_with(a, b, 0.0, &mut solvers.ne, out)?;
         }
         JoinSolver::NonNegative => {
             // NNLS is an active-set iteration with no shared factorization;

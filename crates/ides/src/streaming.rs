@@ -18,9 +18,12 @@
 //!     ([`ides_linalg::solve::CachedGram::replace_row`], `O(d²)` instead
 //!     of the `O(k d² + d³)` refactorization);
 //!   - **refresh** (deviation above the threshold): a warm-start partial
-//!     refit ([`ides_mf::als::refine`]) runs a bounded number of ALS
-//!     sweeps from the current factors — reusing the allocation-free
-//!     workspaces of the batch fit — and the Grams are refactored once.
+//!     refit runs a bounded number of sweeps from the current factors —
+//!     [`ides_mf::als::refine`] for ALS-family servers,
+//!     [`ides_mf::nmf::refine`] for NMF-family ones
+//!     ([`StreamingServer::with_nmf_config`]), both reusing the
+//!     allocation-free workspaces of the batch fit — and the Grams are
+//!     refactored once. See [`RefreshStrategy`].
 //! * Joins keep being served from the cached factorizations with **no
 //!   factorization on the query path**: [`StreamingServer::join_batch_cached`]
 //!   is one GEMM plus two triangular solves per host — bit-identical to
@@ -45,6 +48,7 @@ use ides_datasets::DistanceMatrix;
 use ides_linalg::solve::CachedGram;
 use ides_linalg::Matrix;
 use ides_mf::als::{self, AlsConfig};
+use ides_mf::nmf::{self, NmfConfig};
 use ides_mf::FactorModel;
 
 use crate::error::{IdesError, Result};
@@ -184,6 +188,25 @@ impl Default for StalenessPolicy {
     }
 }
 
+/// Which factorization family the refresh tier refits with — the warm
+/// counterpart of the cold fit the server was built from.
+///
+/// * ALS-family servers ([`StreamingServer::new`] /
+///   [`StreamingServer::with_config`]) refresh through
+///   [`ides_mf::als::refine`];
+/// * NMF-family servers ([`StreamingServer::with_nmf_config`]) refresh
+///   through the warm multiplicative updates of [`ides_mf::nmf::refine`],
+///   which keep the factors nonnegative. (The absorb tier's per-landmark
+///   re-solves are unconstrained least squares for both families; an
+///   NMF model regains strict nonnegativity at its next refresh.)
+#[derive(Debug, Clone, Copy)]
+pub enum RefreshStrategy {
+    /// Warm ALS sweeps from the current factors.
+    Als(AlsConfig),
+    /// Warm Lee–Seung multiplicative updates from the current factors.
+    Nmf(NmfConfig),
+}
+
 /// What one [`StreamingServer::apply_epoch`] call did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochOutcome {
@@ -198,7 +221,8 @@ pub struct EpochOutcome {
     pub deviation: f64,
     /// True when the staleness policy triggered a warm partial refit.
     pub refreshed: bool,
-    /// ALS sweeps spent by this call (0 on the absorb tier).
+    /// Warm sweeps (ALS) or multiplicative iterations (NMF) spent by this
+    /// call (0 on the absorb tier).
     pub sweeps: usize,
 }
 
@@ -218,8 +242,9 @@ pub struct StreamingServer {
     /// Cached factorization of `XᵀX + λI` — serves incoming-vector solves.
     gram_x: CachedGram,
     policy: StalenessPolicy,
-    /// The cold-fit configuration (initial build and `full_refit`).
-    als: AlsConfig,
+    /// The cold-fit family and configuration (initial build, `full_refit`,
+    /// and the warm counterpart the refresh tier budgets down).
+    refit: RefreshStrategy,
     epoch: f64,
     refreshes: usize,
     absorbed_total: usize,
@@ -248,7 +273,7 @@ impl StreamingServer {
         StreamingServer::with_config(landmarks, AlsConfig::new(dim), policy)
     }
 
-    /// Builds the server with an explicit cold-fit configuration.
+    /// Builds the server with an explicit cold-fit ALS configuration.
     pub fn with_config(
         landmarks: &DistanceMatrix,
         als: AlsConfig,
@@ -256,7 +281,30 @@ impl StreamingServer {
     ) -> Result<Self> {
         crate::system::validate_landmark_dims(landmarks.rows(), landmarks.cols(), als.dim)?;
         let fit = als::fit(landmarks, als)?;
-        let model = fit.model;
+        StreamingServer::from_fit(landmarks, fit.model, RefreshStrategy::Als(als), policy)
+    }
+
+    /// Builds an **NMF-family** server: cold [`ides_mf::nmf::fit`], with
+    /// the refresh tier running warm [`ides_mf::nmf::refine`] iterations
+    /// instead of ALS sweeps, so refreshed factors stay nonnegative.
+    pub fn with_nmf_config(
+        landmarks: &DistanceMatrix,
+        config: NmfConfig,
+        policy: StalenessPolicy,
+    ) -> Result<Self> {
+        crate::system::validate_landmark_dims(landmarks.rows(), landmarks.cols(), config.dim)?;
+        let fit =
+            nmf::fit(landmarks, config).map_err(|e| IdesError::InvalidInput(e.to_string()))?;
+        StreamingServer::from_fit(landmarks, fit.model, RefreshStrategy::Nmf(config), policy)
+    }
+
+    /// Shared constructor tail: cache the join Grams of the fitted model.
+    fn from_fit(
+        landmarks: &DistanceMatrix,
+        model: FactorModel,
+        refit: RefreshStrategy,
+        policy: StalenessPolicy,
+    ) -> Result<Self> {
         let gram_y = CachedGram::factor(model.y(), policy.ridge)
             .map_err(|_| IdesError::InvalidInput("landmark factors are rank-deficient".into()))?;
         let gram_x = CachedGram::factor(model.x(), policy.ridge)
@@ -268,7 +316,7 @@ impl StreamingServer {
             gram_y,
             gram_x,
             policy,
-            als,
+            refit,
             epoch: 0.0,
             refreshes: 0,
             absorbed_total: 0,
@@ -323,14 +371,23 @@ impl StreamingServer {
         self.gram_refactors
     }
 
-    /// The exact configuration [`StreamingServer::apply_epoch`]'s refresh
-    /// tier hands to [`ides_mf::als::refine`] — exposed so callers (and
-    /// the bit-identity tests) can reproduce a refresh externally.
-    pub fn refine_config(&self) -> AlsConfig {
-        AlsConfig {
-            sweeps: self.policy.sweep_budget,
-            tolerance: 0.0,
-            ..self.als
+    /// The exact family and configuration
+    /// [`StreamingServer::apply_epoch`]'s refresh tier hands to
+    /// [`ides_mf::als::refine`] / [`ides_mf::nmf::refine`] (sweep budget
+    /// applied, early stopping disabled) — exposed so callers (and the
+    /// bit-identity tests) can reproduce a refresh externally.
+    pub fn refresh_strategy(&self) -> RefreshStrategy {
+        match self.refit {
+            RefreshStrategy::Als(als) => RefreshStrategy::Als(AlsConfig {
+                sweeps: self.policy.sweep_budget,
+                tolerance: 0.0,
+                ..als
+            }),
+            RefreshStrategy::Nmf(cfg) => RefreshStrategy::Nmf(NmfConfig {
+                iterations: self.policy.sweep_budget,
+                tolerance: 0.0,
+                ..cfg
+            }),
         }
     }
 
@@ -418,13 +475,20 @@ impl StreamingServer {
         })
     }
 
-    /// Warm partial refit: a bounded number of ALS sweeps from the current
-    /// factors, then one Gram refactorization and a baseline reset.
+    /// Warm partial refit: a bounded number of warm sweeps (ALS) or
+    /// multiplicative iterations (NMF) from the current factors, then one
+    /// Gram refactorization and a baseline reset.
     fn refresh(&mut self) -> Result<()> {
         let data = DistanceMatrix::full("streaming", self.landmarks.clone())
             .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
-        let fit = als::refine(&data, &self.model, self.refine_config())?;
-        self.model = fit.model;
+        self.model = match self.refresh_strategy() {
+            RefreshStrategy::Als(cfg) => als::refine(&data, &self.model, cfg)?.model,
+            RefreshStrategy::Nmf(cfg) => {
+                nmf::refine(&data, &self.model, cfg)
+                    .map_err(|e| IdesError::InvalidInput(e.to_string()))?
+                    .model
+            }
+        };
         self.refactor_grams()?;
         self.baseline = self.landmarks.clone();
         self.refreshes += 1;
@@ -434,11 +498,18 @@ impl StreamingServer {
     /// Cold full refit from the current landmark matrix — the expensive
     /// control the `streaming_update` bench compares the incremental tiers
     /// against (and the recovery path if the model ever degenerates).
+    /// Refits with the server's own family (ALS or NMF).
     pub fn full_refit(&mut self) -> Result<()> {
         let data = DistanceMatrix::full("streaming", self.landmarks.clone())
             .map_err(|e| IdesError::InvalidInput(e.to_string()))?;
-        let fit = als::fit(&data, self.als)?;
-        self.model = fit.model;
+        self.model = match self.refit {
+            RefreshStrategy::Als(cfg) => als::fit(&data, cfg)?.model,
+            RefreshStrategy::Nmf(cfg) => {
+                nmf::fit(&data, cfg)
+                    .map_err(|e| IdesError::InvalidInput(e.to_string()))?
+                    .model
+            }
+        };
         self.refactor_grams()?;
         self.baseline = self.landmarks.clone();
         self.refreshes += 1;

@@ -1,0 +1,151 @@
+//! Pins the grouped partial-join failure sweep to the former
+//! one-join-per-host algorithm: the per-host observed subsets come from
+//! the same RNG stream, and the batched per-subset factorization must
+//! reproduce every host's coordinates — and therefore the whole error
+//! sweep — **bit for bit**.
+
+use ides::eval::evaluate_ides_with_failures;
+use ides::projection::{join_host_subset_with, HostVectors, JoinWorkspace};
+use ides::system::{split_landmarks, IdesConfig, InformationServer};
+use ides_datasets::generators::nlanr_like;
+use ides_datasets::DistanceMatrix;
+use ides_mf::metrics::modified_relative_error;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The pre-grouping sweep, replicated verbatim: one independent subset
+/// draw and one batch-of-one join per host, ridge retry on failure.
+fn per_host_reference(
+    data: &DistanceMatrix,
+    landmarks: &[usize],
+    ordinary: &[usize],
+    config: IdesConfig,
+    unobserved_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<HostVectors>) {
+    let lm = data.submatrix(landmarks, landmarks);
+    let server = InformationServer::build(&lm, config).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let m = landmarks.len();
+    let keep = m - ((m as f64 * unobserved_fraction).round() as usize).min(m);
+
+    let mut ws = JoinWorkspace::new();
+    let mut ids = Vec::new();
+    let mut joined = Vec::new();
+    for &h in ordinary {
+        let complete = landmarks
+            .iter()
+            .all(|&l| data.get(h, l).is_some() && data.get(l, h).is_some());
+        if !complete {
+            continue;
+        }
+        let mut idx: Vec<usize> = (0..m).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(keep.max(1));
+        idx.sort_unstable();
+        let d_out: Vec<f64> = idx
+            .iter()
+            .map(|&i| data.get(h, landmarks[i]).unwrap())
+            .collect();
+        let d_in: Vec<f64> = idx
+            .iter()
+            .map(|&i| data.get(landmarks[i], h).unwrap())
+            .collect();
+        let result = server
+            .join_partial_with(&mut ws, &idx, &d_out, &d_in)
+            .or_else(|_| {
+                let mut cfg = server.join_options();
+                cfg.ridge = 1e-6;
+                join_host_subset_with(
+                    &mut ws,
+                    server.model().x(),
+                    server.model().y(),
+                    &idx,
+                    &d_out,
+                    &d_in,
+                    cfg,
+                )
+            });
+        if let Ok(v) = result {
+            ids.push(h);
+            joined.push(v);
+        }
+    }
+    (ids, joined)
+}
+
+fn reference_errors(data: &DistanceMatrix, ids: &[usize], joined: &[HostVectors]) -> Vec<f64> {
+    let mut errors = Vec::new();
+    for (i, &hi) in ids.iter().enumerate() {
+        for (j, &hj) in ids.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(actual) = data.get(hi, hj) {
+                if actual > 0.0 {
+                    errors.push(modified_relative_error(
+                        actual,
+                        joined[i].distance_to_host(&joined[j]),
+                    ));
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[test]
+fn grouped_failure_sweep_is_bit_identical_to_per_host_joins() {
+    let ds = nlanr_like(60, 33).unwrap();
+    let (landmarks, ordinary) = split_landmarks(60, 20, 5);
+    // 0 %: every host shares the full landmark set (one group);
+    // 30 % / 60 %: mixed distinct subsets, incl. the k < d ridge regime
+    // at high failure rates with small keep counts.
+    for unobserved in [0.0, 0.3, 0.6, 0.85] {
+        for seed in [1u64, 9] {
+            let config = IdesConfig::new(8);
+            let grouped = evaluate_ides_with_failures(
+                &ds.matrix, &landmarks, &ordinary, config, unobserved, seed,
+            )
+            .unwrap();
+            let (ids, joined) =
+                per_host_reference(&ds.matrix, &landmarks, &ordinary, config, unobserved, seed);
+            assert_eq!(
+                grouped.hosts_joined,
+                ids.len(),
+                "f={unobserved} seed={seed}"
+            );
+            let expected = reference_errors(&ds.matrix, &ids, &joined);
+            assert_eq!(
+                grouped.errors.len(),
+                expected.len(),
+                "f={unobserved} seed={seed}"
+            );
+            for (k, (g, e)) in grouped.errors.iter().zip(expected.iter()).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    e.to_bits(),
+                    "f={unobserved} seed={seed}: error {k}: grouped {g} vs per-host {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grouped_failure_sweep_nmf_solver_bit_identical() {
+    // The NMF config routes joins through the NNLS solver (per-host inner
+    // solve, amortized gather) — the grouping must hold there too.
+    let ds = nlanr_like(40, 17).unwrap();
+    let (landmarks, ordinary) = split_landmarks(40, 15, 3);
+    let config = IdesConfig::nmf(6);
+    let grouped =
+        evaluate_ides_with_failures(&ds.matrix, &landmarks, &ordinary, config, 0.4, 7).unwrap();
+    let (ids, joined) = per_host_reference(&ds.matrix, &landmarks, &ordinary, config, 0.4, 7);
+    assert_eq!(grouped.hosts_joined, ids.len());
+    let expected = reference_errors(&ds.matrix, &ids, &joined);
+    assert_eq!(grouped.errors.len(), expected.len());
+    for (g, e) in grouped.errors.iter().zip(expected.iter()) {
+        assert_eq!(g.to_bits(), e.to_bits());
+    }
+}

@@ -6,11 +6,13 @@
 //! adds no arithmetic of its own on either the maintenance or the query
 //! path.
 
-use ides::streaming::{EpochUpdate, MeasurementDelta, StalenessPolicy, StreamingServer};
+use ides::streaming::{
+    EpochUpdate, MeasurementDelta, RefreshStrategy, StalenessPolicy, StreamingServer,
+};
 use ides::{BatchHostVectors, JoinOptions, JoinSolver};
 use ides_datasets::DistanceMatrix;
 use ides_linalg::Matrix;
-use ides_mf::als;
+use ides_mf::{als, nmf};
 
 /// Deterministic measurement matrix rows (hosts x k).
 fn measurements(hosts: usize, k: usize, seed: u64) -> Matrix {
@@ -60,7 +62,10 @@ fn apply_epoch_then_join_is_bit_identical_to_fresh_partial_refit() {
     // Manual fresh partial refit: same drifted matrix, same prior factors,
     // same sweep budget, same config.
     let data = DistanceMatrix::full("manual", drifted).expect("matrix");
-    let manual = als::refine(&data, &prior_model, server.refine_config()).expect("refine");
+    let RefreshStrategy::Als(refine_cfg) = server.refresh_strategy() else {
+        panic!("ALS-family server must report an ALS refresh strategy");
+    };
+    let manual = als::refine(&data, &prior_model, refine_cfg).expect("refine");
 
     // The refreshed factor models agree bitwise.
     for (a, b) in server
@@ -150,4 +155,103 @@ fn rejoin_affected_is_identical_to_unsharded_join_rows() {
     for h in 0..hosts {
         assert_eq!(coords.host(h), full.host(h), "host {h}");
     }
+}
+
+#[test]
+fn nmf_family_refresh_is_bit_identical_to_manual_nmf_refine() {
+    // The PR-3 follow-on: an NMF-family server must route the refresh tier
+    // through `nmf::refine` — bit-identically to a manual warm refine from
+    // the same prior factors — and keep the refreshed factors nonnegative.
+    let ds = ides_datasets::generators::p2psim_like(25, 13).expect("dataset");
+    let sub: Vec<usize> = (0..15).collect();
+    let lm = ds.matrix.submatrix(&sub, &sub);
+    let policy = StalenessPolicy {
+        deviation_threshold: 0.0, // every epoch refreshes
+        sweep_budget: 3,
+        ridge: 0.0,
+    };
+    let nmf_cfg = nmf::NmfConfig::new(5);
+    let mut server = StreamingServer::with_nmf_config(&lm, nmf_cfg, policy).expect("server");
+    assert!(matches!(
+        server.refresh_strategy(),
+        RefreshStrategy::Nmf(cfg) if cfg.iterations == 3 && cfg.tolerance == 0.0
+    ));
+    let prior_model = server.model().clone();
+    assert!(
+        prior_model.x().is_nonnegative(0.0),
+        "cold NMF fit nonnegative"
+    );
+
+    let mut drifted = lm.values().clone();
+    let mut deltas = Vec::new();
+    for (step, &(i, j)) in [(1usize, 4usize), (3, 11), (6, 13)].iter().enumerate() {
+        let rtt = drifted[(i, j)] * (1.0 + 0.05 * (step as f64 + 1.0));
+        drifted[(i, j)] = rtt;
+        deltas.push(MeasurementDelta {
+            from: i,
+            to: j,
+            rtt,
+        });
+    }
+    let outcome = server
+        .apply_epoch(&EpochUpdate { epoch: 1.0, deltas })
+        .expect("apply epoch");
+    assert!(outcome.refreshed);
+    assert_eq!(outcome.sweeps, 3);
+
+    let data = DistanceMatrix::full("manual", drifted).expect("matrix");
+    let RefreshStrategy::Nmf(refine_cfg) = server.refresh_strategy() else {
+        panic!("NMF-family server must report an NMF refresh strategy");
+    };
+    let manual = nmf::refine(&data, &prior_model, refine_cfg).expect("refine");
+    for (a, b) in server
+        .model()
+        .x()
+        .as_slice()
+        .iter()
+        .chain(server.model().y().as_slice())
+        .zip(
+            manual
+                .model
+                .x()
+                .as_slice()
+                .iter()
+                .chain(manual.model.y().as_slice()),
+        )
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "refreshed NMF factors diverged");
+    }
+    // Multiplicative updates preserve nonnegativity through the refresh.
+    assert!(server.model().x().is_nonnegative(0.0));
+    assert!(server.model().y().is_nonnegative(0.0));
+
+    // Cached joins keep working from the refreshed nonnegative model.
+    let d_out = measurements(4, 15, 21);
+    let d_in = measurements(4, 15, 22);
+    let mut joined = BatchHostVectors::new();
+    server
+        .join_batch_cached(&d_out, &d_in, &mut joined)
+        .expect("cached join");
+    assert_eq!(joined.len(), 4);
+}
+
+#[test]
+fn nmf_family_full_refit_uses_nmf() {
+    let ds = ides_datasets::generators::gnp_like(14, 19).expect("dataset");
+    let policy = StalenessPolicy::default();
+    let cfg = nmf::NmfConfig::new(4);
+    let mut server = StreamingServer::with_nmf_config(&ds.matrix, cfg, policy).expect("server");
+    server.full_refit().expect("full refit");
+    // A cold NMF refit from the same matrix must reproduce the factors.
+    let manual = nmf::fit(&ds.matrix, cfg).expect("manual fit");
+    for (a, b) in server
+        .model()
+        .x()
+        .as_slice()
+        .iter()
+        .zip(manual.model.x().as_slice().iter())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(server.refreshes(), 1);
 }

@@ -1,0 +1,59 @@
+//! Quick wall-clock comparison of the blocked factorization layer against
+//! the unblocked references at n = 512 (the committed `BENCH_*.json`
+//! trajectory runs the `factor` bench group; this is the 10-second spot
+//! check). Run with `cargo run --release -p ides-linalg --example
+//! factor_speed`.
+
+use ides_linalg::{random, Matrix};
+use std::time::Instant;
+
+fn test_matrix(n: usize) -> Matrix {
+    let mut rng = random::seeded_rng(99);
+    let base = random::uniform(n, 8, 0.5, 2.0, &mut rng);
+    let mut m = base.matmul_tr(&base).unwrap().scale(10.0);
+    for i in 0..n {
+        m[(i, i)] = 0.0;
+    }
+    m
+}
+
+fn main() {
+    let n = 512;
+    let a = test_matrix(n);
+    let t = Instant::now();
+    let _ = ides_linalg::qr::qr(&a).unwrap();
+    println!("qr blocked/{n}: {:?}", t.elapsed());
+    let t = Instant::now();
+    let _ = ides_linalg::qr::reference::qr_unblocked(&a).unwrap();
+    println!("qr unblocked/{n}: {:?}", t.elapsed());
+    let t = Instant::now();
+    let s = ides_linalg::svd::svd(&a).unwrap();
+    println!(
+        "svd blocked/{n}: {:?} (s0={})",
+        t.elapsed(),
+        s.singular_values[0]
+    );
+    let t = Instant::now();
+    let s = ides_linalg::svd::svd_jacobi(&a).unwrap();
+    println!(
+        "svd jacobi/{n}: {:?} (s0={})",
+        t.elapsed(),
+        s.singular_values[0]
+    );
+    let mut sym = a.clone();
+    sym.symmetrize();
+    let t = Instant::now();
+    let e = ides_linalg::eig::symmetric_eig(&sym).unwrap();
+    println!(
+        "eig blocked/{n}: {:?} (l0={})",
+        t.elapsed(),
+        e.eigenvalues[0]
+    );
+    let t = Instant::now();
+    let e = ides_linalg::eig::symmetric_eig_jacobi(&sym).unwrap();
+    println!(
+        "eig jacobi/{n}: {:?} (l0={})",
+        t.elapsed(),
+        e.eigenvalues[0]
+    );
+}

@@ -1,13 +1,20 @@
-//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//! Symmetric eigendecomposition.
 //!
 //! Used by the Lipschitz+PCA baseline (ICS / Virtual Landmark), which
 //! diagonalizes the covariance matrix of the Lipschitz coordinates.
+//!
+//! [`symmetric_eig`] dispatches on size: matrices larger than
+//! [`crate::factor::SMALL`] run the blocked Householder tridiagonalization
+//! plus implicit-QL path ([`crate::factor::symmetric_eig_with`]); small
+//! ones (and the defensive non-convergence fallback) use the cyclic
+//! Jacobi method, kept as [`symmetric_eig_jacobi`] — also the accuracy
+//! oracle of the blocked property suite.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 
 /// Result of a symmetric eigendecomposition `A = Q Λ Qᵀ`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SymmetricEig {
     /// Eigenvalues in non-increasing order.
     pub eigenvalues: Vec<f64>,
@@ -16,15 +23,11 @@ pub struct SymmetricEig {
 }
 
 impl SymmetricEig {
-    /// Reconstructs `Q Λ Qᵀ`.
+    /// Reconstructs `Q Λ Qᵀ` as the single kernel GEMM `Q (Q Λ)ᵀ`,
+    /// scaling one factor copy instead of cloning-then-scaling.
     pub fn reconstruct(&self) -> Matrix {
         let q = &self.eigenvectors;
-        let mut ql = q.clone();
-        for i in 0..ql.rows() {
-            for (j, &l) in self.eigenvalues.iter().enumerate() {
-                ql[(i, j)] *= l;
-            }
-        }
+        let ql = Matrix::from_fn(q.rows(), q.cols(), |i, j| q[(i, j)] * self.eigenvalues[j]);
         ql.matmul_tr(q).expect("square by construction")
     }
 }
@@ -33,11 +36,32 @@ const MAX_SWEEPS: usize = 100;
 
 /// Computes all eigenvalues and eigenvectors of a symmetric matrix.
 ///
-/// The input must be symmetric; only the upper triangle is read. Returns
-/// [`LinalgError::NotSquare`] for non-square input. Convergence is
-/// guaranteed in theory for symmetric matrices; the iteration cap exists as
-/// a defensive bound.
+/// The input must be symmetric; only the symmetric part is used. Returns
+/// [`LinalgError::NotSquare`] for non-square input. Dispatches to the
+/// blocked tridiagonalization path above [`crate::factor::SMALL`] (with
+/// cyclic Jacobi as the defensive non-convergence fallback) and to cyclic
+/// Jacobi at small sizes. Repeated large-matrix callers should hold a
+/// [`crate::factor::FactorWorkspace`] and call
+/// [`crate::factor::symmetric_eig_with`] directly.
 pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
+    if a.rows() <= crate::factor::SMALL || !a.is_square() {
+        return symmetric_eig_jacobi(a);
+    }
+    let mut ws = crate::factor::FactorWorkspace::new();
+    let mut out = SymmetricEig::default();
+    match crate::factor::symmetric_eig_with(a, &mut ws, &mut out) {
+        Ok(()) => Ok(out),
+        Err(LinalgError::NoConvergence { .. }) => symmetric_eig_jacobi(a),
+        Err(e) => Err(e),
+    }
+}
+
+/// Cyclic-Jacobi symmetric eigendecomposition — the small-matrix path and
+/// accuracy fallback of [`symmetric_eig`].
+///
+/// Convergence is guaranteed in theory for symmetric matrices; the
+/// iteration cap exists as a defensive bound.
+pub fn symmetric_eig_jacobi(a: &Matrix) -> Result<SymmetricEig> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare {
             got: a.shape(),

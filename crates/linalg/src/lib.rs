@@ -10,9 +10,16 @@
 //! * [`Matrix`] — dense row-major `f64` matrices with BLAS-like kernels,
 //! * [`kernels`] — the cache-blocked, register-tiled GEMM layer behind
 //!   every matrix product (see below),
-//! * [`qr`] — Householder QR and QR least squares,
-//! * [`svd`] — one-sided Jacobi SVD plus truncated subspace-iteration SVD,
-//! * [`eig`] — cyclic-Jacobi symmetric eigendecomposition (for PCA),
+//! * [`factor`] — the blocked Householder factorization layer: compact-WY
+//!   QR, Golub–Kahan bidiagonal SVD, and tridiagonal symmetric eig, all
+//!   GEMM-rich with allocation-free `_with` workspace variants,
+//! * [`qr`] — Householder QR and QR least squares (blocked; the scalar
+//!   reference survives as `qr::reference`),
+//! * [`svd`] — full SVD (blocked Golub–Kahan above the small cutoff,
+//!   one-sided Jacobi below it / as fallback) plus truncated
+//!   subspace-iteration SVD,
+//! * [`eig`] — symmetric eigendecomposition (blocked tridiagonalization +
+//!   implicit QL, cyclic Jacobi small/fallback; for PCA),
 //! * [`lu`], [`cholesky`] — exact solves for the host-join normal
 //!   equations, plus `O(n²)` rank-1/rank-k Cholesky up/downdates and the
 //!   incrementally maintained [`solve::CachedGram`] behind the streaming
@@ -65,6 +72,7 @@
 pub mod cholesky;
 pub mod eig;
 pub mod error;
+pub mod factor;
 pub mod kernels;
 pub mod lu;
 pub mod matrix;

@@ -5,8 +5,9 @@
 //! `d`-dimensional subspace of maximum variance. This module provides that
 //! projection.
 
-use crate::eig::symmetric_eig;
+use crate::eig::{symmetric_eig, symmetric_eig_jacobi, SymmetricEig};
 use crate::error::{LinalgError, Result};
+use crate::factor::{symmetric_eig_with, FactorWorkspace};
 use crate::matrix::Matrix;
 
 /// A fitted PCA model.
@@ -25,8 +26,19 @@ pub struct Pca {
 ///
 /// Uses the eigendecomposition of the `p x p` covariance matrix, which is
 /// the formulation in the ICS paper and efficient when `p` (number of
-/// landmarks) is small.
+/// landmarks) is small. The decomposition runs on the blocked
+/// factorization layer once `p` exceeds [`crate::factor::SMALL`]; repeated
+/// fitters (dimension sweeps) should hold a
+/// [`crate::factor::FactorWorkspace`] and call [`fit_with`].
 pub fn fit(data: &Matrix, d: usize) -> Result<Pca> {
+    let mut ws = FactorWorkspace::new();
+    fit_with(data, d, &mut ws)
+}
+
+/// [`fit`] with a caller-owned workspace for the covariance
+/// eigendecomposition — the factorization-layer entry point the IDES
+/// evaluation sweeps share.
+pub fn fit_with(data: &Matrix, d: usize, ws: &mut FactorWorkspace) -> Result<Pca> {
     let (n, p) = data.shape();
     if n == 0 || p == 0 {
         return Err(LinalgError::InvalidArgument("pca: empty data"));
@@ -45,7 +57,20 @@ pub fn fit(data: &Matrix, d: usize) -> Result<Pca> {
     // Covariance (biased, 1/n — the scaling does not affect the axes).
     let centered = Matrix::from_fn(n, p, |i, j| data[(i, j)] - mean[j]);
     let cov = centered.tr_matmul(&centered)?.scale(1.0 / n as f64);
-    let eig = symmetric_eig(&cov)?;
+    // Same dispatch as `symmetric_eig`, but through the caller's workspace
+    // on the blocked path (Jacobi at small sizes / on non-convergence).
+    let eig = if p <= crate::factor::SMALL {
+        symmetric_eig(&cov)?
+    } else {
+        let mut out = SymmetricEig::default();
+        match symmetric_eig_with(&cov, ws, &mut out) {
+            Ok(()) => out,
+            // Straight to Jacobi: re-dispatching through `symmetric_eig`
+            // would rerun the whole blocked path just to fail again.
+            Err(LinalgError::NoConvergence { .. }) => symmetric_eig_jacobi(&cov)?,
+            Err(e) => return Err(e),
+        }
+    };
     let cols: Vec<usize> = (0..d).collect();
     Ok(Pca {
         mean,

@@ -1,4 +1,13 @@
 //! Householder QR decomposition and QR-based least squares.
+//!
+//! Since the blocked factorization layer landed, [`qr`] runs the
+//! compact-WY blocked algorithm in [`crate::factor`] (GEMM-rich trailing
+//! updates and Q accumulation); the original scalar-loop implementation is
+//! preserved as [`reference::qr_unblocked`] — the correctness oracle for
+//! the property suite and the honest "before" baseline of the `factor`
+//! benchmark group. For matrices with at most [`crate::factor::PANEL`]
+//! columns the two are **bit-identical** (a single panel runs the
+//! reference arithmetic end to end).
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
@@ -6,8 +15,8 @@ use crate::matrix::Matrix;
 /// QR decomposition `A = Q R` of an `m x n` matrix with `m >= n`.
 ///
 /// `q` is `m x n` with orthonormal columns (thin Q), `r` is `n x n` upper
-/// triangular. Produced by [`qr`].
-#[derive(Debug, Clone)]
+/// triangular. Produced by [`qr`] / [`crate::factor::qr_with`].
+#[derive(Debug, Clone, Default)]
 pub struct Qr {
     /// Thin orthonormal factor, `m x n`.
     pub q: Matrix,
@@ -16,86 +25,105 @@ pub struct Qr {
 }
 
 /// Computes the thin QR decomposition of `a` (`m x n`, `m >= n`) using
-/// Householder reflections.
+/// blocked Householder reflections (see [`crate::factor`]).
 ///
 /// Householder QR is backward stable, unlike classical Gram-Schmidt; the
 /// columns of `q` stay orthonormal to machine precision even for poorly
-/// conditioned inputs.
+/// conditioned inputs. Repeated callers should hold a
+/// [`crate::factor::FactorWorkspace`] and use [`crate::factor::qr_with`],
+/// which allocates nothing once warm.
 pub fn qr(a: &Matrix) -> Result<Qr> {
-    let (m, n) = a.shape();
-    if m < n {
-        return Err(LinalgError::ShapeMismatch {
-            expected: (n, n),
-            got: (m, n),
-            op: "qr (requires rows >= cols)",
-        });
-    }
-    let mut r = a.clone();
-    // Accumulate Householder vectors; v[k] has length m-k.
-    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut ws = crate::factor::FactorWorkspace::new();
+    let mut out = Qr::default();
+    crate::factor::qr_with(a, &mut ws, &mut out)?;
+    Ok(out)
+}
 
-    for k in 0..n {
-        // Build the Householder vector for column k below the diagonal.
-        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
-        let alpha = {
-            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if v[0] >= 0.0 {
-                -norm
-            } else {
-                norm
-            }
-        };
-        if alpha == 0.0 {
-            // Column already zero below (and at) the diagonal; identity reflector.
-            vs.push(vec![0.0; m - k]);
-            continue;
-        }
-        v[0] -= alpha;
-        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
-        if vnorm2 == 0.0 {
-            vs.push(vec![0.0; m - k]);
-            continue;
-        }
-        // Apply reflector H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
-        for j in k..n {
-            let dot: f64 = (k..m).map(|i| v[i - k] * r[(i, j)]).sum();
-            let s = 2.0 * dot / vnorm2;
-            for i in k..m {
-                r[(i, j)] -= s * v[i - k];
-            }
-        }
-        vs.push(v);
-    }
+/// The pre-blocking scalar implementation, kept as the correctness oracle
+/// and benchmark baseline for the blocked layer.
+pub mod reference {
+    use super::{LinalgError, Matrix, Qr, Result};
 
-    // Form thin Q by applying the reflectors in reverse to the first n
-    // columns of the identity.
-    let mut q = Matrix::zeros(m, n);
-    for j in 0..n {
-        q[(j, j)] = 1.0;
-    }
-    for k in (0..n).rev() {
-        let v = &vs[k];
-        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
-        if vnorm2 == 0.0 {
-            continue;
+    /// The seed's unblocked Householder QR: one scalar rank-1 update per
+    /// reflector per column, `Q` formed by reverse scalar application.
+    /// This was [`super::qr`] before the blocked factorization layer.
+    pub fn qr_unblocked(a: &Matrix) -> Result<Qr> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, n),
+                got: (m, n),
+                op: "qr (requires rows >= cols)",
+            });
         }
+        let mut r = a.clone();
+        // Accumulate Householder vectors; v[k] has length m-k.
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+            let alpha = {
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if v[0] >= 0.0 {
+                    -norm
+                } else {
+                    norm
+                }
+            };
+            if alpha == 0.0 {
+                // Column already zero below (and at) the diagonal; identity
+                // reflector.
+                vs.push(vec![0.0; m - k]);
+                continue;
+            }
+            v[0] -= alpha;
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                vs.push(vec![0.0; m - k]);
+                continue;
+            }
+            // Apply reflector H = I - 2 v vᵀ / (vᵀv) to the trailing block.
+            for j in k..n {
+                let dot: f64 = (k..m).map(|i| v[i - k] * r[(i, j)]).sum();
+                let s = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= s * v[i - k];
+                }
+            }
+            vs.push(v);
+        }
+
+        // Form thin Q by applying the reflectors in reverse to the first n
+        // columns of the identity.
+        let mut q = Matrix::zeros(m, n);
         for j in 0..n {
-            let dot: f64 = (k..m).map(|i| v[i - k] * q[(i, j)]).sum();
-            let s = 2.0 * dot / vnorm2;
-            for i in k..m {
-                q[(i, j)] -= s * v[i - k];
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let dot: f64 = (k..m).map(|i| v[i - k] * q[(i, j)]).sum();
+                let s = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    q[(i, j)] -= s * v[i - k];
+                }
             }
         }
-    }
 
-    // Zero out numerical noise below the diagonal of R and truncate.
-    let mut r_thin = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in i..n {
-            r_thin[(i, j)] = r[(i, j)];
+        // Zero out numerical noise below the diagonal of R and truncate.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
         }
+        Ok(Qr { q, r: r_thin })
     }
-    Ok(Qr { q, r: r_thin })
 }
 
 /// Solves the upper-triangular system `R x = b` by back substitution.

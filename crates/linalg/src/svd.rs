@@ -1,18 +1,23 @@
 //! Singular value decomposition.
 //!
-//! Two algorithms are provided:
+//! Three algorithms are provided:
 //!
-//! * [`svd`] — full SVD by **one-sided Jacobi** rotations. Slower than
-//!   bidiagonalization approaches but simple, numerically robust, and highly
-//!   accurate for small singular values; adequate for the matrix sizes in
-//!   the IDES experiments (up to ~1200²).
+//! * [`svd`] — full SVD. Dispatches to the **blocked Golub–Kahan** path
+//!   ([`crate::factor::svd_with`]: bidiagonalization + implicit-shift QR
+//!   with GEMM-accumulated `U`/`V`) above [`crate::factor::SMALL`], and to
+//!   one-sided Jacobi at or below it; Jacobi is also the fallback if the
+//!   shift iteration ever fails to converge.
+//! * [`svd_jacobi`] — full SVD by **one-sided Jacobi** rotations. Slower
+//!   than bidiagonalization but simple, numerically robust, and highly
+//!   accurate for small singular values; the small-matrix workhorse and
+//!   the accuracy oracle of the blocked property suite.
 //! * [`svd_truncated`] — rank-`d` **subspace (orthogonal) iteration**, the
 //!   right tool when only the leading `d ≪ n` singular triples are needed
-//!   (the common case in distance-matrix factorization).
+//!   (the common case in distance-matrix factorization). Its per-iteration
+//!   re-orthonormalization rides the blocked QR.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
-use crate::qr::qr;
 
 /// Result of a singular value decomposition `A = U S Vᵀ`.
 ///
@@ -31,15 +36,13 @@ pub struct Svd {
 }
 
 impl Svd {
-    /// Reconstructs `U S Vᵀ`.
+    /// Reconstructs `U S Vᵀ` as the single kernel GEMM `U (V S)ᵀ`,
+    /// scaling the (smaller) right factor instead of cloning `U`.
     pub fn reconstruct(&self) -> Matrix {
-        let mut us = self.u.clone();
-        for i in 0..us.rows() {
-            for (j, &s) in self.singular_values.iter().enumerate() {
-                us[(i, j)] *= s;
-            }
-        }
-        us.matmul_tr(&self.v).expect("shapes agree by construction")
+        let vs = Matrix::from_fn(self.v.rows(), self.v.cols(), |i, j| {
+            self.v[(i, j)] * self.singular_values[j]
+        });
+        self.u.matmul_tr(&vs).expect("shapes agree by construction")
     }
 
     /// Truncates the decomposition to the leading `d` triples.
@@ -66,11 +69,38 @@ impl Svd {
 /// Maximum number of one-sided Jacobi sweeps before giving up.
 const MAX_JACOBI_SWEEPS: usize = 60;
 
-/// Computes the full SVD of `a` by one-sided Jacobi rotations.
+/// Computes the full SVD of `a`.
+///
+/// Dispatches on size: matrices whose smaller dimension is at most
+/// [`crate::factor::SMALL`] use one-sided Jacobi ([`svd_jacobi`]); larger
+/// ones run the blocked Golub–Kahan path ([`crate::factor::svd_with`]),
+/// falling back to Jacobi in the (defensive) event the implicit-shift
+/// iteration does not converge. Repeated large-matrix callers should hold
+/// a [`crate::factor::FactorWorkspace`] and call the `_with` variant
+/// directly, which allocates nothing once warm.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    if a.rows().min(a.cols()) <= crate::factor::SMALL {
+        return svd_jacobi(a);
+    }
+    let mut ws = crate::factor::FactorWorkspace::new();
+    let mut out = Svd {
+        u: Matrix::zeros(0, 0),
+        singular_values: Vec::new(),
+        v: Matrix::zeros(0, 0),
+    };
+    match crate::factor::svd_with(a, &mut ws, &mut out) {
+        Ok(()) => Ok(out),
+        Err(LinalgError::NoConvergence { .. }) => svd_jacobi(a),
+        Err(e) => Err(e),
+    }
+}
+
+/// Computes the full SVD of `a` by one-sided Jacobi rotations — the
+/// small-matrix path and accuracy fallback of [`svd`].
 ///
 /// Works for any shape; internally operates on the transposed matrix when
 /// `m < n` and swaps `u`/`v` back at the end.
-pub fn svd(a: &Matrix) -> Result<Svd> {
+pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Ok(Svd {
@@ -80,7 +110,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         });
     }
     if m < n {
-        let t = svd(&a.transpose())?;
+        let t = svd_jacobi(&a.transpose())?;
         return Ok(Svd {
             u: t.v,
             singular_values: t.singular_values,
@@ -251,7 +281,9 @@ impl Default for TruncatedSvdOptions {
 }
 
 /// Computes the leading `d` singular triples of `a` by subspace iteration
-/// on `AᵀA` with QR re-orthonormalization.
+/// on `AᵀA` with QR re-orthonormalization on the blocked factorization
+/// layer (one [`crate::factor::FactorWorkspace`] serves every iteration's
+/// re-orthonormalization, so the loop allocates only its iterates).
 ///
 /// Deterministic: the start basis is a fixed quasi-random (but seedless)
 /// matrix, so repeated runs give identical results.
@@ -271,19 +303,24 @@ pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<
         return Ok(svd(a)?.truncate(k));
     }
 
+    let mut ws = crate::factor::FactorWorkspace::new();
+    let mut orth = crate::qr::Qr::default();
+
     // Deterministic pseudo-random start basis (Weyl sequence).
     let mut v = Matrix::from_fn(n, p, |i, j| {
         let x = ((i as f64 + 1.0) * 0.754877666 + (j as f64 + 1.0) * 0.569840296).fract();
         2.0 * x - 1.0
     });
-    v = qr(&v)?.q;
+    crate::factor::qr_with(&v, &mut ws, &mut orth)?;
+    std::mem::swap(&mut v, &mut orth.q);
 
     let mut prev_sv: Vec<f64> = vec![f64::INFINITY; k];
     for _it in 0..opts.max_iterations {
         // v <- orth(Aᵀ (A v))
         let av = a.matmul(&v)?;
         let atav = a.tr_matmul(&av)?;
-        v = qr(&atav)?.q;
+        crate::factor::qr_with(&atav, &mut ws, &mut orth)?;
+        std::mem::swap(&mut v, &mut orth.q);
 
         // Estimate singular values from column norms of A v.
         let av = a.matmul(&v)?;

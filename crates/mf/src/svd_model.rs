@@ -16,9 +16,11 @@ use crate::model::FactorModel;
 pub struct SvdConfig {
     /// Target dimensionality `d`.
     pub dim: usize,
-    /// Force the exact (one-sided Jacobi) SVD even for large matrices.
-    /// By default the truncated subspace iteration is used when it is
-    /// clearly cheaper.
+    /// Force the exact (full-decomposition) SVD even for large matrices —
+    /// blocked Golub–Kahan above the factorization layer's small-matrix
+    /// cutoff, one-sided Jacobi below it. By default the truncated
+    /// subspace iteration is used when it is clearly cheaper; both paths
+    /// run on `ides_linalg`'s blocked factorization layer.
     pub force_exact: bool,
 }
 

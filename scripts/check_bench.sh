@@ -11,6 +11,7 @@
 #
 # What is gated: the *within-group speedup ratios* of the key groups —
 #   matmul/512           blocked vs seed_ikj
+#   factor/512           blocked (Golub-Kahan) SVD vs one-sided Jacobi
 #   join_batch/500       batched_qr vs per_host_qr
 #   streaming_update/500 incremental update vs full refit
 # Ratios are used instead of raw medians because CI runners and the
@@ -77,6 +78,7 @@ check() {
 }
 
 check matmul           "blocked/512"     "seed_ikj/512"     "matmul/512 (blocked vs seed_ikj)"
+check factor           "svd_blocked/512" "svd_jacobi/512"   "factor/512 (blocked SVD vs one-sided Jacobi)"
 check join_batch       "batched_qr/500"  "per_host_qr/500"  "join_batch/500 (batched vs per-host QR)"
 check streaming_update "incremental/500" "full_refit/500"   "streaming_update/500 (incremental vs full refit)"
 

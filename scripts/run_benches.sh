@@ -25,9 +25,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels nmf_convergence projection join_batch streaming_update table1}"
+BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels join_batch streaming_update}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update}"
     export CRITERION_QUICK=1
 fi
 
@@ -97,6 +97,14 @@ jq -r '.benches.kernels // [] | map(select(.group == "matmul")) |
        if (."blocked/512") then
          "matmul/512 speedup vs naive_ijk: \((."naive_ijk/512" / ."blocked/512") * 100 | round / 100)x, " +
          "vs seed_ikj: \((."seed_ikj/512" / ."blocked/512") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.factor // [] | map(select(.group == "factor")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."svd_blocked/512") and (."svd_jacobi/512") then
+         "factor/512 speedup blocked vs unblocked: " +
+         "svd \((."svd_jacobi/512" / ."svd_blocked/512") * 100 | round / 100)x, " +
+         "qr \((."qr_unblocked/512" / ."qr_blocked/512") * 100 | round / 100)x, " +
+         "eig \((."eig_jacobi/512" / ."eig_blocked/512") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true
 jq -r '.benches.join_batch // [] | map(select(.group == "join_batch")) |
        map({(.bench): .median_ns}) | add // {} |
