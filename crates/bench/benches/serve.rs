@@ -1,0 +1,153 @@
+//! The serving engine under load: coalesced vs per-request admission,
+//! and query latency quiescent vs under active drift.
+//!
+//! Scale: the shared deployment scenario (64 landmarks, d = 16, 500
+//! admitted hosts) — the scale where a per-request admission (one QR
+//! factorization + one snapshot publish per request) costs enough that
+//! the coalescer's one-batched-solve-per-flush amortization matters. At
+//! the paper's 20×8 toy scale a single join is ~2µs and coordination
+//! overhead wins; see the `serve_load` experiment's module docs.
+//!
+//! * `coalesced_join/500` vs `per_request_join/500` — one iteration is a
+//!   wave of 500 **concurrent** joiners: a persistent pool of 500 worker
+//!   threads rendezvouses at a barrier, each admits one host (through
+//!   `QueryEngine::join` / `QueryEngine::join_per_request`), and the wave
+//!   is retired in one `leave_many` so the table stays bounded. The pool
+//!   persists across iterations, so thread spawning never enters the
+//!   timing. The within-group ratio is the CI-gated serving headline
+//!   (acceptance: coalesced ≥ 5x).
+//! * `query_quiescent/500` vs `query_under_drift/500` — single estimates
+//!   against a 500-host snapshot, with and without a writer thread
+//!   continuously applying drift epochs. The snapshot design promises
+//!   drift does not stall readers (acceptance: p99 within 2x, measured
+//!   with full histograms by the `serve_load` experiment; here the
+//!   medians must tell the same story).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ides::service::load::{self, ServeScenario};
+use ides::service::{NodeId, ServiceConfig};
+
+const LANDMARKS: usize = 64;
+const DIM: usize = 16;
+const HOSTS: usize = 500;
+const SEED: u64 = 20041025;
+
+fn scenario(hosts: usize) -> ServeScenario {
+    load::synthetic_scenario(LANDMARKS, hosts, DIM, SEED, ServiceConfig::default())
+        .expect("scenario")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // Admission: engine starts empty; each iteration is one wave of 500
+    // concurrent joiners from a persistent worker pool (spawned once,
+    // synchronized by barriers, so only admission work is timed).
+    {
+        let s = scenario(0);
+        let rows = scenario(HOSTS).host_rows;
+        let start = Barrier::new(HOSTS + 1);
+        let done = Barrier::new(HOSTS + 1);
+        let coalesced = AtomicBool::new(true);
+        let shutdown = AtomicBool::new(false);
+        let slots: Vec<AtomicUsize> = (0..HOSTS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for (w, (d_out, d_in)) in rows.iter().enumerate() {
+                let (engine, start, done) = (&s.engine, &start, &done);
+                let (coalesced, shutdown, slots) = (&coalesced, &shutdown, &slots);
+                scope.spawn(move || loop {
+                    start.wait();
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let joined = if coalesced.load(Ordering::Relaxed) {
+                        engine.join(d_out, d_in)
+                    } else {
+                        engine.join_per_request(d_out, d_in)
+                    };
+                    let NodeId::Host(slot) = joined.expect("admission join") else {
+                        panic!("join returned a landmark")
+                    };
+                    slots[w].store(slot, Ordering::Relaxed);
+                    done.wait();
+                });
+            }
+            let run_wave = |is_coalesced: bool| {
+                coalesced.store(is_coalesced, Ordering::Relaxed);
+                start.wait();
+                done.wait();
+                let ids: Vec<NodeId> = slots
+                    .iter()
+                    .map(|s| NodeId::Host(s.load(Ordering::Relaxed)))
+                    .collect();
+                s.engine.leave_many(&ids).expect("leave wave");
+            };
+            group.bench_function(BenchmarkId::new("coalesced_join", HOSTS), |b| {
+                b.iter(|| run_wave(true))
+            });
+            group.bench_function(BenchmarkId::new("per_request_join", HOSTS), |b| {
+                b.iter(|| run_wave(false))
+            });
+            shutdown.store(true, Ordering::Relaxed);
+            start.wait();
+        });
+    }
+
+    // Query latency against a fully admitted snapshot.
+    {
+        let s = scenario(HOSTS);
+        let nodes = &s.nodes;
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("query_quiescent", HOSTS), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let a = nodes[i % nodes.len()];
+                let bn = nodes[(i * 7 + 3) % nodes.len()];
+                s.engine.estimate(a, bn).expect("estimate")
+            })
+        });
+
+        // Same measurement with a writer continuously applying drift
+        // epochs (2ms apart) in the background.
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let mut epoch = s.engine.snapshot().epoch();
+                let mut k = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2));
+                    if s.drift_updates.is_empty() {
+                        continue;
+                    }
+                    epoch += 1.0;
+                    let mut u = s.drift_updates[k % s.drift_updates.len()].clone();
+                    u.epoch = epoch;
+                    s.engine.apply_epoch(&u).expect("drift epoch");
+                    k += 1;
+                }
+            });
+            let mut j = 0usize;
+            group.bench_function(BenchmarkId::new("query_under_drift", HOSTS), |b| {
+                b.iter(|| {
+                    j = j.wrapping_add(1);
+                    let a = nodes[j % nodes.len()];
+                    let bn = nodes[(j * 7 + 3) % nodes.len()];
+                    s.engine.estimate(a, bn).expect("estimate")
+                })
+            });
+            stop.store(true, Ordering::Relaxed);
+            writer.join().expect("drift writer panicked");
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -32,6 +32,7 @@ fn main() {
         "join" => cmd_join(&args),
         "predict" => cmd_predict(&args),
         "eval" => cmd_eval(&args),
+        "serve" | "loadgen" => cmd_serve(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{}", HELP);
         }
@@ -61,6 +62,13 @@ commands:
                                rows, else incoming = outgoing)
   predict <model> i j         estimated distance between model hosts i and j
   eval <matrix> --landmarks M --dim D   full prediction experiment
+  serve                       load-test the concurrent serving engine
+                              (--landmarks K --hosts H --dim D --threads T
+                               --duration-s S --rate QPS-per-thread for
+                               open loop, --seed N, --json); admits H
+                               hosts, compares coalesced vs per-request
+                               admission, then measures query p50/p99
+                               quiescent and under active drift
 ";
 
 fn load_matrix(path_str: &str) -> DistanceMatrix {
@@ -395,6 +403,73 @@ fn cmd_predict(args: &Args) {
         exit(2);
     }
     println!("{:.4}", model.estimate(i, j));
+}
+
+/// Load-tests the `ides::service` engine on a synthetic deployment:
+/// admission throughput with and without request coalescing, then query
+/// latency quantiles quiescent and under continuous landmark drift. The
+/// measurement and the `--json` schema live in
+/// `ides::service::load::ServeSummary`, shared with the `serve_load`
+/// experiment so the `serving` object in `BENCH_NNNN.json` cannot drift
+/// between the two producers.
+fn cmd_serve(args: &Args) {
+    use ides::service::load::{ServeMeasurementConfig, ServeSummary};
+    use std::time::Duration;
+
+    let landmarks: usize = args.get_parsed("landmarks", 20);
+    let dim: usize = args.get_parsed("dim", 8);
+    let duration_s: f64 = args.get_parsed("duration-s", 4.0);
+    let rate: f64 = args.get_parsed("rate", 0.0); // 0 = closed loop
+    if dim == 0 || dim > landmarks {
+        eprintln!("error: --dim must be in 1..=landmarks");
+        exit(2);
+    }
+    let config = ServeMeasurementConfig {
+        landmarks,
+        dim,
+        hosts: args.get_parsed("hosts", 200),
+        threads: args.get_parsed("threads", 4),
+        seed: args.get_parsed("seed", 20041025),
+        // Half the budget quiescent, half under active drift.
+        phase: Duration::from_secs_f64((duration_s / 2.0).max(0.2)),
+        pace_per_thread: (rate > 0.0).then_some(rate),
+        ..ServeMeasurementConfig::default()
+    };
+    let summary = ServeSummary::measure(config).unwrap_or_else(|e| {
+        eprintln!("serve measurement failed: {e}");
+        exit(1);
+    });
+    if args.has("json") {
+        println!("{}", summary.to_json());
+        return;
+    }
+    println!(
+        "serving {} landmarks + {} hosts at d={}, {} query threads",
+        config.landmarks, config.hosts, config.dim, config.threads
+    );
+    println!(
+        "admission ({} concurrent joiners): coalesced {:.0}/s ({} flushes) vs per-request {:.0}/s  => {:.1}x",
+        summary.admission.joiners,
+        summary.admission.coalesced_per_sec,
+        summary.admission.coalesced_flushes,
+        summary.admission.per_request_per_sec,
+        summary.admission.speedup
+    );
+    println!(
+        "queries quiescent:   p50 {:.1}us  p99 {:.1}us  ({:.0} qps, cache hit {:.0}%)",
+        summary.quiescent_us(0.5),
+        summary.quiescent_us(0.99),
+        summary.quiescent.queries_per_sec,
+        summary.quiescent.cache_hit_rate * 100.0
+    );
+    println!(
+        "queries under drift: p50 {:.1}us  p99 {:.1}us  ({:.0} qps, {} epochs applied)",
+        summary.drift_us(0.5),
+        summary.drift_us(0.99),
+        summary.drifting.queries_per_sec,
+        summary.drifting.epochs
+    );
+    println!("p99 drift/quiescent: {:.2}x", summary.p99_ratio());
 }
 
 fn cmd_eval(args: &Args) {

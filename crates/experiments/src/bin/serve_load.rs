@@ -1,0 +1,94 @@
+//! Serving-engine load experiment: the `ides::service` headline numbers.
+//!
+//! Runs the standard serving measurement
+//! ([`ides::service::load::ServeSummary`], shared with `ides-cli serve`)
+//! at deployment scale: 64 landmarks at d = 16 with 500 admitted hosts
+//! by default — the scale where per-request admission work is nontrivial
+//! and coalescing pays; at the paper's 20×8 toy scale a single QR join
+//! costs ~2µs and coordination overhead dominates. Measures:
+//!
+//! * **Admission**: 500 concurrent joiners through the coalescer vs the
+//!   conventional per-request QR path (`QueryEngine::join_per_request`),
+//!   barrier-timed — the coalesced-vs-per-request speedup is gated by
+//!   `scripts/check_bench.sh` via the `serve` bench group and must stay
+//!   ≥ 5x here.
+//! * **Query latency**: p50/p99 over all queries, first quiescent, then
+//!   with a writer thread applying drift epochs continuously — the
+//!   snapshot design's claim is p99 under drift within 2x of quiescent.
+//!
+//! `--json` emits the one-line flat summary; `scripts/run_benches.sh`
+//! merges it into the committed `BENCH_NNNN.json` as the `serving`
+//! object.
+
+use std::time::Duration;
+
+use ides::service::load::{ServeMeasurementConfig, ServeSummary};
+use ides_experiments::seed;
+
+fn main() {
+    let mut json = false;
+    let mut config = ServeMeasurementConfig {
+        seed: seed(),
+        ..ServeMeasurementConfig::default()
+    };
+    let mut duration_s = 4.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--duration-s" => {
+                duration_s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration-s S");
+            }
+            "--hosts" => {
+                config.hosts = args.next().and_then(|v| v.parse().ok()).expect("--hosts N");
+            }
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads N");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    config.hosts = ((config.hosts as f64) * ides_experiments::scale())
+        .round()
+        .max(12.0) as usize;
+    config.phase = Duration::from_secs_f64((duration_s / 2.0).max(0.25));
+
+    eprintln!(
+        "# serving {} landmarks + {} hosts at d={} (max_batch {}, linger {:?})",
+        config.landmarks, config.hosts, config.dim, config.service.max_batch, config.service.linger
+    );
+    let summary = ServeSummary::measure(config).expect("serve measurement");
+    eprintln!(
+        "# admission ({} joiners): coalesced {:.0}/s in {} flushes vs per-request {:.0}/s => {:.2}x",
+        summary.admission.joiners,
+        summary.admission.coalesced_per_sec,
+        summary.admission.coalesced_flushes,
+        summary.admission.per_request_per_sec,
+        summary.admission.speedup
+    );
+    eprintln!(
+        "# queries quiescent:   p50 {:.2}us p99 {:.2}us ({:.0} qps, cache hit {:.0}%)",
+        summary.quiescent_us(0.5),
+        summary.quiescent_us(0.99),
+        summary.quiescent.queries_per_sec,
+        summary.quiescent.cache_hit_rate * 100.0
+    );
+    eprintln!(
+        "# queries under drift: p50 {:.2}us p99 {:.2}us ({:.0} qps, {} epochs)",
+        summary.drift_us(0.5),
+        summary.drift_us(0.99),
+        summary.drifting.queries_per_sec,
+        summary.drifting.epochs
+    );
+    eprintln!("# p99 drift/quiescent: {:.2}x", summary.p99_ratio());
+
+    if json {
+        println!("{}", summary.to_json());
+    }
+}

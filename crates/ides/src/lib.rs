@@ -29,6 +29,20 @@
 //!   cached join factorizations for small drift, bounded warm-start ALS
 //!   refits beyond the [`streaming::StalenessPolicy`] threshold, and
 //!   sharded re-joins of only the affected hosts.
+//! * [`service`] — the concurrent serving engine:
+//!   [`service::QueryEngine`] answers `estimate(a, b)` for thousands of
+//!   concurrent readers from **epoch-versioned, immutable snapshots**
+//!   (readers grab an `Arc<Snapshot>`; the streaming writer publishes a
+//!   new one after each drift epoch, so queries never block on
+//!   maintenance and never see a torn epoch), admits new hosts through a
+//!   **join coalescer** (concurrent join requests solve as one batched
+//!   cached-Gram system — the batch-join amortization applied across
+//!   requesters), memoizes pair estimates in an **epoch-tagged cache**,
+//!   and retires departed hosts to a free list. Paired with
+//!   `ides_netsim::workload` (deterministic query/join/leave/drift event
+//!   streams), [`service::replay`] (bit-identical replay at any thread
+//!   count) and [`service::load`] (wall-clock latency/throughput
+//!   harness).
 //! * [`protocol`] — the wire protocol simulated over `ides-netsim`
 //!   (framed serde messages, ping-based RTT measurement, deterministic
 //!   discrete-event timing).
@@ -55,11 +69,13 @@ pub mod error;
 pub mod eval;
 pub mod projection;
 pub mod protocol;
+pub mod service;
 pub mod streaming;
 pub mod system;
 
 pub use error::{IdesError, Result};
 pub use projection::{BatchHostVectors, HostVectors, JoinOptions, JoinSolver};
+pub use service::{NodeId, QueryEngine, ServiceConfig, Snapshot};
 pub use streaming::{
     EpochOutcome, EpochUpdate, MeasurementDelta, StalenessPolicy, StreamingServer, UpdateQueue,
 };

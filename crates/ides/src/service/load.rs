@@ -1,0 +1,655 @@
+//! Wall-clock load harness: drives real threads against a
+//! [`QueryEngine`] and reports latency quantiles and throughput.
+//!
+//! Unlike [`super::replay`] (deterministic, event-ordered, used for the
+//! bit-identity contracts), this harness measures the engine under
+//! genuine concurrency: `threads` query workers sample pairs as fast as
+//! they can (closed loop) or paced to a target rate (open loop), an
+//! optional drift writer applies epoch updates at a fixed interval, and
+//! an optional churn worker joins/leaves hosts continuously. Per-thread
+//! [`LatencyHistogram`]s merge into the report, so p50/p99 come from
+//! every recorded operation, not a sample.
+//!
+//! This is the measurement side of the `serve` bench group and the
+//! `ides-cli serve` command: quiescent vs under-drift query p99, and
+//! admission throughput with and without coalescing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Result;
+use crate::streaming::EpochUpdate;
+
+use super::metrics::LatencyHistogram;
+use super::{NodeId, QueryEngine};
+
+/// Query-load shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Query worker threads.
+    pub threads: usize,
+    /// Wall-clock run time.
+    pub duration: Duration,
+    /// Seed for the per-thread pair sampling streams.
+    pub seed: u64,
+    /// `None` = closed loop (each worker issues its next query as soon as
+    /// the previous one returns); `Some(rate)` = open loop, each worker
+    /// paced to `rate` queries per second with exponential gaps.
+    pub pace_per_thread: Option<f64>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            threads: 4,
+            duration: Duration::from_secs(2),
+            seed: 20041025,
+            pace_per_thread: None,
+        }
+    }
+}
+
+/// Continuous drift applied while the query load runs: the updates are
+/// cycled in order, one [`QueryEngine::apply_epoch`] per `interval`.
+#[derive(Debug, Clone)]
+pub struct DriftLoad {
+    /// Epoch updates to cycle through (epochs are re-stamped
+    /// monotonically so the streaming server always moves forward).
+    pub updates: Vec<EpochUpdate>,
+    /// Wall-clock gap between epochs.
+    pub interval: Duration,
+}
+
+/// Continuous admission churn applied while the query load runs: each
+/// (out, in) measurement row is joined and immediately left, cycling.
+#[derive(Debug, Clone)]
+pub struct ChurnLoad {
+    /// Measurement rows to cycle through.
+    pub rows: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Wall-clock gap between join/leave pairs (zero = as fast as
+    /// possible).
+    pub interval: Duration,
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Actual wall-clock time spent.
+    pub elapsed: Duration,
+    /// Queries answered across all workers.
+    pub queries: u64,
+    /// Merged query-latency histogram.
+    pub query_latency: LatencyHistogram,
+    /// Queries per second (all workers combined).
+    pub queries_per_sec: f64,
+    /// Drift epochs applied during the run.
+    pub epochs: u64,
+    /// Join/leave pairs completed by the churn worker.
+    pub churned: u64,
+    /// Fraction of queries answered from the pair cache.
+    pub cache_hit_rate: f64,
+}
+
+/// Runs the query load (plus optional drift writer and churn worker)
+/// against `engine`, sampling query pairs uniformly from `nodes`. The
+/// node list must stay valid for the whole run — pass landmarks and
+/// hosts that the churn worker does not touch.
+pub fn run(
+    engine: &QueryEngine,
+    nodes: &[NodeId],
+    config: &LoadConfig,
+    drift: Option<&DriftLoad>,
+    churn: Option<&ChurnLoad>,
+) -> Result<LoadReport> {
+    assert!(nodes.len() >= 2, "need at least two nodes to query");
+    assert!(config.threads >= 1, "need at least one query worker");
+    let stats_before = engine.stats();
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+
+    let mut worker_hists: Vec<LatencyHistogram> = Vec::new();
+    let mut churned = 0u64;
+    std::thread::scope(|scope| {
+        // Query workers.
+        let mut handles = Vec::new();
+        for tid in 0..config.threads {
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(config.seed ^ (tid as u64).wrapping_mul(0x9E37));
+                let mut hist = LatencyHistogram::new();
+                let mut next_at = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(rate) = config.pace_per_thread {
+                        // Open loop: exponential inter-arrival pacing.
+                        let gap = -(1.0 - rng.gen_range(0.0f64..1.0)).ln() / rate;
+                        next_at += Duration::from_secs_f64(gap);
+                        let now = Instant::now();
+                        if next_at > now {
+                            std::thread::sleep(next_at - now);
+                        }
+                    }
+                    let a = nodes[rng.gen_range(0..nodes.len())];
+                    let b = nodes[rng.gen_range(0..nodes.len())];
+                    let t0 = Instant::now();
+                    let est = engine.estimate(a, b);
+                    hist.record(t0.elapsed());
+                    debug_assert!(est.is_ok(), "query failed: {est:?}");
+                    let _ = est;
+                }
+                hist
+            }));
+        }
+        // Drift writer.
+        let drift_handle = drift.map(|d| {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut epoch = f64::max(engine.snapshot().epoch(), 0.0);
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(d.interval);
+                    if stop.load(Ordering::Relaxed) || d.updates.is_empty() {
+                        break;
+                    }
+                    epoch += 1.0;
+                    let mut update = d.updates[i % d.updates.len()].clone();
+                    update.epoch = epoch;
+                    engine.apply_epoch(&update).expect("drift epoch");
+                    i += 1;
+                }
+            })
+        });
+        // Churn worker.
+        let churn_handle = churn.map(|c| {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut done = 0u64;
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    if !c.interval.is_zero() {
+                        std::thread::sleep(c.interval);
+                    }
+                    if stop.load(Ordering::Relaxed) || c.rows.is_empty() {
+                        break;
+                    }
+                    let (d_out, d_in) = &c.rows[i % c.rows.len()];
+                    let id = engine.join(d_out, d_in).expect("churn join");
+                    engine.leave(id).expect("churn leave");
+                    done += 1;
+                    i += 1;
+                }
+                done
+            })
+        });
+
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            worker_hists.push(h.join().expect("query worker panicked"));
+        }
+        if let Some(h) = drift_handle {
+            h.join().expect("drift writer panicked");
+        }
+        if let Some(h) = churn_handle {
+            churned = h.join().expect("churn worker panicked");
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let mut query_latency = LatencyHistogram::new();
+    for h in &worker_hists {
+        query_latency.merge(h);
+    }
+    let stats_after = engine.stats();
+    let queries = query_latency.count();
+    let delta_q = stats_after.queries.saturating_sub(stats_before.queries);
+    let delta_hits = stats_after
+        .cache_hits
+        .saturating_sub(stats_before.cache_hits);
+    Ok(LoadReport {
+        elapsed,
+        queries,
+        queries_per_sec: queries as f64 / elapsed.as_secs_f64(),
+        epochs: stats_after.epochs.saturating_sub(stats_before.epochs),
+        churned,
+        cache_hit_rate: if delta_q == 0 {
+            0.0
+        } else {
+            delta_hits as f64 / delta_q as f64
+        },
+        query_latency,
+    })
+}
+
+/// A ready-to-serve synthetic deployment: an engine over a drifting
+/// transit-stub substrate with `hosts` ordinary hosts admitted, plus the
+/// raw material the load drivers need (query node list, the hosts'
+/// measurement rows for churn, and a cycle of landmark drift epochs).
+/// Shared by `ides-cli serve`, the `serve` bench group, and the
+/// `serve_load` experiment so they all measure the same deployment.
+#[derive(Debug)]
+pub struct ServeScenario {
+    /// The serving engine (landmark model fitted, hosts admitted).
+    pub engine: QueryEngine,
+    /// Landmarks plus every admitted host — the query population.
+    pub nodes: Vec<NodeId>,
+    /// The admitted hosts' measurement rows (out, in), usable as churn
+    /// fodder or to re-derive coordinates externally.
+    pub host_rows: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Landmark drift epochs (non-empty batches, in epoch order) to cycle
+    /// through a [`DriftLoad`].
+    pub drift_updates: Vec<EpochUpdate>,
+}
+
+/// Builds a [`ServeScenario`]: a P2PSim-like transit-stub topology, a
+/// ±20 % diurnal drift layer, `landmarks` landmarks fitted at drift epoch
+/// zero, and `hosts` ordinary hosts admitted from their epoch-zero
+/// measurements. Deterministic per seed.
+pub fn synthetic_scenario(
+    landmarks: usize,
+    hosts: usize,
+    dim: usize,
+    seed: u64,
+    config: super::ServiceConfig,
+) -> Result<ServeScenario> {
+    use crate::streaming::{StalenessPolicy, StreamingServer};
+    use ides_netsim::drift::{DriftModel, DriftStream};
+
+    let ds = ides_datasets::generators::p2psim_like(landmarks + hosts, seed)
+        .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?;
+    let lm_ids: Vec<usize> = ds.row_hosts[..landmarks].to_vec();
+    let host_ids: Vec<usize> = ds.row_hosts[landmarks..landmarks + hosts].to_vec();
+    let drift = DriftModel::new(0.2, 24.0, seed);
+    let lm = ides_linalg::Matrix::from_fn(landmarks, landmarks, |a, b| {
+        drift.rtt(&ds.topology, lm_ids[a], lm_ids[b], 0.0)
+    });
+    let server = StreamingServer::new(
+        &ides_datasets::DistanceMatrix::full("serve-lm", lm)
+            .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?,
+        dim,
+        StalenessPolicy::default(),
+    )?;
+    let engine = QueryEngine::new(server, config)?;
+
+    let host_rows: Vec<(Vec<f64>, Vec<f64>)> = host_ids
+        .iter()
+        .map(|&h| {
+            let row = ides_netsim::workload::measurement_row(&ds.topology, &drift, h, &lm_ids, 0.0);
+            (row.clone(), row)
+        })
+        .collect();
+    let mut nodes: Vec<NodeId> = (0..landmarks).map(NodeId::Landmark).collect();
+    for (d_out, d_in) in &host_rows {
+        nodes.push(engine.join_direct(d_out, d_in)?);
+    }
+
+    let mut stream = DriftStream::new(&ds.topology, drift, lm_ids, 1.0, 0.01);
+    let drift_updates: Vec<EpochUpdate> = (&mut stream)
+        .take(16)
+        .filter(|b| !b.samples.is_empty())
+        .map(|b| super::replay::epoch_update_from_batch(&b))
+        .collect();
+    Ok(ServeScenario {
+        engine,
+        nodes,
+        host_rows,
+        drift_updates,
+    })
+}
+
+/// Admission-throughput comparison: `rows` join requests issued by
+/// `joiner_threads` concurrent threads, once through the coalescer
+/// ([`QueryEngine::join`]) and once through the conventional per-request
+/// path ([`QueryEngine::join_per_request`]: one QR factorization and one
+/// publish per request), each against a fresh engine from `make_engine`.
+/// Threads rendezvous at a barrier before the clock starts, so spawn
+/// overhead is excluded and both sides measure pure admission work. The
+/// ratio is the serving headline: how much admission cost the coalescer
+/// amortizes away under concurrency.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionReport {
+    /// Join requests issued per side.
+    pub joiners: usize,
+    /// Coalesced admissions per second.
+    pub coalesced_per_sec: f64,
+    /// Per-request admissions per second.
+    pub per_request_per_sec: f64,
+    /// `coalesced_per_sec / per_request_per_sec`.
+    pub speedup: f64,
+    /// Batched flushes the coalesced side needed (`joiners / flushes` is
+    /// the realized batch size).
+    pub coalesced_flushes: u64,
+}
+
+/// Runs the comparison (see [`AdmissionReport`]).
+pub fn admission_comparison<F>(
+    make_engine: F,
+    rows: &[(Vec<f64>, Vec<f64>)],
+    joiner_threads: usize,
+) -> Result<AdmissionReport>
+where
+    F: Fn() -> Result<QueryEngine>,
+{
+    assert!(!rows.is_empty(), "need join rows");
+    let joiner_threads = joiner_threads.clamp(1, rows.len());
+    let time_side = |coalesced: bool| -> Result<(Duration, u64)> {
+        let engine = make_engine()?;
+        let chunk = rows.len().div_ceil(joiner_threads);
+        let parts: Vec<&[(Vec<f64>, Vec<f64>)]> = rows.chunks(chunk).collect();
+        // +1: the timing thread releases the barrier and stamps the start.
+        let barrier = std::sync::Barrier::new(parts.len() + 1);
+        let mut elapsed = Duration::ZERO;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in &parts {
+                let engine = &engine;
+                let barrier = &barrier;
+                let part: &[(Vec<f64>, Vec<f64>)] = part;
+                handles.push(scope.spawn(move || {
+                    barrier.wait();
+                    for (d_out, d_in) in part {
+                        let joined = if coalesced {
+                            engine.join(d_out, d_in)
+                        } else {
+                            engine.join_per_request(d_out, d_in)
+                        };
+                        joined.expect("admission join");
+                    }
+                }));
+            }
+            barrier.wait();
+            let start = Instant::now();
+            for h in handles {
+                h.join().expect("joiner thread panicked");
+            }
+            elapsed = start.elapsed();
+        });
+        Ok((elapsed, engine.stats().flushes))
+    };
+    let (coalesced_t, flushes) = time_side(true)?;
+    let (direct_t, _) = time_side(false)?;
+    let n = rows.len() as f64;
+    let coalesced_per_sec = n / coalesced_t.as_secs_f64();
+    let per_request_per_sec = n / direct_t.as_secs_f64();
+    Ok(AdmissionReport {
+        joiners: rows.len(),
+        coalesced_per_sec,
+        per_request_per_sec,
+        speedup: coalesced_per_sec / per_request_per_sec,
+        coalesced_flushes: flushes,
+    })
+}
+
+/// Parameters of the standard serving measurement (admission comparison
+/// plus quiescent and under-drift query phases) shared by `ides-cli
+/// serve` and the `serve_load` experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeMeasurementConfig {
+    /// Landmarks in the synthetic deployment.
+    pub landmarks: usize,
+    /// Ordinary hosts admitted (and concurrent joiners in the admission
+    /// comparison).
+    pub hosts: usize,
+    /// Model dimensionality.
+    pub dim: usize,
+    /// Query worker threads.
+    pub threads: usize,
+    /// Wall-clock budget of EACH query phase.
+    pub phase: Duration,
+    /// Scenario / sampling seed.
+    pub seed: u64,
+    /// Open-loop per-thread pacing; `None` = closed loop.
+    pub pace_per_thread: Option<f64>,
+    /// Engine knobs.
+    pub service: super::ServiceConfig,
+    /// Gap between drift epochs in the under-drift phase.
+    pub drift_interval: Duration,
+}
+
+impl Default for ServeMeasurementConfig {
+    fn default() -> Self {
+        ServeMeasurementConfig {
+            landmarks: 64,
+            hosts: 500,
+            dim: 16,
+            threads: 4,
+            phase: Duration::from_secs(2),
+            seed: 20041025,
+            pace_per_thread: None,
+            service: super::ServiceConfig::default(),
+            drift_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The standard serving measurement's results, with one shared JSON
+/// emitter so the CLI smoke and the `serve_load` experiment cannot drift
+/// apart on the `serving` schema that `scripts/run_benches.sh` merges
+/// into `BENCH_NNNN.json`.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// The parameters measured under.
+    pub config: ServeMeasurementConfig,
+    /// Coalesced vs per-request admission.
+    pub admission: AdmissionReport,
+    /// Query phase with no writer activity.
+    pub quiescent: LoadReport,
+    /// Query phase under continuous drift epochs.
+    pub drifting: LoadReport,
+}
+
+impl ServeSummary {
+    /// Runs the standard measurement: builds the scenario, re-admits
+    /// every host onto fresh engines for the admission comparison, then
+    /// runs the two query phases against the admitted deployment.
+    pub fn measure(config: ServeMeasurementConfig) -> Result<ServeSummary> {
+        let scenario = synthetic_scenario(
+            config.landmarks,
+            config.hosts,
+            config.dim,
+            config.seed,
+            config.service,
+        )?;
+        let admission = admission_comparison(
+            || {
+                synthetic_scenario(config.landmarks, 0, config.dim, config.seed, config.service)
+                    .map(|s| s.engine)
+            },
+            &scenario.host_rows,
+            config.hosts,
+        )?;
+        let load_cfg = LoadConfig {
+            threads: config.threads,
+            duration: config.phase,
+            seed: config.seed,
+            pace_per_thread: config.pace_per_thread,
+        };
+        let quiescent = run(&scenario.engine, &scenario.nodes, &load_cfg, None, None)?;
+        let drift = DriftLoad {
+            updates: scenario.drift_updates.clone(),
+            interval: config.drift_interval,
+        };
+        let drifting = run(
+            &scenario.engine,
+            &scenario.nodes,
+            &load_cfg,
+            Some(&drift),
+            None,
+        )?;
+        Ok(ServeSummary {
+            config,
+            admission,
+            quiescent,
+            drifting,
+        })
+    }
+
+    /// Quiescent query quantile in microseconds.
+    pub fn quiescent_us(&self, q: f64) -> f64 {
+        self.quiescent.query_latency.quantile(q).as_secs_f64() * 1e6
+    }
+
+    /// Under-drift query quantile in microseconds.
+    pub fn drift_us(&self, q: f64) -> f64 {
+        self.drifting.query_latency.quantile(q).as_secs_f64() * 1e6
+    }
+
+    /// p99 under drift over quiescent p99 — the snapshot design's
+    /// reader-isolation headline (acceptance: within 2x).
+    pub fn p99_ratio(&self) -> f64 {
+        let q = self.quiescent_us(0.99);
+        if q > 0.0 {
+            self.drift_us(0.99) / q
+        } else {
+            0.0
+        }
+    }
+
+    /// The flat `serving` JSON object merged into `BENCH_NNNN.json`
+    /// (hand-rendered: the vendored serde_json has no `json!` macro).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"landmarks\": {}, \"hosts\": {}, \"dim\": {}, \"threads\": {}, \
+             \"mode\": \"{}\", \
+             \"admission_joiners\": {}, \"admission_coalesced_per_sec\": {:.1}, \
+             \"admission_per_request_per_sec\": {:.1}, \"admission_speedup\": {:.3}, \
+             \"admission_flushes\": {}, \
+             \"quiescent_p50_us\": {:.3}, \"quiescent_p99_us\": {:.3}, \
+             \"quiescent_qps\": {:.1}, \"cache_hit_rate\": {:.4}, \
+             \"drift_p50_us\": {:.3}, \"drift_p99_us\": {:.3}, \
+             \"drift_qps\": {:.1}, \"drift_epochs\": {}, \
+             \"p99_drift_over_quiescent\": {:.4}}}",
+            self.config.landmarks,
+            self.config.hosts,
+            self.config.dim,
+            self.config.threads,
+            if self.config.pace_per_thread.is_some() {
+                "open"
+            } else {
+                "closed"
+            },
+            self.admission.joiners,
+            self.admission.coalesced_per_sec,
+            self.admission.per_request_per_sec,
+            self.admission.speedup,
+            self.admission.coalesced_flushes,
+            self.quiescent_us(0.5),
+            self.quiescent_us(0.99),
+            self.quiescent.queries_per_sec,
+            self.quiescent.cache_hit_rate,
+            self.drift_us(0.5),
+            self.drift_us(0.99),
+            self.drifting.queries_per_sec,
+            self.drifting.epochs,
+            self.p99_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use crate::streaming::{MeasurementDelta, StalenessPolicy, StreamingServer};
+
+    fn engine() -> QueryEngine {
+        let ds = ides_datasets::generators::p2psim_like(20, 31).expect("dataset");
+        let sub: Vec<usize> = (0..12).collect();
+        let lm = ds.matrix.submatrix(&sub, &sub);
+        let server = StreamingServer::new(&lm, 4, StalenessPolicy::default()).expect("server");
+        QueryEngine::new(server, ServiceConfig::default()).expect("engine")
+    }
+
+    #[test]
+    fn short_load_run_reports_sane_numbers() {
+        let e = engine();
+        let nodes: Vec<NodeId> = (0..12).map(NodeId::Landmark).collect();
+        let drift = DriftLoad {
+            updates: vec![EpochUpdate {
+                epoch: 0.0,
+                deltas: vec![
+                    MeasurementDelta {
+                        from: 0,
+                        to: 5,
+                        rtt: 20.0,
+                    },
+                    MeasurementDelta {
+                        from: 5,
+                        to: 0,
+                        rtt: 20.0,
+                    },
+                ],
+            }],
+            interval: Duration::from_millis(5),
+        };
+        let report = run(
+            &e,
+            &nodes,
+            &LoadConfig {
+                threads: 2,
+                duration: Duration::from_millis(120),
+                ..LoadConfig::default()
+            },
+            Some(&drift),
+            None,
+        )
+        .expect("load run");
+        assert!(report.queries > 0, "workers must make progress");
+        assert!(report.queries_per_sec > 0.0);
+        assert!(report.epochs >= 1, "drift writer must have applied epochs");
+        assert!(report.query_latency.quantile(0.99) >= report.query_latency.quantile(0.5));
+        assert!(report.elapsed >= Duration::from_millis(120));
+        assert!((0.0..=1.0).contains(&report.cache_hit_rate));
+    }
+
+    #[test]
+    fn synthetic_scenario_and_admission_comparison() {
+        let s = synthetic_scenario(10, 12, 4, 99, ServiceConfig::default()).expect("scenario");
+        assert_eq!(s.nodes.len(), 22);
+        assert_eq!(s.engine.snapshot().host_count(), 12);
+        assert!(!s.drift_updates.is_empty(), "drift must emit epochs");
+        // Every admitted host answers queries.
+        for &n in &s.nodes {
+            assert!(s.engine.estimate(n, s.nodes[0]).is_ok());
+        }
+        let report = admission_comparison(
+            || synthetic_scenario(10, 0, 4, 99, ServiceConfig::default()).map(|sc| sc.engine),
+            &s.host_rows,
+            4,
+        )
+        .expect("admission comparison");
+        assert_eq!(report.joiners, 12);
+        assert!(report.coalesced_per_sec > 0.0);
+        assert!(report.per_request_per_sec > 0.0);
+        assert!(report.coalesced_flushes >= 1);
+    }
+
+    #[test]
+    fn open_loop_paces_below_closed_loop() {
+        let e = engine();
+        let nodes: Vec<NodeId> = (0..12).map(NodeId::Landmark).collect();
+        let paced = run(
+            &e,
+            &nodes,
+            &LoadConfig {
+                threads: 1,
+                duration: Duration::from_millis(100),
+                pace_per_thread: Some(200.0), // ~20 queries in 100ms
+                ..LoadConfig::default()
+            },
+            None,
+            None,
+        )
+        .expect("paced run");
+        // Closed loop on the same engine runs orders of magnitude faster;
+        // the paced run must stay within a loose multiple of its target.
+        assert!(
+            paced.queries < 400,
+            "open loop did not pace: {} queries",
+            paced.queries
+        );
+    }
+}

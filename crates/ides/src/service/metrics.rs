@@ -1,0 +1,213 @@
+//! Serving-side measurement: latency histograms and counter snapshots.
+//!
+//! The load harness records each operation's latency into a
+//! [`LatencyHistogram`] — log-spaced buckets (4 per octave, ~19 % wide)
+//! covering nanoseconds to minutes in a fixed 256-slot array, so
+//! recording is allocation-free and O(1) and per-thread histograms merge
+//! exactly. Quantiles come back as the geometric midpoint of the bucket
+//! that crosses the requested rank, which is plenty for p50/p99 reporting
+//! (the bucket width bounds the relative error).
+
+use std::time::Duration;
+
+/// Buckets per octave (power of two) of latency.
+const SUB: usize = 4;
+/// Total bucket count: 64 octaves x `SUB`.
+const BUCKETS: usize = 64 * SUB;
+
+/// Fixed-size log-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+/// Bucket index of a nanosecond value: octave = floor(log2 ns), plus the
+/// top two mantissa bits as the sub-bucket.
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB as u64 {
+        return ns as usize; // the first few buckets are exact
+    }
+    let octave = 63 - ns.leading_zeros() as usize;
+    let sub = ((ns >> (octave - 2)) & 0b11) as usize;
+    (octave * SUB + sub).min(BUCKETS - 1)
+}
+
+/// Lower bound (ns) of bucket `b` — inverse of [`bucket_of`].
+fn bucket_floor(b: usize) -> u64 {
+    if b < SUB {
+        return b as u64;
+    }
+    let octave = b / SUB;
+    let sub = b % SUB;
+    (1u64 << octave) + ((sub as u64) << (octave - 2))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), e.g. `0.5` for p50, `0.99` for
+    /// p99. Returns the geometric midpoint of the bucket containing the
+    /// requested rank; zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_floor(b) as f64;
+                let hi = bucket_floor((b + 1).min(BUCKETS - 1)).max(bucket_floor(b) + 1) as f64;
+                let mid = (lo.max(1.0) * hi).sqrt().min(self.max_ns as f64);
+                return Duration::from_nanos(mid as u64);
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Adds every sample of `other` into `self` (exact: bucket-wise sum).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Counter snapshot of a [`crate::service::QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Pair estimates served (cache hits included).
+    pub queries: u64,
+    /// Pair estimates answered from the epoch-tagged cache.
+    pub cache_hits: u64,
+    /// Hosts admitted (coalesced and direct).
+    pub joins: u64,
+    /// Admission batch flushes (one batched solve + publish each);
+    /// `joins / flushes` is the realized coalescing factor.
+    pub flushes: u64,
+    /// Hosts retired.
+    pub leaves: u64,
+    /// Drift epochs applied.
+    pub epochs: u64,
+    /// Version of the currently published snapshot.
+    pub version: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_invertible() {
+        let mut prev = 0;
+        for ns in [0u64, 1, 2, 3, 4, 7, 8, 100, 1_000, 1_000_000, u64::MAX / 2] {
+            let b = bucket_of(ns);
+            assert!(b >= prev || ns < 8, "bucket order broke at {ns}");
+            prev = b;
+            assert!(
+                bucket_floor(b) <= ns.max(1),
+                "floor {} above value {ns}",
+                bucket_floor(b)
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 99 samples at ~1µs, 1 sample at ~1ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(1));
+        }
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        assert!((800.0..1300.0).contains(&p50), "p50 {p50}ns");
+        let p99 = h.quantile(0.99).as_nanos() as f64;
+        assert!(p99 < 2000.0, "p99 {p99}ns should still be in the 1µs mass");
+        let p100 = h.quantile(1.0);
+        assert!(p100.as_micros() >= 800, "max-quantile {p100:?}");
+        assert!(h.max() >= Duration::from_micros(999));
+        assert!(h.mean() > Duration::from_micros(1));
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..50u64 {
+            let d = Duration::from_nanos(100 + i * 13);
+            a.record(d);
+            whole.record(d);
+        }
+        for i in 0..70u64 {
+            let d = Duration::from_micros(3 + i);
+            b.record(d);
+            whole.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+}

@@ -45,6 +45,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use ides_datasets::DistanceMatrix;
+use ides_linalg::nnls::nnls;
 use ides_linalg::solve::CachedGram;
 use ides_linalg::Matrix;
 use ides_mf::als::{self, AlsConfig};
@@ -55,6 +56,30 @@ use crate::error::{IdesError, Result};
 use crate::eval::map_shards;
 use crate::projection::{BatchHostVectors, JoinOptions, JoinSolver};
 use crate::system::{IdesConfig, InformationServer};
+
+/// Ridge-regularized NNLS: `min ‖A x − b‖² + λ‖x‖²` s.t. `x ≥ 0`, solved
+/// by Lawson–Hanson on the augmented system `[A; √λ·I] x = [b; 0]` (the
+/// textbook reduction — with `λ = 0` it is plain [`nnls`] on `A` itself,
+/// no augmentation built).
+fn nnls_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if lambda == 0.0 {
+        return Ok(nnls(a, b)?);
+    }
+    let (k, d) = a.shape();
+    let sqrt_l = lambda.sqrt();
+    let aug = Matrix::from_fn(k + d, d, |i, j| {
+        if i < k {
+            a[(i, j)]
+        } else if i - k == j {
+            sqrt_l
+        } else {
+            0.0
+        }
+    });
+    let mut rhs = b.to_vec();
+    rhs.resize(k + d, 0.0);
+    Ok(nnls(&aug, &rhs)?)
+}
 
 /// One changed landmark-to-landmark measurement: the RTT from landmark
 /// `from` to landmark `to` is now `rtt` (indices into the landmark set).
@@ -196,9 +221,12 @@ impl Default for StalenessPolicy {
 ///   [`ides_mf::als::refine`];
 /// * NMF-family servers ([`StreamingServer::with_nmf_config`]) refresh
 ///   through the warm multiplicative updates of [`ides_mf::nmf::refine`],
-///   which keep the factors nonnegative. (The absorb tier's per-landmark
-///   re-solves are unconstrained least squares for both families; an
-///   NMF model regains strict nonnegativity at its next refresh.)
+///   which keep the factors nonnegative. The absorb tier follows the same
+///   split: ALS-family servers re-solve drifted landmark rows by
+///   unconstrained least squares through the cached Grams, NMF-family
+///   servers by [`ides_linalg::nnls`] so the factors stay nonnegative
+///   **between** refreshes too (the cached Grams absorb the constrained
+///   rows by the same rank-1 surgery either way).
 #[derive(Debug, Clone, Copy)]
 pub enum RefreshStrategy {
     /// Warm ALS sweeps from the current factors.
@@ -410,6 +438,16 @@ impl StreamingServer {
         }
     }
 
+    /// The cached join-Gram factorizations `(gram_x, gram_y)` of the
+    /// current factors — the snapshot-publish hook: `ides::service`
+    /// clones the factors out through [`CachedGram::l`] and reconstitutes
+    /// read-side solvers with [`CachedGram::from_factor`], so a published
+    /// snapshot answers joins with arithmetic bit-identical to
+    /// [`StreamingServer::join_batch_cached`] without refactoring.
+    pub(crate) fn grams(&self) -> (&CachedGram, &CachedGram) {
+        (&self.gram_x, &self.gram_y)
+    }
+
     /// Publishes the current model as a plain [`InformationServer`]
     /// configured for the same normal-equation join arithmetic the cached
     /// path runs.
@@ -527,29 +565,48 @@ impl StreamingServer {
     }
 
     /// Absorbs landmark `l`'s changed measurements: re-solves its
-    /// outgoing vector against the incoming factors (and vice versa) via
-    /// the cached Grams — `O(k d)` for the right-hand sides, `O(d²)` per
-    /// solve — then lets both Grams absorb the changed factor rows by
-    /// rank-1 up/downdates. Falls back to a full Gram refactorization when
-    /// a downdate would lose positive definiteness.
+    /// outgoing vector against the incoming factors (and vice versa) —
+    /// via the cached Grams for ALS-family servers (`O(k d)` for the
+    /// right-hand sides, `O(d²)` per solve), via [`nnls`] for NMF-family
+    /// servers so factors stay nonnegative between refreshes — then lets
+    /// both Grams absorb the changed factor rows by rank-1 up/downdates.
+    /// Falls back to a full Gram refactorization when a downdate would
+    /// lose positive definiteness.
     fn absorb_landmark(&mut self, l: usize) -> Result<()> {
         let d = self.dim();
         let k = self.landmark_count();
+        let nonnegative = matches!(self.refit, RefreshStrategy::Nmf(_));
         let ws = &mut self.scratch;
-        // New outgoing row: solve (YᵀY + λI) x = Yᵀ D[l, :].
-        ws.new_x.clear();
-        ws.new_x.resize(d, 0.0);
-        self.model
-            .y()
-            .tr_matvec_into(self.landmarks.row(l), &mut ws.new_x)?;
-        self.gram_y.solve_in_place(&mut ws.new_x)?;
-        // New incoming row: solve (XᵀX + λI) y = Xᵀ D[:, l].
         ws.col.clear();
         ws.col.extend((0..k).map(|i| self.landmarks[(i, l)]));
-        ws.new_y.clear();
-        ws.new_y.resize(d, 0.0);
-        self.model.x().tr_matvec_into(&ws.col, &mut ws.new_y)?;
-        self.gram_x.solve_in_place(&mut ws.new_y)?;
+        if nonnegative {
+            // NNLS absorb tier: min ‖Y x − D[l, :]‖ + λ‖x‖² s.t. x ≥ 0
+            // (and the mirrored incoming problem). The ridge is applied
+            // the standard way — augmenting the design with √λ·I rows —
+            // so the policy's λ knob binds this tier exactly like the
+            // cached-Gram solves of the ALS branch. Lawson–Hanson
+            // allocates its active-set scratch, so NMF absorbs trade the
+            // zero-allocation property for the nonnegativity guarantee.
+            let ridge = self.policy.ridge;
+            ws.new_x.clear();
+            ws.new_x
+                .extend(nnls_ridge(self.model.y(), self.landmarks.row(l), ridge)?);
+            ws.new_y.clear();
+            ws.new_y.extend(nnls_ridge(self.model.x(), &ws.col, ridge)?);
+        } else {
+            // New outgoing row: solve (YᵀY + λI) x = Yᵀ D[l, :].
+            ws.new_x.clear();
+            ws.new_x.resize(d, 0.0);
+            self.model
+                .y()
+                .tr_matvec_into(self.landmarks.row(l), &mut ws.new_x)?;
+            self.gram_y.solve_in_place(&mut ws.new_x)?;
+            // New incoming row: solve (XᵀX + λI) y = Xᵀ D[:, l].
+            ws.new_y.clear();
+            ws.new_y.resize(d, 0.0);
+            self.model.x().tr_matvec_into(&ws.col, &mut ws.new_y)?;
+            self.gram_x.solve_in_place(&mut ws.new_y)?;
+        }
 
         // Swap the rows in and let the Grams absorb the change surgically;
         // a failed downdate (mass loss beyond what the factor holds) falls

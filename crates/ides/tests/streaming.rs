@@ -236,6 +236,149 @@ fn nmf_family_refresh_is_bit_identical_to_manual_nmf_refine() {
 }
 
 #[test]
+fn nmf_family_absorb_tier_keeps_factors_nonnegative() {
+    // The PR-4 follow-on: the absorb tier of an NMF-family server re-solves
+    // drifted landmark rows by NNLS, so factors stay nonnegative *between*
+    // refreshes — not just after the next warm `nmf::refine`.
+    let ds = ides_datasets::generators::p2psim_like(30, 41).expect("dataset");
+    let sub: Vec<usize> = (0..16).collect();
+    let lm = ds.matrix.submatrix(&sub, &sub);
+    let policy = StalenessPolicy {
+        deviation_threshold: 0.9, // never refresh: every epoch absorbs
+        sweep_budget: 2,
+        ridge: 0.0,
+    };
+    let mut server =
+        StreamingServer::with_nmf_config(&lm, nmf::NmfConfig::new(5), policy).expect("server");
+    // Drive a dozen absorb epochs with meaningful drift on varied pairs.
+    for step in 0..12usize {
+        let i = (step * 5 + 1) % 16;
+        let j = (step * 7 + 3) % 16;
+        if i == j {
+            continue;
+        }
+        let rtt = server.landmark_matrix()[(i, j)] * (1.0 + 0.08 * ((step % 5) as f64 - 2.0));
+        let outcome = server
+            .apply_epoch(&EpochUpdate {
+                epoch: step as f64,
+                deltas: vec![MeasurementDelta {
+                    from: i,
+                    to: j,
+                    rtt,
+                }],
+            })
+            .expect("absorb epoch");
+        assert!(!outcome.refreshed, "epoch {step} must stay on absorb tier");
+        assert!(
+            server.model().x().is_nonnegative(0.0),
+            "outgoing factors went negative after absorb epoch {step}"
+        );
+        assert!(
+            server.model().y().is_nonnegative(0.0),
+            "incoming factors went negative after absorb epoch {step}"
+        );
+    }
+    assert_eq!(server.refreshes(), 0);
+    assert!(server.absorbed() > 0, "absorb tier must have run");
+    // The surgically maintained Grams still track the (NNLS-resolved)
+    // factors, so cached joins remain consistent with a fresh
+    // factorization of the current model.
+    let fresh_y =
+        ides_linalg::solve::CachedGram::factor(server.model().y(), policy.ridge).expect("gram");
+    let joined = {
+        let d_out = measurements(3, 16, 77);
+        let d_in = measurements(3, 16, 78);
+        let mut out = BatchHostVectors::new();
+        server
+            .join_batch_cached(&d_out, &d_in, &mut out)
+            .expect("cached join");
+        let mut manual = d_out.matmul(server.model().y()).expect("rhs");
+        fresh_y.solve_rows_in_place(&mut manual).expect("solve");
+        (out, manual)
+    };
+    for h in 0..3 {
+        for c in 0..5 {
+            let cached = joined.0.outgoing(h)[c];
+            let fresh = joined.1[(h, c)];
+            assert!(
+                (cached - fresh).abs() <= 1e-7 * fresh.abs().max(1.0),
+                "cached join drifted from fresh factorization: {cached} vs {fresh}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nmf_absorb_honors_the_ridge() {
+    // With StalenessPolicy::ridge > 0 the NNLS absorb tier must solve the
+    // ridge-regularized problem min ‖Yx − b‖² + λ‖x‖² s.t. x ≥ 0 — i.e.
+    // Lawson–Hanson on the augmented system [Y; √λ·I] — not the
+    // unregularized one the λ knob exists to prevent.
+    let ds = ides_datasets::generators::p2psim_like(25, 51).expect("dataset");
+    let sub: Vec<usize> = (0..14).collect();
+    let lm = ds.matrix.submatrix(&sub, &sub);
+    let ridge = 0.3;
+    let policy = StalenessPolicy {
+        deviation_threshold: 0.9, // absorb tier only
+        sweep_budget: 2,
+        ridge,
+    };
+    let mut server =
+        StreamingServer::with_nmf_config(&lm, nmf::NmfConfig::new(4), policy).expect("server");
+    let prior = server.model().clone();
+    let (i, j) = (2usize, 9usize);
+    let rtt = server.landmark_matrix()[(i, j)] * 1.06;
+    let outcome = server
+        .apply_epoch(&EpochUpdate {
+            epoch: 1.0,
+            deltas: vec![MeasurementDelta {
+                from: i,
+                to: j,
+                rtt,
+            }],
+        })
+        .expect("absorb epoch");
+    assert!(!outcome.refreshed);
+
+    // Manual augmented-system NNLS for the *first* absorbed landmark
+    // (index i < j, absorbed in sorted order against the prior factors).
+    let k = 14;
+    let d = 4;
+    let mut drifted = lm.values().clone();
+    drifted[(i, j)] = rtt;
+    let aug = Matrix::from_fn(k + d, d, |r, c| {
+        if r < k {
+            prior.y()[(r, c)]
+        } else if r - k == c {
+            ridge.sqrt()
+        } else {
+            0.0
+        }
+    });
+    let mut rhs: Vec<f64> = (0..k).map(|c| drifted[(i, c)]).collect();
+    rhs.resize(k + d, 0.0);
+    let manual = ides_linalg::nnls::nnls(&aug, &rhs).expect("manual ridge NNLS");
+    for (c, &want) in manual.iter().enumerate() {
+        assert_eq!(
+            server.model().outgoing(i)[c].to_bits(),
+            want.to_bits(),
+            "absorbed outgoing row must be the ridge-NNLS solution (col {c})"
+        );
+        assert!(want >= 0.0);
+    }
+    // And it must differ from the unregularized solution whenever the
+    // ridge actually binds (it does at λ=0.3 on this system).
+    let plain = ides_linalg::nnls::nnls(prior.y(), &rhs[..k]).expect("plain NNLS");
+    assert!(
+        manual
+            .iter()
+            .zip(plain.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-12),
+        "ridge had no effect — test scenario too weak"
+    );
+}
+
+#[test]
 fn nmf_family_full_refit_uses_nmf() {
     let ds = ides_datasets::generators::gnp_like(14, 19).expect("dataset");
     let policy = StalenessPolicy::default();

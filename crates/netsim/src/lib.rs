@@ -14,7 +14,10 @@
 //! multiplicative drift) and exposes it as an epoch-stamped measurement
 //! stream ([`drift::DriftStream`]) deliverable through the event queue —
 //! the input side of the `ides::streaming` coordinate-maintenance
-//! subsystem.
+//! subsystem. The [`workload`] module expands a seeded
+//! [`workload::WorkloadConfig`] into a deterministic, time-ordered mix of
+//! query / join / leave / drift events — the load side of the
+//! `ides::service` serving engine.
 //!
 //! ```
 //! use ides_netsim::topology::{TransitStubParams, TransitStubTopology};
@@ -40,6 +43,7 @@ pub mod graph;
 pub mod measurement;
 pub mod topology;
 pub mod transport;
+pub mod workload;
 
 pub use graph::{Edge, Graph, NodeId};
 pub use topology::{TransitStubParams, TransitStubTopology};

@@ -1,0 +1,486 @@
+//! Deterministic serving workloads: seeded event streams that mix
+//! distance queries, host admissions (joins), departures (leaves), and
+//! landmark drift over one time axis.
+//!
+//! This is the load side of the `ides::service` serving engine. A
+//! [`WorkloadConfig`] describes the client population (open-loop Poisson
+//! arrivals or a closed-loop client pool), the operation mix, and the
+//! drift process; [`generate`] expands it into a time-ordered
+//! [`WorkloadEvent`] list. Generation is **deterministic**: the same
+//! topology, node split, and config produce the same event list, byte for
+//! byte — which is what lets the serving layer assert bit-identical
+//! replay results at any thread count. Join events carry their
+//! measurement rows (drifted RTTs to every landmark at the event's
+//! epoch), so replaying never re-derives state from timing.
+//!
+//! Churn — hosts joining and leaving while queries are in flight and the
+//! landmark model drifts — is the workload that stresses a serving
+//! system's consistency story; the event mix here is weighted toward
+//! queries with a configurable churn fraction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::drift::{DriftModel, DriftStream, EpochBatch};
+use crate::event::EventQueue;
+use crate::topology::TransitStubTopology;
+
+/// One operation of a serving workload. Node ids live in a unified space:
+/// `0 .. k` are the landmarks, `k + p` is pool host `p` (valid in queries
+/// only while joined).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// Estimate the distance from node `a` to node `b`.
+    Query {
+        /// Source node id.
+        a: usize,
+        /// Destination node id.
+        b: usize,
+    },
+    /// Admit pool host `host` with the given measured distances to
+    /// (`d_out`) and from (`d_in`) each landmark.
+    Join {
+        /// Pool host index (`0 .. pool_size`).
+        host: usize,
+        /// Measured distances to each landmark.
+        d_out: Vec<f64>,
+        /// Measured distances from each landmark.
+        d_in: Vec<f64>,
+    },
+    /// Retire pool host `host` (previously joined).
+    Leave {
+        /// Pool host index (`0 .. pool_size`).
+        host: usize,
+    },
+    /// One epoch of landmark drift (samples index landmark positions).
+    Drift(EpochBatch),
+}
+
+/// A timestamped workload operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEvent {
+    /// Event time (same axis as drift epochs).
+    pub time: f64,
+    /// The operation.
+    pub op: WorkloadOp,
+}
+
+/// How client requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open loop: requests arrive by a Poisson process at `rate` per time
+    /// unit, regardless of completion (models external demand).
+    Open {
+        /// Mean arrivals per time unit.
+        rate: f64,
+    },
+    /// Closed loop: `clients` virtual users each think for an
+    /// exponentially distributed time between requests (models a bounded
+    /// user population; the replay harness may additionally gate on
+    /// completion).
+    Closed {
+        /// Number of virtual clients.
+        clients: usize,
+        /// Mean think time between one client's requests.
+        think_time: f64,
+    },
+}
+
+/// Workload shape: mix, arrivals, drift.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Seed for every random choice in the generator.
+    pub seed: u64,
+    /// Total client operations (queries + joins + leaves) to generate.
+    pub requests: usize,
+    /// Relative weight of query operations.
+    pub query_weight: f64,
+    /// Relative weight of join operations.
+    pub join_weight: f64,
+    /// Relative weight of leave operations.
+    pub leave_weight: f64,
+    /// Arrival process of client operations.
+    pub arrivals: ArrivalProcess,
+    /// Number of drift epochs spread over the workload horizon (0
+    /// disables drift).
+    pub drift_epochs: usize,
+    /// Time units per drift epoch.
+    pub epoch_step: f64,
+    /// Maximum relative drift amplitude (0 disables; see
+    /// [`DriftModel::new`]).
+    pub drift_amplitude: f64,
+    /// Epochs per full drift cycle.
+    pub drift_period: f64,
+    /// Relative-change emission threshold of the drift stream.
+    pub drift_threshold: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 20041025,
+            requests: 1000,
+            query_weight: 0.90,
+            join_weight: 0.06,
+            leave_weight: 0.04,
+            arrivals: ArrivalProcess::Open { rate: 100.0 },
+            drift_epochs: 8,
+            epoch_step: 1.0,
+            drift_amplitude: 0.2,
+            drift_period: 24.0,
+            drift_threshold: 0.02,
+        }
+    }
+}
+
+/// A generated workload: the time-ordered events plus the node-space
+/// bookkeeping a consumer needs to interpret them.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Time-ordered events.
+    pub events: Vec<WorkloadEvent>,
+    /// Number of landmarks (node ids below this are landmarks).
+    pub landmark_count: usize,
+    /// Number of pool hosts (node id `landmark_count + p` is pool host
+    /// `p`).
+    pub pool_size: usize,
+}
+
+/// Drifted measurement row of `host` against `landmarks` at `epoch`
+/// (symmetric RTTs — the substrate's RTT is symmetric and drift preserves
+/// that, so out- and in-rows coincide).
+pub fn measurement_row(
+    topo: &TransitStubTopology,
+    drift: &DriftModel,
+    host: usize,
+    landmarks: &[usize],
+    epoch: f64,
+) -> Vec<f64> {
+    landmarks
+        .iter()
+        .map(|&l| drift.rtt(topo, host, l, epoch))
+        .collect()
+}
+
+/// Expands a [`WorkloadConfig`] into a deterministic, time-ordered event
+/// list over `landmarks` (topology host ids; these define the landmark
+/// model) and `pool` (topology host ids of the ordinary-host population).
+///
+/// Invariants the generator maintains while walking forward in time:
+/// joins only admit currently-unjoined pool hosts, leaves only retire
+/// joined ones, and queries only reference landmarks or joined hosts —
+/// so a replayer can apply events in order without validity checks.
+/// Infeasible picks (join with a full pool, leave with no hosts) fall
+/// back to queries, keeping the event count exact.
+pub fn generate(
+    topo: &TransitStubTopology,
+    landmarks: &[usize],
+    pool: &[usize],
+    config: &WorkloadConfig,
+) -> Workload {
+    assert!(!landmarks.is_empty(), "need at least one landmark");
+    assert!(
+        config.query_weight >= 0.0 && config.join_weight >= 0.0 && config.leave_weight >= 0.0,
+        "weights must be nonnegative"
+    );
+    let total_w = config.query_weight + config.join_weight + config.leave_weight;
+    assert!(total_w > 0.0, "at least one weight must be positive");
+
+    let k = landmarks.len();
+    let drift = DriftModel::new(config.drift_amplitude, config.drift_period, config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_F00D);
+
+    // Time-merge client arrivals and drift epochs through the event
+    // queue (ties broken by insertion order: drift first, then clients —
+    // an epoch at time t is visible to requests at the same timestamp).
+    #[derive(Debug)]
+    enum Raw {
+        Client,
+        Drift(EpochBatch),
+    }
+    let mut q: EventQueue<Raw> = EventQueue::new();
+    if config.drift_epochs > 0 && config.drift_amplitude > 0.0 {
+        let mut stream = DriftStream::new(
+            topo,
+            drift.clone(),
+            landmarks.to_vec(),
+            config.epoch_step,
+            config.drift_threshold,
+        );
+        for _ in 0..config.drift_epochs {
+            let batch = stream.next().expect("drift stream is infinite");
+            q.schedule(batch.epoch, Raw::Drift(batch));
+        }
+    }
+    match config.arrivals {
+        ArrivalProcess::Open { rate } => {
+            assert!(rate > 0.0, "open-loop rate must be positive");
+            let mut t = 0.0;
+            for _ in 0..config.requests {
+                t += exp_sample(&mut rng, 1.0 / rate);
+                q.schedule(t, Raw::Client);
+            }
+        }
+        ArrivalProcess::Closed {
+            clients,
+            think_time,
+        } => {
+            assert!(clients > 0, "need at least one client");
+            assert!(think_time > 0.0, "think time must be positive");
+            // Round-robin the request budget over the client pool, each
+            // client walking its own think-time clock.
+            let mut clocks = vec![0.0f64; clients];
+            for r in 0..config.requests {
+                let c = r % clients;
+                clocks[c] += exp_sample(&mut rng, think_time);
+                q.schedule(clocks[c], Raw::Client);
+            }
+        }
+    }
+
+    // Walk the merged timeline, maintaining the joined set.
+    let mut events = Vec::with_capacity(q.len());
+    let mut joined: Vec<usize> = Vec::new(); // pool positions, insertion order
+    let mut is_joined = vec![false; pool.len()];
+    let mut epoch_now = 0.0f64;
+    while let Some((time, raw)) = q.pop() {
+        match raw {
+            Raw::Drift(batch) => {
+                epoch_now = batch.epoch;
+                events.push(WorkloadEvent {
+                    time,
+                    op: WorkloadOp::Drift(batch),
+                });
+            }
+            Raw::Client => {
+                let r = rng.gen_range(0.0..total_w);
+                // Infeasible picks (join with a full pool, leave with no
+                // joined hosts) fall back to queries — never to the other
+                // mutation, which would skew the configured churn mix.
+                let wants_join = r < config.join_weight;
+                let wants_leave = !wants_join && r < config.join_weight + config.leave_weight;
+                let op = if wants_join && joined.len() < pool.len() {
+                    // Join a deterministic unjoined pool host.
+                    let free: Vec<usize> = (0..pool.len()).filter(|&p| !is_joined[p]).collect();
+                    let p = free[rng.gen_range(0..free.len())];
+                    is_joined[p] = true;
+                    joined.push(p);
+                    let row = measurement_row(topo, &drift, pool[p], landmarks, epoch_now);
+                    WorkloadOp::Join {
+                        host: p,
+                        d_out: row.clone(),
+                        d_in: row,
+                    }
+                } else if wants_leave && !joined.is_empty() {
+                    let idx = rng.gen_range(0..joined.len());
+                    let p = joined.swap_remove(idx);
+                    is_joined[p] = false;
+                    WorkloadOp::Leave { host: p }
+                } else {
+                    // Query two distinct nodes among landmarks + joined.
+                    let n = k + joined.len();
+                    let a = rng.gen_range(0..n);
+                    let b = if n > 1 {
+                        let mut b = rng.gen_range(0..n - 1);
+                        if b >= a {
+                            b += 1;
+                        }
+                        b
+                    } else {
+                        a
+                    };
+                    let to_node = |idx: usize| {
+                        if idx < k {
+                            idx
+                        } else {
+                            k + joined[idx - k]
+                        }
+                    };
+                    WorkloadOp::Query {
+                        a: to_node(a),
+                        b: to_node(b),
+                    }
+                };
+                events.push(WorkloadEvent { time, op });
+            }
+        }
+    }
+    Workload {
+        events,
+        landmark_count: k,
+        pool_size: pool.len(),
+    }
+}
+
+/// Exponential sample with the given mean (inverse-CDF on a uniform).
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TransitStubParams;
+
+    fn topo() -> TransitStubTopology {
+        let params = TransitStubParams {
+            hosts: 30,
+            stubs: 6,
+            ..TransitStubParams::default()
+        };
+        TransitStubTopology::generate(&params, &mut StdRng::seed_from_u64(4))
+    }
+
+    fn split() -> (Vec<usize>, Vec<usize>) {
+        ((0..10).collect(), (10..30).collect())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = topo();
+        let (lm, pool) = split();
+        let cfg = WorkloadConfig {
+            requests: 300,
+            ..WorkloadConfig::default()
+        };
+        let w1 = generate(&t, &lm, &pool, &cfg);
+        let w2 = generate(&t, &lm, &pool, &cfg);
+        assert_eq!(w1.events, w2.events);
+        assert!(w1.events.len() >= 300, "client ops + drift events");
+        let w3 = generate(
+            &t,
+            &lm,
+            &pool,
+            &WorkloadConfig {
+                seed: 99,
+                requests: 300,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert_ne!(w1.events, w3.events, "different seed, different stream");
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_valid() {
+        let t = topo();
+        let (lm, pool) = split();
+        let cfg = WorkloadConfig {
+            requests: 500,
+            join_weight: 0.2,
+            leave_weight: 0.15,
+            query_weight: 0.65,
+            ..WorkloadConfig::default()
+        };
+        let w = generate(&t, &lm, &pool, &cfg);
+        let k = w.landmark_count;
+        let mut prev = 0.0;
+        let mut joined = vec![false; w.pool_size];
+        let mut client_ops = 0usize;
+        let mut drift_ops = 0usize;
+        for e in &w.events {
+            assert!(e.time >= prev, "events must be time-ordered");
+            prev = e.time;
+            match &e.op {
+                WorkloadOp::Join { host, d_out, d_in } => {
+                    client_ops += 1;
+                    assert!(!joined[*host], "double join of pool host {host}");
+                    joined[*host] = true;
+                    assert_eq!(d_out.len(), k);
+                    assert_eq!(d_in.len(), k);
+                    assert!(d_out.iter().all(|v| v.is_finite() && *v >= 0.0));
+                }
+                WorkloadOp::Leave { host } => {
+                    client_ops += 1;
+                    assert!(joined[*host], "leave of unjoined pool host {host}");
+                    joined[*host] = false;
+                }
+                WorkloadOp::Query { a, b } => {
+                    client_ops += 1;
+                    assert_ne!(a, b, "self-query");
+                    for &n in &[*a, *b] {
+                        if n >= k {
+                            assert!(joined[n - k], "query references unjoined host {n}");
+                        }
+                    }
+                }
+                WorkloadOp::Drift(batch) => {
+                    drift_ops += 1;
+                    for s in &batch.samples {
+                        assert!(s.i < s.j && s.j < k, "drift must stay on landmark pairs");
+                    }
+                }
+            }
+        }
+        assert_eq!(client_ops, 500, "every request materializes");
+        assert_eq!(drift_ops, cfg.drift_epochs);
+    }
+
+    #[test]
+    fn infeasible_join_falls_back_to_query_not_leave() {
+        // Tiny pool, nonzero join weight, ZERO leave weight: once the pool
+        // is fully joined, further join picks must become queries — the
+        // buggy fallthrough turned them into leaves, giving a workload
+        // with leave_weight = 0 a nonzero effective leave rate.
+        let t = topo();
+        let lm: Vec<usize> = (0..10).collect();
+        let pool: Vec<usize> = vec![10, 11];
+        let cfg = WorkloadConfig {
+            requests: 200,
+            join_weight: 0.5,
+            leave_weight: 0.0,
+            query_weight: 0.5,
+            ..WorkloadConfig::default()
+        };
+        let w = generate(&t, &lm, &pool, &cfg);
+        let leaves = w
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, WorkloadOp::Leave { .. }))
+            .count();
+        assert_eq!(leaves, 0, "leave_weight 0 must mean zero leaves");
+        let joins = w
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, WorkloadOp::Join { .. }))
+            .count();
+        assert_eq!(joins, 2, "the whole pool joins, then join picks fall back");
+    }
+
+    #[test]
+    fn closed_loop_respects_client_count() {
+        let t = topo();
+        let (lm, pool) = split();
+        let cfg = WorkloadConfig {
+            requests: 120,
+            arrivals: ArrivalProcess::Closed {
+                clients: 4,
+                think_time: 0.5,
+            },
+            drift_epochs: 0,
+            ..WorkloadConfig::default()
+        };
+        let w = generate(&t, &lm, &pool, &cfg);
+        assert_eq!(w.events.len(), 120);
+        assert!(w
+            .events
+            .iter()
+            .all(|e| !matches!(e.op, WorkloadOp::Drift(_))));
+    }
+
+    #[test]
+    fn zero_drift_amplitude_emits_no_drift() {
+        let t = topo();
+        let (lm, pool) = split();
+        let cfg = WorkloadConfig {
+            requests: 50,
+            drift_amplitude: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let w = generate(&t, &lm, &pool, &cfg);
+        assert!(w
+            .events
+            .iter()
+            .all(|e| !matches!(e.op, WorkloadOp::Drift(_))));
+    }
+}

@@ -14,6 +14,7 @@
 #   factor/512           blocked (Golub-Kahan) SVD vs one-sided Jacobi
 #   join_batch/500       batched_qr vs per_host_qr
 #   streaming_update/500 incremental update vs full refit
+#   serve/500            coalesced vs per-request admission
 # Ratios are used instead of raw medians because CI runners and the
 # machines that commit BENCH_*.json have different CPUs: absolute
 # nanoseconds are not comparable across hosts, but "how much faster is the
@@ -81,6 +82,7 @@ check matmul           "blocked/512"     "seed_ikj/512"     "matmul/512 (blocked
 check factor           "svd_blocked/512" "svd_jacobi/512"   "factor/512 (blocked SVD vs one-sided Jacobi)"
 check join_batch       "batched_qr/500"  "per_host_qr/500"  "join_batch/500 (batched vs per-host QR)"
 check streaming_update "incremental/500" "full_refit/500"   "streaming_update/500 (incremental vs full refit)"
+check serve            "coalesced_join/500" "per_request_join/500" "serve/500 (coalesced vs per-request admission)"
 
 if [ "$fail" -ne 0 ]; then
     echo "bench regression gate FAILED" >&2

@@ -25,9 +25,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update table1}"
+BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update serve table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update serve}"
     export CRITERION_QUICK=1
 fi
 
@@ -86,6 +86,32 @@ if [ "${QUICK:-0}" != "1" ] && printf '%s\n' $BENCHES | grep -qx streaming_updat
         '.streaming_accuracy = $acc[0]' "$out.tmp" > "$out.tmp2"
     mv "$out.tmp2" "$out.tmp"
 fi
+
+# Serving-engine load summary (admission speedup, p50/p99 quiescent vs
+# under drift). Full runs use the serve_load experiment (4s, 500 hosts);
+# QUICK smoke runs a 2-second loadgen through the CLI so the serving
+# path gets end-to-end exercise in CI too.
+if printf '%s\n' $BENCHES | grep -qx serve; then
+    if [ "${QUICK:-0}" = "1" ]; then
+        echo "== smoke: 2-second loadgen (ides-cli serve)" >&2
+        if ! cargo run --release -q -p ides-cli -- serve \
+            --landmarks 64 --dim 16 --hosts 120 --duration-s 2 --json \
+            > "$tmpdir/serving.json"; then
+            echo "error: cli serve loadgen failed; not snapshotting" >&2
+            exit 1
+        fi
+    else
+        echo "== experiment: serve_load" >&2
+        if ! cargo run --release -q -p ides-experiments --bin serve_load -- --json \
+            > "$tmpdir/serving.json"; then
+            echo "error: serve_load experiment failed; not snapshotting" >&2
+            exit 1
+        fi
+    fi
+    jq --slurpfile serving "$tmpdir/serving.json" \
+        '.serving = $serving[0]' "$out.tmp" > "$out.tmp2"
+    mv "$out.tmp2" "$out.tmp"
+fi
 mv "$out.tmp" "$out"
 echo "wrote $out" >&2
 
@@ -122,4 +148,15 @@ jq -r '.benches.streaming_update // [] | map(select(.group == "streaming_update"
 jq -r 'if .streaming_accuracy then
          "streaming accuracy: streaming vs fresh gap \((.streaming_accuracy.streaming_vs_fresh_gap * 10000 | round) / 100)% " +
          "(stale \(.streaming_accuracy.stale_mean_median), streaming \(.streaming_accuracy.streaming_mean_median), fresh \(.streaming_accuracy.fresh_mean_median))"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.serve // [] | map(select(.group == "serve")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."coalesced_join/500") then
+         "serve/500 coalesced vs per-request admission: \((."per_request_join/500" / ."coalesced_join/500") * 100 | round / 100)x; " +
+         "query under drift vs quiescent (median): \((."query_under_drift/500" / ."query_quiescent/500") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r 'if .serving then
+         "serving: admission coalesced \(.serving.admission_speedup)x at \(.serving.admission_joiners) joiners " +
+         "(\(.serving.admission_flushes) flushes); query p99 \(.serving.quiescent_p99_us)us quiescent, " +
+         "\(.serving.drift_p99_us)us under drift (\(.serving.p99_drift_over_quiescent)x)"
        else empty end' "$out" >&2 || true
