@@ -11,7 +11,7 @@
 //! over a minute, which would dominate the whole suite for a baseline
 //! whose scaling is already pinned at two smaller sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use ides_linalg::eig::{symmetric_eig, symmetric_eig_jacobi};
 use ides_linalg::qr::{qr, reference::qr_unblocked};
@@ -44,17 +44,29 @@ fn bench_factor(c: &mut Criterion) {
     } else {
         &[256, 512, 1024]
     };
+    // Nominal LAPACK-convention flop counts for square n-by-n inputs, so
+    // the emitted `gflops` fields are comparable across hosts: QR with Q
+    // accumulation 8/3 n^3, full SVD (bidiagonalize + implicit-shift with
+    // both bases) 16/3 n^3, symmetric eig (tridiagonalize + QL with
+    // vectors) 14/3 n^3. These are conventions, not measured flops — the
+    // iterative phases' true counts are matrix-dependent.
+    let qr_flops = |n: u64| 8 * n.pow(3) / 3;
+    let svd_flops = |n: u64| 16 * n.pow(3) / 3;
+    let eig_flops = |n: u64| 14 * n.pow(3) / 3;
     for &n in sizes {
         let a = test_matrix(n);
         let mut sym = a.clone();
         sym.symmetrize();
 
+        group.throughput(Throughput::Flops(qr_flops(n as u64)));
         group.bench_with_input(BenchmarkId::new("qr_blocked", n), &a, |b, a| {
             b.iter(|| qr(a).unwrap())
         });
+        group.throughput(Throughput::Flops(svd_flops(n as u64)));
         group.bench_with_input(BenchmarkId::new("svd_blocked", n), &a, |b, a| {
             b.iter(|| svd(a).unwrap())
         });
+        group.throughput(Throughput::Flops(eig_flops(n as u64)));
         group.bench_with_input(BenchmarkId::new("eig_blocked", n), &sym, |b, s| {
             b.iter(|| symmetric_eig(s).unwrap())
         });
@@ -62,12 +74,15 @@ fn bench_factor(c: &mut Criterion) {
         // Unblocked references: the honest "before" implementations, kept
         // to 256/512 (see module docs).
         if n <= 512 {
+            group.throughput(Throughput::Flops(qr_flops(n as u64)));
             group.bench_with_input(BenchmarkId::new("qr_unblocked", n), &a, |b, a| {
                 b.iter(|| qr_unblocked(a).unwrap())
             });
+            group.throughput(Throughput::Flops(svd_flops(n as u64)));
             group.bench_with_input(BenchmarkId::new("svd_jacobi", n), &a, |b, a| {
                 b.iter(|| svd_jacobi(a).unwrap())
             });
+            group.throughput(Throughput::Flops(eig_flops(n as u64)));
             group.bench_with_input(BenchmarkId::new("eig_jacobi", n), &sym, |b, s| {
                 b.iter(|| symmetric_eig_jacobi(s).unwrap())
             });

@@ -9,9 +9,9 @@
 //! `scripts/run_benches.sh` snapshots these records into the committed
 //! `BENCH_*.json` files.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use ides_linalg::kernels::reference;
+use ides_linalg::kernels::{self, reference};
 use ides_linalg::qr::qr;
 use ides_linalg::svd::{svd, svd_truncated, TruncatedSvdOptions};
 use ides_linalg::{random, Matrix};
@@ -32,9 +32,37 @@ fn bench_matmul(c: &mut Criterion) {
     group.sample_size(10);
     for n in [64usize, 128, 256, 512] {
         let a = test_matrix(n);
+        // Nominal flop convention for a square n-by-n product: 2n^3
+        // (one multiply + one add per inner-loop step), so the emitted
+        // `gflops` field is comparable across hosts and kernel back ends.
+        group.throughput(Throughput::Flops(2 * (n as u64).pow(3)));
         group.bench_with_input(BenchmarkId::new("blocked", n), &a, |b, a| {
             b.iter(|| a.matmul(a).unwrap())
         });
+        // The same blocked kernel forced onto the portable scalar tile:
+        // the within-run `blocked/n : blocked_scalar/n` ratio is the
+        // host-independent SIMD-speedup gate in `scripts/check_bench.sh`.
+        if n >= 256 {
+            group.bench_with_input(BenchmarkId::new("blocked_scalar", n), &a, |b, a| {
+                let mut out = vec![0.0f64; n * n];
+                b.iter(|| {
+                    kernels::gemm_with_isa(
+                        kernels::Isa::Scalar,
+                        a.as_slice(),
+                        kernels::Op::NoTrans,
+                        n,
+                        a.as_slice(),
+                        kernels::Op::NoTrans,
+                        n,
+                        &mut out,
+                        n,
+                        n,
+                        n,
+                    );
+                    out[0]
+                })
+            });
+        }
         group.bench_with_input(BenchmarkId::new("seed_ikj", n), &a, |b, a| {
             b.iter(|| reference::matmul_ikj(a, a).unwrap())
         });

@@ -47,7 +47,7 @@ pub mod metrics;
 pub mod replay;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -350,11 +350,26 @@ type FlushOutcome = Arc<std::result::Result<Vec<usize>, String>>;
 /// **their generation's own** condvar, so a flush wakes exactly its
 /// participants (no cross-generation thundering herd — at 500 concurrent
 /// joiners that herd costs more than the batched solve saves).
+///
+/// `published` is a lock-free mirror of `done.is_some()`: followers spin
+/// on it briefly ([`FOLLOWER_SPIN`]) before parking on the condvar, so a
+/// flush that completes within the spin window hands its outcome over
+/// without a park/wake round trip. The leader stores it with `Release`
+/// *after* filling `done`, so a follower that observes `true` (`Acquire`)
+/// and then takes the mutex is guaranteed to find the outcome.
 #[derive(Default)]
 struct GenSlot {
     done: StdMutex<Option<FlushOutcome>>,
     ready: Condvar,
+    published: AtomicBool,
 }
+
+/// Bounded follower spin before parking on the generation condvar. Small
+/// batches flush in single-digit microseconds, which a few hundred
+/// `spin_loop` hints cover; anything slower falls through to the park,
+/// so an idle or heavily oversubscribed host never burns more than the
+/// spin budget per join.
+const FOLLOWER_SPIN: usize = 256;
 
 /// Pending coalesced-admission state (see the module docs).
 struct CoalesceState {
@@ -569,6 +584,7 @@ impl QueryEngine {
             // Hand the result to this generation's followers (only them:
             // the slot is generation-private).
             *slot.done.lock().expect("generation slot") = Some(ids.clone());
+            slot.published.store(true, Ordering::Release);
             slot.ready.notify_all();
 
             // Recycle the flushed buffers for a later generation.
@@ -592,7 +608,14 @@ impl QueryEngine {
                 // Batch is full: wake the lingering leader immediately.
                 self.coalescer.batch_ready.notify_all();
             }
-            // Follower: wait on this generation's private slot.
+            // Follower: spin briefly for an in-flight flush, then park on
+            // this generation's private slot.
+            for _ in 0..FOLLOWER_SPIN {
+                if slot.published.load(Ordering::Acquire) {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
             let mut done = slot.done.lock().expect("generation slot");
             loop {
                 if let Some(ids) = done.as_ref() {

@@ -1,0 +1,52 @@
+//! Dev harness: times the blocked GEMM under each compiled kernel back
+//! end on this host. Not part of the bench trajectory.
+use ides_linalg::kernels::{available_isas, gemm_with_isa, Op};
+use std::time::Instant;
+
+fn main() {
+    let n = 512usize;
+    let a: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5)
+        .collect();
+    let mut out = vec![0.0f64; n * n];
+    let flops = 2.0 * (n as f64).powi(3);
+    for isa in available_isas() {
+        // warm
+        gemm_with_isa(
+            isa,
+            &a,
+            Op::NoTrans,
+            n,
+            &a,
+            Op::NoTrans,
+            n,
+            &mut out,
+            n,
+            n,
+            n,
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..7 {
+            let t = Instant::now();
+            gemm_with_isa(
+                isa,
+                &a,
+                Op::NoTrans,
+                n,
+                &a,
+                Op::NoTrans,
+                n,
+                &mut out,
+                n,
+                n,
+                n,
+            );
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "{isa:?}: {:.3} ms  {:.1} GFLOPS",
+            best * 1e3,
+            flops / best / 1e9
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Dev harness: wall-clock timing of the blocked QR and SVD at n=512 on
+//! the factor bench's distance-matrix-like input (no criterion overhead;
+//! handy under `perf`).
+use ides_linalg::qr::qr;
+use ides_linalg::svd::svd;
+use ides_linalg::{random, Matrix};
+use std::time::Instant;
+
+/// Same generator as crates/bench/benches/factor.rs: positive, zero
+/// diagonal, near-low-rank.
+fn test_matrix(n: usize) -> Matrix {
+    let mut rng = random::seeded_rng(99);
+    let base = random::uniform(n, 8, 0.5, 2.0, &mut rng);
+    let mut m = base.matmul_tr(&base).unwrap().scale(10.0);
+    for i in 0..n {
+        m[(i, i)] = 0.0;
+    }
+    m
+}
+
+fn main() {
+    let n = 512usize;
+    let a = test_matrix(n);
+    let t = Instant::now();
+    let q = qr(&a).unwrap();
+    println!(
+        "qr total: {:.1} ms ({} cols)",
+        t.elapsed().as_secs_f64() * 1e3,
+        q.r.cols()
+    );
+    let t = Instant::now();
+    let s = svd(&a).unwrap();
+    println!(
+        "svd total: {:.1} ms (sv0 {:.3})",
+        t.elapsed().as_secs_f64() * 1e3,
+        s.singular_values[0]
+    );
+}

@@ -10,9 +10,9 @@
 //! * the **n** dimension is split into slabs of [`NC`] columns,
 //! * the **m** dimension is split into bands of [`MC`] rows,
 //! * inside a band, an [`MR`]`x`[`NR`] **micro-kernel** accumulates a
-//!   register tile over the packed panels; the compiler auto-vectorizes the
-//!   `NR`-wide updates, and the `MR`-way row reuse cuts B-panel bandwidth
-//!   by `MR` compared to the seed's row-streaming `ikj` loop.
+//!   register tile over the packed panels with fused multiply-adds; the
+//!   `MR`-way row reuse cuts B-panel bandwidth by `MR` compared to the
+//!   seed's row-streaming `ikj` loop.
 //!
 //! Operands are **packed** into contiguous panels before the micro-kernel
 //! runs, which is also how the transposed variants (`AᵀB`, `ABᵀ`) reuse the
@@ -21,14 +21,40 @@
 //! steady state performs **no heap allocation** — the property the
 //! allocation-free NMF/ALS iteration loops in `ides-mf` build on.
 //!
+//! # Micro-kernel back ends and runtime dispatch
+//!
+//! The micro-kernel and the vector primitives ([`dot`], [`axpy`], [`gemv`],
+//! [`gemv_t`]) have three interchangeable back ends, one per [`Isa`]:
+//!
+//! | detected ISA            | kernel                                        |
+//! |-------------------------|-----------------------------------------------|
+//! | AVX-512F                | 8×8 tile, one `zmm` accumulator per row       |
+//! | AVX2 + FMA              | 8×8 tile as two 4-row halves, `ymm` pairs     |
+//! | anything else           | portable scalar tile built on `f64::mul_add`  |
+//!
+//! The back end is chosen **once per process** (`std::sync::OnceLock`) by
+//! `is_x86_feature_detected!`, so binaries built with the (default-on)
+//! `simd` cargo feature run correctly on any x86-64 host — no reliance on
+//! compile-time `target-cpu` flags. Setting `IDES_LINALG_KERNEL` to
+//! `scalar`, `avx2`, or `avx512` forces a back end (requests the CPU cannot
+//! honor fall back to auto-detection); building with
+//! `--no-default-features` compiles the intrinsics out entirely. On
+//! non-x86-64 targets the scalar tile is always used, and `f64::mul_add`
+//! lowers to the native FMA instruction wherever one exists.
+//!
 //! # Determinism
 //!
 //! For every output cell the contributions are accumulated in ascending-`k`
 //! order within each `KC` panel, and panels are added in ascending order,
 //! so results are **bit-identical across runs, block sizes permitting**,
 //! and — because row bands are numerically independent — bit-identical with
-//! the `parallel` feature on or off. For `k <= KC` the result is bitwise
-//! equal to a textbook ascending-`k` dot product.
+//! the `parallel` feature on or off. Every back end performs the *same*
+//! exactly-rounded fused multiply-add per element in the *same* order
+//! (`f64::mul_add` ≡ `vfmadd`), so results are also **bit-identical across
+//! ISAs**: scalar, AVX2, and AVX-512 kernels agree bitwise, which keeps
+//! every factorization built on this layer independent of the host CPU.
+//! For `k <= KC` the result is bitwise equal to a textbook ascending-`k`
+//! fused dot product ([`reference::matmul_fused`]).
 //!
 //! # `parallel` feature
 //!
@@ -36,13 +62,14 @@
 //! to amortize thread startup are split into row bands executed on std
 //! scoped threads (one per available core, capped by band count). Each band
 //! writes a disjoint slice of the output, so no synchronization is needed
-//! and results do not change.
+//! and results do not change: all threads use the one process-wide ISA.
 
 use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Micro-kernel tile rows (accumulator rows held in registers).
-pub const MR: usize = 4;
-/// Micro-kernel tile columns (one or two SIMD vectors of `f64`).
+pub const MR: usize = 8;
+/// Micro-kernel tile columns (one `zmm` / two `ymm` vectors of `f64`).
 pub const NR: usize = 8;
 /// Row-band blocking: rows of A packed per macro iteration.
 pub const MC: usize = 128;
@@ -60,6 +87,62 @@ struct Buffers {
 
 thread_local! {
     static BUFFERS: RefCell<Buffers> = RefCell::new(Buffers::default());
+}
+
+/// A micro-kernel / vector-primitive back end. All variants produce
+/// bit-identical results; they differ only in speed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Isa {
+    /// Portable fused tile built on `f64::mul_add` — the universal
+    /// fallback, and the only back end compiled without the `simd` feature.
+    Scalar,
+    /// 256-bit AVX2+FMA kernels (x86-64 with the `simd` feature).
+    Avx2Fma,
+    /// 512-bit AVX-512F kernels (x86-64 with the `simd` feature).
+    Avx512,
+}
+
+static ACTIVE_ISA: OnceLock<Isa> = OnceLock::new();
+
+/// The back end every kernel entry point dispatches to, chosen once per
+/// process: the `IDES_LINALG_KERNEL` env var (`scalar` / `avx2` /
+/// `avx512`) if set and supported, otherwise the widest ISA the CPU
+/// reports. Without the `simd` feature this is always [`Isa::Scalar`].
+pub fn active_isa() -> Isa {
+    *ACTIVE_ISA.get_or_init(|| {
+        let forced = std::env::var("IDES_LINALG_KERNEL").ok();
+        select_isa(forced.as_deref())
+    })
+}
+
+/// Resolves a forced-kernel request against what the CPU supports.
+fn select_isa(forced: Option<&str>) -> Isa {
+    let isas = available_isas();
+    match forced {
+        Some("scalar") => Isa::Scalar,
+        Some("avx2") if isas.contains(&Isa::Avx2Fma) => Isa::Avx2Fma,
+        Some("avx512") if isas.contains(&Isa::Avx512) => Isa::Avx512,
+        // Unknown or unsupported requests fall back to auto-detection.
+        _ => *isas.last().expect("Scalar is always available"),
+    }
+}
+
+/// Every back end this build + CPU can run, narrowest first (so the last
+/// element is the auto-detected choice). Used by the bitwise-identity test
+/// suite to exercise each compiled kernel regardless of dispatch.
+pub fn available_isas() -> Vec<Isa> {
+    #[allow(unused_mut)]
+    let mut isas = vec![Isa::Scalar];
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            isas.push(Isa::Avx2Fma);
+        }
+        if is_x86_feature_detected!("avx512f") {
+            isas.push(Isa::Avx512);
+        }
+    }
+    isas
 }
 
 /// How a packed operand is read out of its backing row-major storage.
@@ -97,6 +180,7 @@ pub fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let isa = active_isa();
 
     // Only products with substantial per-band work consider fanning out;
     // the size gate comes first so small products (the NMF/ALS inner-loop
@@ -128,7 +212,9 @@ pub fn gemm(
                     let r0 = row0;
                     scope.spawn(move || {
                         let mut bufs = Buffers::default();
-                        gemm_serial(a, a_op, lda, b, b_op, ldb, band, r0, rows, n, k, &mut bufs);
+                        gemm_serial(
+                            isa, a, a_op, lda, b, b_op, ldb, band, r0, rows, n, k, &mut bufs,
+                        );
                     });
                     row0 += rows;
                 }
@@ -139,7 +225,35 @@ pub fn gemm(
 
     BUFFERS.with(|bufs| {
         let mut bufs = bufs.borrow_mut();
-        gemm_serial(a, a_op, lda, b, b_op, ldb, out, 0, m, n, k, &mut bufs);
+        gemm_serial(isa, a, a_op, lda, b, b_op, ldb, out, 0, m, n, k, &mut bufs);
+    });
+}
+
+/// [`gemm`] pinned to one back end, always sequential. This is the hook
+/// the bitwise-identity tests and the `blocked_scalar` benchmark use to
+/// compare kernels on the same host without re-dispatching.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_isa(
+    isa: Isa,
+    a: &[f64],
+    a_op: Op,
+    lda: usize,
+    b: &[f64],
+    b_op: Op,
+    ldb: usize,
+    out: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    BUFFERS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        gemm_serial(isa, a, a_op, lda, b, b_op, ldb, out, 0, m, n, k, &mut bufs);
     });
 }
 
@@ -147,6 +261,7 @@ pub fn gemm(
 /// `out_band` covers exactly those rows (row stride `n`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_serial(
+    isa: Isa,
     a: &[f64],
     a_op: Op,
     lda: usize,
@@ -178,7 +293,7 @@ fn gemm_serial(
                     for ir in 0..mr_blocks {
                         let a_tile = &bufs.a_panel[ir * kc * MR..(ir + 1) * kc * MR];
                         let mut acc = [[0.0f64; NR]; MR];
-                        micro_kernel(a_tile, b_tile, kc, &mut acc);
+                        micro_kernel(isa, a_tile, b_tile, kc, &mut acc);
                         write_back(
                             out_band,
                             n,
@@ -198,11 +313,29 @@ fn gemm_serial(
     }
 }
 
-/// The register-tiled inner product: `acc += A_tile * B_tile` over `kc`
-/// steps. Panels are packed `MR`/`NR`-interleaved so every load is
-/// contiguous; the `NR`-wide updates auto-vectorize.
+/// Dispatches one register tile to the selected back end.
 #[inline(always)]
-fn micro_kernel(a_tile: &[f64], b_tile: &[f64], kc: usize, acc: &mut [[f64; NR]; MR]) {
+fn micro_kernel(isa: Isa, a_tile: &[f64], b_tile: &[f64], kc: usize, acc: &mut [[f64; NR]; MR]) {
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `isa` only holds these variants when `available_isas`
+        // (i.e. `is_x86_feature_detected!`) reported the feature.
+        #[allow(unsafe_code)]
+        Isa::Avx2Fma => unsafe { x86::micro_kernel_avx2(a_tile, b_tile, kc, acc) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[allow(unsafe_code)]
+        Isa::Avx512 => unsafe { x86::micro_kernel_avx512(a_tile, b_tile, kc, acc) },
+        _ => micro_kernel_scalar(a_tile, b_tile, kc, acc),
+    }
+}
+
+/// The portable register-tiled inner product: `acc += A_tile * B_tile`
+/// over `kc` steps via `f64::mul_add`. Panels are packed `MR`/`NR`-
+/// interleaved so every load is contiguous. Because `mul_add` is the
+/// exactly-rounded fused operation, this tile is bit-identical to the
+/// AVX2/AVX-512 kernels (same per-element operation, same order).
+#[inline(always)]
+fn micro_kernel_scalar(a_tile: &[f64], b_tile: &[f64], kc: usize, acc: &mut [[f64; NR]; MR]) {
     let a_it = a_tile[..kc * MR].chunks_exact(MR);
     let b_it = b_tile[..kc * NR].chunks_exact(NR);
     for (a_frag, b_frag) in a_it.zip(b_it) {
@@ -212,8 +345,233 @@ fn micro_kernel(a_tile: &[f64], b_tile: &[f64], kc: usize, acc: &mut [[f64; NR];
         let b_frag: &[f64; NR] = b_frag.try_into().expect("chunk size is NR");
         for (row, &am) in acc.iter_mut().zip(a_frag.iter()) {
             for (c, &bv) in row.iter_mut().zip(b_frag.iter()) {
-                *c += am * bv;
+                *c = am.mul_add(bv, *c);
             }
+        }
+    }
+}
+
+/// AVX2+FMA / AVX-512F intrinsics back ends. The only `unsafe` in the
+/// crate lives here; every function requires its ISA at runtime (upheld by
+/// dispatching through [`active_isa`] / [`available_isas`]) and computes
+/// exactly the same fused operations in the same order as the scalar
+/// fallbacks, so results are bitwise interchangeable.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    /// 8×8 AVX-512 micro-kernel: one `zmm` accumulator per tile row — 8
+    /// independent FMA chains, enough to hide FMA latency on 2-port cores.
+    ///
+    /// # Safety
+    /// Requires AVX-512F at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn micro_kernel_avx512(
+        a_tile: &[f64],
+        b_tile: &[f64],
+        kc: usize,
+        acc: &mut [[f64; NR]; MR],
+    ) {
+        debug_assert!(a_tile.len() >= kc * MR && b_tile.len() >= kc * NR);
+        let mut c0 = _mm512_loadu_pd(acc[0].as_ptr());
+        let mut c1 = _mm512_loadu_pd(acc[1].as_ptr());
+        let mut c2 = _mm512_loadu_pd(acc[2].as_ptr());
+        let mut c3 = _mm512_loadu_pd(acc[3].as_ptr());
+        let mut c4 = _mm512_loadu_pd(acc[4].as_ptr());
+        let mut c5 = _mm512_loadu_pd(acc[5].as_ptr());
+        let mut c6 = _mm512_loadu_pd(acc[6].as_ptr());
+        let mut c7 = _mm512_loadu_pd(acc[7].as_ptr());
+        let mut ap = a_tile.as_ptr();
+        let mut bp = b_tile.as_ptr();
+        for _ in 0..kc {
+            let bv = _mm512_loadu_pd(bp);
+            c0 = _mm512_fmadd_pd(_mm512_set1_pd(*ap), bv, c0);
+            c1 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(1)), bv, c1);
+            c2 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(2)), bv, c2);
+            c3 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(3)), bv, c3);
+            c4 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(4)), bv, c4);
+            c5 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(5)), bv, c5);
+            c6 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(6)), bv, c6);
+            c7 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(7)), bv, c7);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        _mm512_storeu_pd(acc[0].as_mut_ptr(), c0);
+        _mm512_storeu_pd(acc[1].as_mut_ptr(), c1);
+        _mm512_storeu_pd(acc[2].as_mut_ptr(), c2);
+        _mm512_storeu_pd(acc[3].as_mut_ptr(), c3);
+        _mm512_storeu_pd(acc[4].as_mut_ptr(), c4);
+        _mm512_storeu_pd(acc[5].as_mut_ptr(), c5);
+        _mm512_storeu_pd(acc[6].as_mut_ptr(), c6);
+        _mm512_storeu_pd(acc[7].as_mut_ptr(), c7);
+    }
+
+    /// 8×8 AVX2+FMA micro-kernel, processed as two sequential 4-row
+    /// halves (4 rows × 2 `ymm` accumulators fit the 16-register file;
+    /// the B tile is L1-resident so the second pass re-reads it cheaply).
+    /// Per-element accumulation order is unchanged: each output element
+    /// still sees its `k` contributions in ascending order.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_kernel_avx2(
+        a_tile: &[f64],
+        b_tile: &[f64],
+        kc: usize,
+        acc: &mut [[f64; NR]; MR],
+    ) {
+        debug_assert!(a_tile.len() >= kc * MR && b_tile.len() >= kc * NR);
+        for half in 0..2 {
+            let r0 = half * 4;
+            let mut c0l = _mm256_loadu_pd(acc[r0].as_ptr());
+            let mut c0h = _mm256_loadu_pd(acc[r0].as_ptr().add(4));
+            let mut c1l = _mm256_loadu_pd(acc[r0 + 1].as_ptr());
+            let mut c1h = _mm256_loadu_pd(acc[r0 + 1].as_ptr().add(4));
+            let mut c2l = _mm256_loadu_pd(acc[r0 + 2].as_ptr());
+            let mut c2h = _mm256_loadu_pd(acc[r0 + 2].as_ptr().add(4));
+            let mut c3l = _mm256_loadu_pd(acc[r0 + 3].as_ptr());
+            let mut c3h = _mm256_loadu_pd(acc[r0 + 3].as_ptr().add(4));
+            let mut ap = a_tile.as_ptr().add(r0);
+            let mut bp = b_tile.as_ptr();
+            for _ in 0..kc {
+                let b_lo = _mm256_loadu_pd(bp);
+                let b_hi = _mm256_loadu_pd(bp.add(4));
+                let a0 = _mm256_set1_pd(*ap);
+                c0l = _mm256_fmadd_pd(a0, b_lo, c0l);
+                c0h = _mm256_fmadd_pd(a0, b_hi, c0h);
+                let a1 = _mm256_set1_pd(*ap.add(1));
+                c1l = _mm256_fmadd_pd(a1, b_lo, c1l);
+                c1h = _mm256_fmadd_pd(a1, b_hi, c1h);
+                let a2 = _mm256_set1_pd(*ap.add(2));
+                c2l = _mm256_fmadd_pd(a2, b_lo, c2l);
+                c2h = _mm256_fmadd_pd(a2, b_hi, c2h);
+                let a3 = _mm256_set1_pd(*ap.add(3));
+                c3l = _mm256_fmadd_pd(a3, b_lo, c3l);
+                c3h = _mm256_fmadd_pd(a3, b_hi, c3h);
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            _mm256_storeu_pd(acc[r0].as_mut_ptr(), c0l);
+            _mm256_storeu_pd(acc[r0].as_mut_ptr().add(4), c0h);
+            _mm256_storeu_pd(acc[r0 + 1].as_mut_ptr(), c1l);
+            _mm256_storeu_pd(acc[r0 + 1].as_mut_ptr().add(4), c1h);
+            _mm256_storeu_pd(acc[r0 + 2].as_mut_ptr(), c2l);
+            _mm256_storeu_pd(acc[r0 + 2].as_mut_ptr().add(4), c2h);
+            _mm256_storeu_pd(acc[r0 + 3].as_mut_ptr(), c3l);
+            _mm256_storeu_pd(acc[r0 + 3].as_mut_ptr().add(4), c3h);
+        }
+    }
+
+    /// AVX-512 [`super::dot`]: lane `i mod 8` partial sums, then the same
+    /// fixed reduction tree as the scalar path.
+    ///
+    /// # Safety
+    /// Requires AVX-512F at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot_avx512(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let mut acc = _mm512_setzero_pd();
+        let mut ap = a.as_ptr();
+        let mut bp = b.as_ptr();
+        for _ in 0..chunks {
+            acc = _mm512_fmadd_pd(_mm512_loadu_pd(ap), _mm512_loadu_pd(bp), acc);
+            ap = ap.add(8);
+            bp = bp.add(8);
+        }
+        // (l0+l4, l1+l5, l2+l6, l3+l7) — identical tree to `dot_scalar`.
+        let s = _mm256_add_pd(
+            _mm512_castpd512_pd256(acc),
+            _mm512_extractf64x4_pd::<1>(acc),
+        );
+        let t = _mm_add_pd(_mm256_castpd256_pd128(s), _mm256_extractf128_pd::<1>(s));
+        let mut total = _mm_cvtsd_f64(t) + _mm_cvtsd_f64(_mm_unpackhi_pd(t, t));
+        for i in chunks * 8..n {
+            total = a[i].mul_add(b[i], total);
+        }
+        total
+    }
+
+    /// AVX2+FMA [`super::dot`]: two `ymm` accumulators hold lanes `0..4`
+    /// and `4..8`, reduced through the same tree as the scalar path.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let mut acc_lo = _mm256_setzero_pd();
+        let mut acc_hi = _mm256_setzero_pd();
+        let mut ap = a.as_ptr();
+        let mut bp = b.as_ptr();
+        for _ in 0..chunks {
+            acc_lo = _mm256_fmadd_pd(_mm256_loadu_pd(ap), _mm256_loadu_pd(bp), acc_lo);
+            acc_hi = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(4)),
+                _mm256_loadu_pd(bp.add(4)),
+                acc_hi,
+            );
+            ap = ap.add(8);
+            bp = bp.add(8);
+        }
+        let s = _mm256_add_pd(acc_lo, acc_hi);
+        let t = _mm_add_pd(_mm256_castpd256_pd128(s), _mm256_extractf128_pd::<1>(s));
+        let mut total = _mm_cvtsd_f64(t) + _mm_cvtsd_f64(_mm_unpackhi_pd(t, t));
+        for i in chunks * 8..n {
+            total = a[i].mul_add(b[i], total);
+        }
+        total
+    }
+
+    /// AVX-512 [`super::axpy`]: elementwise fused `y[i] += alpha * x[i]`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn axpy_avx512(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len().min(y.len());
+        let chunks = n / 8;
+        let av = _mm512_set1_pd(alpha);
+        let mut xp = x.as_ptr();
+        let mut yp = y.as_mut_ptr();
+        for _ in 0..chunks {
+            _mm512_storeu_pd(
+                yp,
+                _mm512_fmadd_pd(av, _mm512_loadu_pd(xp), _mm512_loadu_pd(yp)),
+            );
+            xp = xp.add(8);
+            yp = yp.add(8);
+        }
+        for i in chunks * 8..n {
+            y[i] = alpha.mul_add(x[i], y[i]);
+        }
+    }
+
+    /// AVX2+FMA [`super::axpy`].
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len().min(y.len());
+        let chunks = n / 4;
+        let av = _mm256_set1_pd(alpha);
+        let mut xp = x.as_ptr();
+        let mut yp = y.as_mut_ptr();
+        for _ in 0..chunks {
+            _mm256_storeu_pd(
+                yp,
+                _mm256_fmadd_pd(av, _mm256_loadu_pd(xp), _mm256_loadu_pd(yp)),
+            );
+            xp = xp.add(4);
+            yp = yp.add(4);
+        }
+        for i in chunks * 4..n {
+            y[i] = alpha.mul_add(x[i], y[i]);
         }
     }
 }
@@ -329,14 +687,36 @@ fn pack_b(
     }
 }
 
-/// Lane-split dot product: four independent partial sums break the
-/// floating-point dependency chain so the loop pipelines/vectorizes.
-/// Deterministic: lane assignment depends only on index, and the remainder
-/// is folded in source order.
+/// Fused lane-split dot product: eight independent partial sums (lane =
+/// index mod 8) break the FMA dependency chain, reduced through a fixed
+/// tree `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` with the remainder folded
+/// in source order. Every back end computes this exact sequence of fused
+/// operations, so the result is bit-identical across ISAs and runs.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    dot_with_isa(active_isa(), a, b)
+}
+
+/// [`dot`] pinned to one back end (test/bench hook; same bits regardless).
+pub fn dot_with_isa(isa: Isa, a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    const LANES: usize = 4;
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `isa` only holds these variants when the CPU reported
+        // the feature (see `available_isas`).
+        #[allow(unsafe_code)]
+        Isa::Avx2Fma => unsafe { x86::dot_avx2(a, b) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[allow(unsafe_code)]
+        Isa::Avx512 => unsafe { x86::dot_avx512(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// Portable fused dot with the fixed 8-lane structure (see [`dot`]).
+#[inline]
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    const LANES: usize = 8;
     let mut lanes = [0.0f64; LANES];
     let a_chunks = a.chunks_exact(LANES);
     let b_chunks = b.chunks_exact(LANES);
@@ -344,48 +724,81 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     let b_rem = b_chunks.remainder();
     for (af, bf) in a_chunks.zip(b_chunks) {
         for ((l, &x), &y) in lanes.iter_mut().zip(af.iter()).zip(bf.iter()) {
-            *l += x * y;
+            *l = x.mul_add(y, *l);
         }
     }
-    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    let s0 = lanes[0] + lanes[4];
+    let s1 = lanes[1] + lanes[5];
+    let s2 = lanes[2] + lanes[6];
+    let s3 = lanes[3] + lanes[7];
+    let mut total = (s0 + s2) + (s1 + s3);
     for (&x, &y) in a_rem.iter().zip(b_rem.iter()) {
-        total += x * y;
+        total = x.mul_add(y, total);
     }
     total
 }
 
-/// `out[i] = dot(row_i(A), x)` for a row-major `m x k` matrix.
+/// Fused `y[i] += alpha * x[i]` over the common length. Elementwise, so
+/// bit-identical across back ends by construction.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    axpy_with_isa(active_isa(), alpha, x, y)
+}
+
+/// [`axpy`] pinned to one back end (test/bench hook; same bits regardless).
+pub fn axpy_with_isa(isa: Isa, alpha: f64, x: &[f64], y: &mut [f64]) {
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `isa` only holds these variants when the CPU reported
+        // the feature (see `available_isas`).
+        #[allow(unsafe_code)]
+        Isa::Avx2Fma => unsafe { x86::axpy_avx2(alpha, x, y) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[allow(unsafe_code)]
+        Isa::Avx512 => unsafe { x86::axpy_avx512(alpha, x, y) },
+        _ => {
+            for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+                *yv = alpha.mul_add(xv, *yv);
+            }
+        }
+    }
+}
+
+/// `out[i] = dot(row_i(A), x)` for a row-major `m x k` matrix, on the
+/// fused SIMD dot path.
 pub fn gemv(a: &[f64], x: &[f64], out: &mut [f64], m: usize, k: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(x.len(), k);
     debug_assert_eq!(out.len(), m);
+    let isa = active_isa();
     for (o, row) in out.iter_mut().zip(a.chunks_exact(k.max(1))) {
-        *o = dot(row, x);
+        *o = dot_with_isa(isa, row, x);
     }
     if k == 0 {
         out.fill(0.0);
     }
 }
 
-/// `out = Aᵀ v` for a row-major `m x k` matrix: an axpy per row, which
-/// streams both the matrix row and the accumulator contiguously.
+/// `out = Aᵀ v` for a row-major `m x k` matrix: a fused axpy per row,
+/// which streams both the matrix row and the accumulator contiguously.
 pub fn gemv_t(a: &[f64], v: &[f64], out: &mut [f64], m: usize, k: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(v.len(), m);
     debug_assert_eq!(out.len(), k);
     out.fill(0.0);
+    let isa = active_isa();
     for (&vi, row) in v.iter().zip(a.chunks_exact(k.max(1))) {
         if vi == 0.0 {
             continue;
         }
-        for (o, &x) in out.iter_mut().zip(row.iter()) {
-            *o += vi * x;
-        }
+        axpy_with_isa(isa, vi, row, out);
     }
 }
 
 /// Plain reference multiplies used by correctness tests and as benchmark
-/// baselines. These are intentionally the "before" implementations.
+/// baselines. These are intentionally the "before" implementations —
+/// except [`reference::matmul_fused`], the bitwise oracle for the fused
+/// kernels.
 pub mod reference {
     use crate::error::Result;
     use crate::matrix::Matrix;
@@ -402,6 +815,27 @@ pub mod reference {
                 let mut acc = 0.0;
                 for p in 0..k {
                     acc += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Textbook triple loop with a **fused** ascending-`k` accumulation
+    /// (`f64::mul_add` per contribution). This is the bitwise oracle for
+    /// the blocked kernels: for `k <= KC` every kernel back end must
+    /// reproduce it exactly, not just approximately.
+    pub fn matmul_fused(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        a.shape_check_matmul(b)?;
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc = a[(i, p)].mul_add(b[(p, j)], acc);
                 }
                 out[(i, j)] = acc;
             }
@@ -476,12 +910,117 @@ mod tests {
     #[test]
     fn blocked_is_bitwise_ascending_k_for_small_depth() {
         // For k <= KC the blocked accumulation order equals a textbook
-        // ascending-k dot product, so results must be bit-identical.
+        // ascending-k fused dot product, so results must be bit-identical.
         let a = det_matrix(23, KC, 5);
         let b = det_matrix(KC, 19, 6);
         let fast = a.matmul(&b).unwrap();
-        let slow = reference::matmul_ijk(&a, &b).unwrap();
+        let slow = reference::matmul_fused(&a, &b).unwrap();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn every_isa_is_bitwise_identical() {
+        // Tile-edge shapes: full tiles, partial MR/NR tails, k below and
+        // across the KC panel boundary. Every compiled back end must
+        // produce the same bits for all of them and both pack paths.
+        let shapes = [
+            (MR, NR, 1),
+            (MR, NR, KC),
+            (MR - 1, NR - 3, 7),
+            (MR + 1, NR + 1, KC + 1),
+            (2 * MR + 3, 3 * NR + 5, 2 * KC + 9),
+            (1, 1, 3),
+        ];
+        let isas = available_isas();
+        for &(m, n, k) in &shapes {
+            let a = det_matrix(m, k, (m * 7 + k) as u64);
+            let b = det_matrix(k, n, (n * 13 + k) as u64);
+            let mut base = vec![0.0; m * n];
+            gemm_with_isa(
+                Isa::Scalar,
+                a.as_slice(),
+                Op::NoTrans,
+                k,
+                b.as_slice(),
+                Op::NoTrans,
+                n,
+                &mut base,
+                m,
+                n,
+                k,
+            );
+            for &isa in &isas {
+                let mut out = vec![0.0; m * n];
+                gemm_with_isa(
+                    isa,
+                    a.as_slice(),
+                    Op::NoTrans,
+                    k,
+                    b.as_slice(),
+                    Op::NoTrans,
+                    n,
+                    &mut out,
+                    m,
+                    n,
+                    k,
+                );
+                assert_eq!(out, base, "{isa:?} gemm ({m},{n},{k})");
+                // Transposed packing feeds the same micro-kernel.
+                let at = a.transpose();
+                let mut out_t = vec![0.0; m * n];
+                gemm_with_isa(
+                    isa,
+                    at.as_slice(),
+                    Op::Trans,
+                    m,
+                    b.as_slice(),
+                    Op::NoTrans,
+                    n,
+                    &mut out_t,
+                    m,
+                    n,
+                    k,
+                );
+                assert_eq!(out_t, base, "{isa:?} gemm-trans ({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_bitwise_identical_across_isas() {
+        for len in [0usize, 1, 5, 7, 8, 9, 16, 33, 100, 257] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.21).cos() * 2.0).collect();
+            let base_dot = dot_with_isa(Isa::Scalar, &a, &b);
+            let mut base_y = b.clone();
+            axpy_with_isa(Isa::Scalar, 1.7, &a, &mut base_y);
+            for isa in available_isas() {
+                let d = dot_with_isa(isa, &a, &b);
+                assert_eq!(d.to_bits(), base_dot.to_bits(), "{isa:?} dot len {len}");
+                let mut y = b.clone();
+                axpy_with_isa(isa, 1.7, &a, &mut y);
+                assert_eq!(y, base_y, "{isa:?} axpy len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_kernel_requests_resolve_safely() {
+        // Supported names select themselves; unsupported or unknown names
+        // fall back to auto-detection rather than an illegal kernel.
+        let isas = available_isas();
+        let auto = *isas.last().unwrap();
+        assert_eq!(select_isa(Some("scalar")), Isa::Scalar);
+        assert_eq!(select_isa(None), auto);
+        assert_eq!(select_isa(Some("mmx")), auto);
+        for &isa in &isas {
+            let name = match isa {
+                Isa::Scalar => "scalar",
+                Isa::Avx2Fma => "avx2",
+                Isa::Avx512 => "avx512",
+            };
+            assert_eq!(select_isa(Some(name)), isa);
+        }
     }
 
     #[test]

@@ -33,15 +33,22 @@
 //! `Matrix::{matmul, tr_matmul, matmul_tr, matvec, tr_matvec}` and their
 //! allocation-free `*_into` twins all run on one blocked GEMM driver in
 //! [`kernels`]: operands are packed into contiguous panels (transposition
-//! is free at packing time) and consumed by an auto-vectorized
+//! is free at packing time) and consumed by an explicit-FMA
 //! [`kernels::MR`]`x`[`kernels::NR`] register-tile micro-kernel, with
 //! [`kernels::MC`]/[`kernels::KC`]/[`kernels::NC`] cache blocking
-//! (defaults 128/256/1024, tuned on the kernels benchmark). Packing
+//! (defaults 128/256/1024, tuned on the kernels benchmark). The
+//! micro-kernel back end — 512-bit AVX-512F, 256-bit AVX2+FMA, or the
+//! portable `f64::mul_add` scalar tile — is chosen **once per process**
+//! by runtime CPU detection ([`kernels::active_isa`]; override with
+//! `IDES_LINALG_KERNEL=scalar|avx2|avx512`, or compile vector kernels
+//! out via `--no-default-features`). Packing
 //! buffers are thread-local and reused, so steady-state products allocate
 //! nothing — the foundation of the allocation-free NMF/ALS iteration
 //! loops in `ides-mf`. Per output cell, contributions accumulate in
-//! ascending-`k` order, so results are deterministic run-to-run; for
-//! depths `<= KC` they are bitwise equal to a textbook dot product.
+//! ascending-`k` fused order **identically on every back end**, so
+//! results are bitwise equal across ISAs and deterministic run-to-run;
+//! for depths `<= KC` they match a fused textbook dot product bit for
+//! bit.
 //!
 //! ## The `parallel` feature
 //!
@@ -67,7 +74,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed back in exactly one place:
+// the feature-gated `kernels::x86` module holding the AVX2/AVX-512 FMA
+// intrinsics behind runtime CPU-feature detection.
+#![deny(unsafe_code)]
 
 pub mod cholesky;
 pub mod eig;

@@ -25,7 +25,7 @@ use crate::matrix::Matrix;
 /// `singular_values` holds the `k` singular values in non-increasing order,
 /// where `k = min(m, n)` for a full SVD or the requested rank for a
 /// truncated one.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Svd {
     /// Left singular vectors (columns), `m x k`.
     pub u: Matrix,
@@ -282,55 +282,155 @@ impl Default for TruncatedSvdOptions {
 
 /// Computes the leading `d` singular triples of `a` by subspace iteration
 /// on `AᵀA` with QR re-orthonormalization on the blocked factorization
-/// layer (one [`crate::factor::FactorWorkspace`] serves every iteration's
-/// re-orthonormalization, so the loop allocates only its iterates).
+/// layer. Allocating convenience wrapper over [`svd_truncated_with`].
 ///
 /// Deterministic: the start basis is a fixed quasi-random (but seedless)
 /// matrix, so repeated runs give identical results.
 pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<Svd> {
+    let mut ws = crate::factor::FactorWorkspace::new();
+    let mut out = Svd::default();
+    svd_truncated_with(a, d, opts, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Staging buffers for one truncated-SVD run, taken out of the
+/// [`crate::factor::FactorWorkspace`] for the duration of the call so the
+/// workspace itself stays free for the nested `qr_with` / `svd_with`
+/// factorizations, and put back on every exit path.
+struct TruncStage {
+    v: Matrix,
+    av: Matrix,
+    atav: Matrix,
+    qr: crate::qr::Qr,
+    svd: Svd,
+    sv: Vec<f64>,
+    prev: Vec<f64>,
+}
+
+/// [`svd_truncated`] into a caller-owned [`Svd`] and
+/// [`crate::factor::FactorWorkspace`]: subspace iteration whose iterates,
+/// re-orthonormalizations, projection SVD, and outputs all live in
+/// workspace-owned buffers, so a warm workspace serves repeated calls of
+/// one shape **without allocating**.
+///
+/// Differences from a fresh [`svd_truncated`] call are operational only:
+/// the projection SVD always runs the blocked Golub–Kahan path
+/// ([`crate::factor::svd_with`]) rather than dispatching to Jacobi below
+/// the small-size cutoff (Jacobi would allocate; it remains the defensive
+/// fallback if the shift iteration fails to converge, at the cost of
+/// allocations on that path). `out` is unspecified on error.
+pub fn svd_truncated_with(
+    a: &Matrix,
+    d: usize,
+    opts: TruncatedSvdOptions,
+    ws: &mut crate::factor::FactorWorkspace,
+    out: &mut Svd,
+) -> Result<()> {
+    let mut st = TruncStage {
+        v: std::mem::take(&mut ws.trunc_v),
+        av: std::mem::take(&mut ws.trunc_av),
+        atav: std::mem::take(&mut ws.trunc_atav),
+        qr: std::mem::take(&mut ws.trunc_qr),
+        svd: std::mem::take(&mut ws.trunc_svd),
+        sv: std::mem::take(&mut ws.trunc_sv),
+        prev: std::mem::take(&mut ws.trunc_prev),
+    };
+    let result = svd_truncated_core(a, d, opts, ws, &mut st, out);
+    ws.trunc_v = st.v;
+    ws.trunc_av = st.av;
+    ws.trunc_atav = st.atav;
+    ws.trunc_qr = st.qr;
+    ws.trunc_svd = st.svd;
+    ws.trunc_sv = st.sv;
+    ws.trunc_prev = st.prev;
+    result
+}
+
+/// Copies the leading `k` triples of `full` into `out` (reshaped).
+fn emit_truncated(full: &Svd, k: usize, out: &mut Svd) {
+    let m = full.u.rows();
+    let n = full.v.rows();
+    out.u.reset_shape(m, k);
+    for i in 0..m {
+        out.u.row_mut(i).copy_from_slice(&full.u.row(i)[..k]);
+    }
+    out.v.reset_shape(n, k);
+    for i in 0..n {
+        out.v.row_mut(i).copy_from_slice(&full.v.row(i)[..k]);
+    }
+    out.singular_values.clear();
+    out.singular_values
+        .extend_from_slice(&full.singular_values[..k]);
+}
+
+fn svd_truncated_core(
+    a: &Matrix,
+    d: usize,
+    opts: TruncatedSvdOptions,
+    ws: &mut crate::factor::FactorWorkspace,
+    st: &mut TruncStage,
+    out: &mut Svd,
+) -> Result<()> {
     let (m, n) = a.shape();
     let k = d.min(m).min(n);
     if k == 0 {
-        return Ok(Svd {
-            u: Matrix::zeros(m, 0),
-            singular_values: vec![],
-            v: Matrix::zeros(n, 0),
-        });
+        out.u.reset_shape(m, 0);
+        out.v.reset_shape(n, 0);
+        out.singular_values.clear();
+        return Ok(());
     }
     // If the requested rank is close to full, the exact algorithm is cheaper.
     let p = (k + opts.oversample).min(n).min(m);
     if p * 2 >= n.min(m) {
-        return Ok(svd(a)?.truncate(k));
+        match crate::factor::svd_with(a, ws, &mut st.svd) {
+            Ok(()) => {}
+            Err(LinalgError::NoConvergence { .. }) => st.svd = svd_jacobi(a)?,
+            Err(e) => return Err(e),
+        }
+        emit_truncated(&st.svd, k, out);
+        return Ok(());
     }
 
-    let mut ws = crate::factor::FactorWorkspace::new();
-    let mut orth = crate::qr::Qr::default();
-
     // Deterministic pseudo-random start basis (Weyl sequence).
-    let mut v = Matrix::from_fn(n, p, |i, j| {
-        let x = ((i as f64 + 1.0) * 0.754877666 + (j as f64 + 1.0) * 0.569840296).fract();
-        2.0 * x - 1.0
-    });
-    crate::factor::qr_with(&v, &mut ws, &mut orth)?;
-    std::mem::swap(&mut v, &mut orth.q);
+    st.v.reset_shape(n, p);
+    for i in 0..n {
+        for (j, x) in st.v.row_mut(i).iter_mut().enumerate() {
+            let t = ((i as f64 + 1.0) * 0.754877666 + (j as f64 + 1.0) * 0.569840296).fract();
+            *x = 2.0 * t - 1.0;
+        }
+    }
+    crate::factor::qr_with(&st.v, ws, &mut st.qr)?;
+    std::mem::swap(&mut st.v, &mut st.qr.q);
 
-    let mut prev_sv: Vec<f64> = vec![f64::INFINITY; k];
+    st.prev.clear();
+    st.prev.resize(k, f64::INFINITY);
     for _it in 0..opts.max_iterations {
         // v <- orth(Aᵀ (A v))
-        let av = a.matmul(&v)?;
-        let atav = a.tr_matmul(&av)?;
-        crate::factor::qr_with(&atav, &mut ws, &mut orth)?;
-        std::mem::swap(&mut v, &mut orth.q);
+        st.av.reset_shape(m, p);
+        a.matmul_into(&st.v, &mut st.av)?;
+        st.atav.reset_shape(n, p);
+        a.tr_matmul_into(&st.av, &mut st.atav)?;
+        crate::factor::qr_with(&st.atav, ws, &mut st.qr)?;
+        std::mem::swap(&mut st.v, &mut st.qr.q);
 
         // Estimate singular values from column norms of A v.
-        let av = a.matmul(&v)?;
-        let mut sv: Vec<f64> = (0..k)
-            .map(|j| (0..m).map(|i| av[(i, j)] * av[(i, j)]).sum::<f64>().sqrt())
-            .collect();
-        sv.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-        let max_rel_change = sv
+        st.av.reset_shape(m, p);
+        a.matmul_into(&st.v, &mut st.av)?;
+        st.sv.clear();
+        st.sv.extend((0..k).map(|j| {
+            (0..m)
+                .map(|i| st.av[(i, j)] * st.av[(i, j)])
+                .sum::<f64>()
+                .sqrt()
+        }));
+        // Unstable sort: allocation-free (stable sort's merge buffer would
+        // break the warm-path zero-alloc contract).
+        st.sv
+            .sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let max_rel_change = st
+            .sv
             .iter()
-            .zip(prev_sv.iter())
+            .zip(st.prev.iter())
             .map(|(&s, &ps)| {
                 if ps.is_infinite() {
                     f64::INFINITY
@@ -339,7 +439,7 @@ pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<
                 }
             })
             .fold(0.0_f64, f64::max);
-        prev_sv = sv;
+        std::mem::swap(&mut st.prev, &mut st.sv);
         if max_rel_change < opts.tolerance {
             break;
         }
@@ -347,18 +447,37 @@ pub fn svd_truncated(a: &Matrix, d: usize, opts: TruncatedSvdOptions) -> Result<
 
     // Project A onto the subspace and take an exact small SVD:
     // A V = U' S W'ᵀ  =>  A ≈ U' S (V W')ᵀ.
-    let av = a.matmul(&v)?; // m x p
-    let small = svd(&av)?; // exact on m x p (p small)
-    let cols: Vec<usize> = (0..k).collect();
-    let u = small.u.select_cols(&cols);
-    let singular_values = small.singular_values[..k].to_vec();
-    let w = small.v.select_cols(&cols); // p x k
-    let v_full = v.matmul(&w)?; // n x k
-    Ok(Svd {
-        u,
-        singular_values,
-        v: v_full,
-    })
+    st.av.reset_shape(m, p);
+    a.matmul_into(&st.v, &mut st.av)?;
+    match crate::factor::svd_with(&st.av, ws, &mut st.svd) {
+        Ok(()) => {}
+        Err(LinalgError::NoConvergence { .. }) => st.svd = svd_jacobi(&st.av)?,
+        Err(e) => return Err(e),
+    }
+    // out.u / singular values: leading k of the projection SVD; out.v is
+    // the single GEMM `V_sub · W_k`, reading the first k columns of the
+    // small right factor in place via its leading dimension.
+    out.u.reset_shape(m, k);
+    for i in 0..m {
+        out.u.row_mut(i).copy_from_slice(&st.svd.u.row(i)[..k]);
+    }
+    out.singular_values.clear();
+    out.singular_values
+        .extend_from_slice(&st.svd.singular_values[..k]);
+    out.v.reset_shape(n, k);
+    crate::kernels::gemm(
+        st.v.as_slice(),
+        crate::kernels::Op::NoTrans,
+        p,
+        st.svd.v.as_slice(),
+        crate::kernels::Op::NoTrans,
+        st.svd.v.cols(),
+        out.v.as_mut_slice(),
+        n,
+        k,
+        p,
+    );
+    Ok(())
 }
 
 #[cfg(test)]

@@ -113,6 +113,25 @@ fn svd_with_allocates_nothing_on_reuse() {
 }
 
 #[test]
+fn svd_truncated_with_allocates_nothing_on_reuse() {
+    // 100x100 at rank 6 (+8 oversample) keeps the subspace-iteration path
+    // (2·14 < 100): iterates, re-orthonormalizations, the projection SVD,
+    // and the output GEMM must all run in workspace-owned buffers.
+    let a = det_matrix(100, 100, 9);
+    let b = det_matrix(100, 100, 10);
+    let opts = ides_linalg::svd::TruncatedSvdOptions::default();
+    let mut ws = FactorWorkspace::new();
+    let mut out = Svd::default();
+    ides_linalg::svd::svd_truncated_with(&a, 6, opts, &mut ws, &mut out).unwrap();
+    let (calls, ()) = count_allocs(|| {
+        for m in [&a, &b, &a, &b] {
+            ides_linalg::svd::svd_truncated_with(m, 6, opts, &mut ws, &mut out).unwrap();
+        }
+    });
+    assert_eq!(calls, 0, "warm svd_truncated_with allocated {calls} times");
+}
+
+#[test]
 fn symmetric_eig_with_allocates_nothing_on_reuse() {
     let mut a = det_matrix(90, 90, 5);
     a.symmetrize();

@@ -44,8 +44,10 @@ proptest! {
         let slow = reference::matmul_ijk(&a, &b).unwrap();
         assert_close(&fast, &slow, "matmul");
         // Shallow depth means the blocked accumulation order is exactly
-        // ascending-k, so the match is bitwise, not just approximate.
-        prop_assert_eq!(fast, slow);
+        // ascending-k (fused), so the match against the fused reference is
+        // bitwise, not just approximate.
+        let fused = reference::matmul_fused(&a, &b).unwrap();
+        prop_assert_eq!(fast, fused);
     }
 
     /// `tr_matmul` equals transposing then multiplying naively.

@@ -11,6 +11,7 @@
 #
 # What is gated: the *within-group speedup ratios* of the key groups —
 #   matmul/512           blocked vs seed_ikj
+#   matmul/512           blocked (dispatched SIMD) vs blocked_scalar
 #   factor/512           blocked (Golub-Kahan) SVD vs one-sided Jacobi
 #   join_batch/500       batched_qr vs per_host_qr
 #   streaming_update/500 incremental update vs full refit
@@ -78,7 +79,40 @@ check() {
     case "$verdict" in FAIL*) fail=1 ;; esac
 }
 
+# check_abs GROUP FAST_BENCH SLOW_BENCH MIN_SPEEDUP LABEL
+#
+# Absolute within-smoke-run ratio gate, not baseline-relative: used for
+# the SIMD-vs-scalar kernel check, where the *generation* of SIMD ISA
+# (AVX2 vs AVX-512) differs across hosts and a baseline recorded on one
+# can't calibrate another. Both benches run in the same process on the
+# same host, so their ratio is host-independent in the way that matters:
+# "the runtime dispatcher picked a vector kernel and it pays off". Skips
+# when the fast/slow pair is absent from the smoke run (pre-SIMD bench
+# set). On a runner whose CPU lacks AVX2+FMA the dispatcher falls back to
+# scalar and the ratio is ~1x; set MIN_SIMD_SPEEDUP=0 there to disable.
+check_abs() {
+    local group="$1" fast="$2" slow="$3" min="$4" label="$5"
+    local sf ss
+    sf="$(median_ns "$smoke" "$group" "$fast")"
+    ss="$(median_ns "$smoke" "$group" "$slow")"
+    if [ "$sf" = "null" ] || [ "$ss" = "null" ]; then
+        echo "  skip $label: not in smoke run" >&2
+        return
+    fi
+    local verdict
+    verdict="$(jq -n --argjson sf "$sf" --argjson ss "$ss" --argjson min "$min" '
+        ($ss / $sf) as $now |
+        {now: (($now * 100 | round) / 100),
+         ok: ($now >= $min)} |
+        "\(if .ok then "ok  " else "FAIL" end) speedup \(.now)x vs floor \($min)x"')"
+    verdict="${verdict%\"}"; verdict="${verdict#\"}"
+    echo "  $verdict  $label" >&2
+    case "$verdict" in FAIL*) fail=1 ;; esac
+}
+
 check matmul           "blocked/512"     "seed_ikj/512"     "matmul/512 (blocked vs seed_ikj)"
+check_abs matmul "blocked/512" "blocked_scalar/512" "${MIN_SIMD_SPEEDUP:-1.5}" \
+    "matmul/512 (dispatched SIMD vs forced-scalar kernel)"
 check factor           "svd_blocked/512" "svd_jacobi/512"   "factor/512 (blocked SVD vs one-sided Jacobi)"
 check join_batch       "batched_qr/500"  "per_host_qr/500"  "join_batch/500 (batched vs per-host QR)"
 check streaming_update "incremental/500" "full_refit/500"   "streaming_update/500 (incremental vs full refit)"

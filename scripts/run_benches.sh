@@ -122,7 +122,17 @@ jq -r '.benches.kernels // [] | map(select(.group == "matmul")) |
        map({(.bench): .median_ns}) | add // {} |
        if (."blocked/512") then
          "matmul/512 speedup vs naive_ijk: \((."naive_ijk/512" / ."blocked/512") * 100 | round / 100)x, " +
-         "vs seed_ikj: \((."seed_ikj/512" / ."blocked/512") * 100 | round / 100)x"
+         "vs seed_ikj: \((."seed_ikj/512" / ."blocked/512") * 100 | round / 100)x" +
+         (if (."blocked_scalar/512") then
+            ", vs scalar kernel: \((."blocked_scalar/512" / ."blocked/512") * 100 | round / 100)x"
+          else "" end)
+       else empty end' "$out" >&2 || true
+jq -r '.benches.kernels // [] | map(select(.group == "matmul" and .gflops)) |
+       map({(.bench): .gflops}) | add // {} |
+       if (."blocked/512") then
+         "matmul/512 throughput: blocked \(."blocked/512" | round)" +
+         (if (."blocked_scalar/512") then " GFLOPS, scalar \(."blocked_scalar/512" * 100 | round / 100)" else "" end) +
+         " GFLOPS"
        else empty end' "$out" >&2 || true
 jq -r '.benches.factor // [] | map(select(.group == "factor")) |
        map({(.bench): .median_ns}) | add // {} |

@@ -12,7 +12,10 @@
 //! variable names a file, are also written as a JSON array of
 //! `{group, bench, mean_ns, median_ns, min_ns, samples, iters_per_sample}`
 //! records — the hook the repo's `scripts/run_benches.sh` uses to build
-//! the committed `BENCH_*.json` trajectory files.
+//! the committed `BENCH_*.json` trajectory files. Benches that declare
+//! their per-iteration work via [`BenchmarkGroup::throughput`]
+//! ([`Throughput::Flops`]) additionally get a `gflops` field (median
+//! throughput) in both the table and the JSON.
 //!
 //! Environment knobs:
 //! * `CRITERION_JSON=path` — append JSON records to `path`.
@@ -48,6 +51,28 @@ pub struct BenchRecord {
     pub samples: usize,
     /// Iterations per sample batch.
     pub iters_per_sample: u64,
+    /// Declared floating-point operations per iteration
+    /// ([`BenchmarkGroup::throughput`]), if any.
+    pub flops: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Median throughput in GFLOPS (`flops / median_ns`, since flops per
+    /// nanosecond ≡ 10⁹ flops per second), when a flop count was declared.
+    pub fn gflops(&self) -> Option<f64> {
+        self.flops
+            .map(|f| f as f64 / self.median_ns.max(f64::MIN_POSITIVE))
+    }
+}
+
+/// Declared per-iteration work, attached to the benches that follow via
+/// [`BenchmarkGroup::throughput`] (subset of the real criterion API,
+/// extended with an explicit flop count for GFLOPS reporting).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Floating-point operations per iteration; reported as GFLOPS in the
+    /// table and as a `gflops` field in the JSON records.
+    Flops(u64),
 }
 
 /// Identifier for a benchmark within a group.
@@ -136,6 +161,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     group: &str,
     bench: &str,
     sample_size: usize,
+    flops: Option<u64>,
     mut f: F,
 ) -> BenchRecord {
     // Calibrate: grow the iteration count until one batch is long enough
@@ -185,14 +211,19 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         min_ns: per_iter[0],
         samples,
         iters_per_sample: iters,
+        flops,
     };
     let label = if group.is_empty() {
         bench.to_string()
     } else {
         format!("{group}/{bench}")
     };
+    let gflops = match record.gflops() {
+        Some(g) => format!("  {g:7.2} GFLOPS"),
+        None => String::new(),
+    };
     eprintln!(
-        "{label:<50} {:>12} /iter  (median {}, {samples} samples x {iters} iters)",
+        "{label:<50} {:>12} /iter{gflops}  (median {}, {samples} samples x {iters} iters)",
         format_ns(mean),
         format_ns(median)
     );
@@ -224,6 +255,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: 30,
+            throughput: None,
         }
     }
 
@@ -233,7 +265,7 @@ impl Criterion {
         id: impl IntoBenchmarkId,
         f: F,
     ) -> &mut Self {
-        let record = run_bench("", &id.into_id(), 30, f);
+        let record = run_bench("", &id.into_id(), 30, None, f);
         self.results.push(record);
         self
     }
@@ -257,10 +289,14 @@ impl Criterion {
             if i > 0 {
                 out.push_str(",\n");
             }
+            let gflops = match r.gflops() {
+                Some(g) => format!(", \"gflops\": {g:.3}"),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
                  \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \
-                 \"iters_per_sample\": {}}}",
+                 \"iters_per_sample\": {}{gflops}}}",
                 r.group.replace('"', "'"),
                 r.bench.replace('"', "'"),
                 r.mean_ns,
@@ -283,6 +319,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -292,13 +329,25 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work of the benches that follow (until
+    /// the next `throughput` call); call before each size's benches when
+    /// iterating over inputs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn flops(&self) -> Option<u64> {
+        self.throughput.map(|Throughput::Flops(f)| f)
+    }
+
     /// Benches `f` under the given id.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         id: impl IntoBenchmarkId,
         f: F,
     ) -> &mut Self {
-        let record = run_bench(&self.name, &id.into_id(), self.sample_size, f);
+        let record = run_bench(&self.name, &id.into_id(), self.sample_size, self.flops(), f);
         self.criterion.results.push(record);
         self
     }
@@ -310,7 +359,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let record = run_bench(&self.name, &id.id, self.sample_size, |b| f(b, input));
+        let record = run_bench(&self.name, &id.id, self.sample_size, self.flops(), |b| {
+            f(b, input)
+        });
         self.criterion.results.push(record);
         self
     }
@@ -360,6 +411,7 @@ mod tests {
         {
             let mut g = c.benchmark_group("g");
             g.sample_size(5);
+            g.throughput(Throughput::Flops(200));
             g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
                 b.iter(|| (0..n).sum::<u64>())
             });
@@ -370,7 +422,10 @@ mod tests {
         assert!(c.results()[0].mean_ns > 0.0);
         assert_eq!(c.results()[0].group, "g");
         assert_eq!(c.results()[0].bench, "sum/100");
+        assert_eq!(c.results()[0].flops, Some(200));
+        assert!(c.results()[0].gflops().unwrap() > 0.0);
         assert_eq!(c.results()[1].group, "");
+        assert_eq!(c.results()[1].flops, None);
         std::env::remove_var("CRITERION_SAMPLE_MS");
     }
 }
