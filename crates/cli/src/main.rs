@@ -64,11 +64,13 @@ commands:
   eval <matrix> --landmarks M --dim D   full prediction experiment
   serve                       load-test the concurrent serving engine
                               (--landmarks K --hosts H --dim D --threads T
-                               --duration-s S --rate QPS-per-thread for
-                               open loop, --seed N, --json); admits H
+                               --shards N for a horizontally sharded
+                               engine, --duration-s S --rate QPS-per-thread
+                               for open loop, --seed N, --json); admits H
                                hosts, compares coalesced vs per-request
                                admission, then measures query p50/p99
-                               quiescent and under active drift
+                               quiescent and under active drift, with
+                               per-shard and publish latency in --json
 ";
 
 fn load_matrix(path_str: &str) -> DistanceMatrix {
@@ -424,6 +426,11 @@ fn cmd_serve(args: &Args) {
         eprintln!("error: --dim must be in 1..=landmarks");
         exit(2);
     }
+    let shards: usize = args.get_parsed("shards", 1);
+    if shards == 0 {
+        eprintln!("error: --shards must be >= 1");
+        exit(2);
+    }
     let config = ServeMeasurementConfig {
         landmarks,
         dim,
@@ -433,6 +440,7 @@ fn cmd_serve(args: &Args) {
         // Half the budget quiescent, half under active drift.
         phase: Duration::from_secs_f64((duration_s / 2.0).max(0.2)),
         pace_per_thread: (rate > 0.0).then_some(rate),
+        shards,
         ..ServeMeasurementConfig::default()
     };
     let summary = ServeSummary::measure(config).unwrap_or_else(|e| {
@@ -444,8 +452,8 @@ fn cmd_serve(args: &Args) {
         return;
     }
     println!(
-        "serving {} landmarks + {} hosts at d={}, {} query threads",
-        config.landmarks, config.hosts, config.dim, config.threads
+        "serving {} landmarks + {} hosts at d={}, {} query threads, {} shard(s)",
+        config.landmarks, config.hosts, config.dim, config.threads, config.shards
     );
     println!(
         "admission ({} concurrent joiners): coalesced {:.0}/s ({} flushes) vs per-request {:.0}/s  => {:.1}x",
@@ -470,6 +478,24 @@ fn cmd_serve(args: &Args) {
         summary.drifting.epochs
     );
     println!("p99 drift/quiescent: {:.2}x", summary.p99_ratio());
+    let pub_us = |q: f64| summary.publish.quantile(q).as_secs_f64() * 1e6;
+    println!(
+        "publishes:           p50 {:.1}us  p99 {:.1}us  ({} publishes across {} shard(s))",
+        pub_us(0.5),
+        pub_us(0.99),
+        summary.publish.count(),
+        config.shards
+    );
+    if config.shards > 1 {
+        for (i, h) in summary.quiescent.per_shard_latency.iter().enumerate() {
+            println!(
+                "  shard {i}: quiescent p50 {:.1}us  p99 {:.1}us  ({} queries)",
+                h.quantile(0.5).as_secs_f64() * 1e6,
+                h.quantile(0.99).as_secs_f64() * 1e6,
+                h.count()
+            );
+        }
+    }
 }
 
 fn cmd_eval(args: &Args) {

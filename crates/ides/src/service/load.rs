@@ -1,5 +1,6 @@
-//! Wall-clock load harness: drives real threads against a
-//! [`QueryEngine`] and reports latency quantiles and throughput.
+//! Wall-clock load harness: drives real threads against any
+//! [`DistanceService`] — a single [`QueryEngine`] or a
+//! [`ShardedEngine`] — and reports latency quantiles and throughput.
 //!
 //! Unlike [`super::replay`] (deterministic, event-ordered, used for the
 //! bit-identity contracts), this harness measures the engine under
@@ -8,11 +9,17 @@
 //! optional drift writer applies epoch updates at a fixed interval, and
 //! an optional churn worker joins/leaves hosts continuously. Per-thread
 //! [`LatencyHistogram`]s merge into the report, so p50/p99 come from
-//! every recorded operation, not a sample.
+//! every recorded operation, not a sample; on a sharded engine each
+//! query also lands in the histogram of the shard that served its first
+//! endpoint ([`LoadReport::per_shard_latency`]), so shard imbalance is
+//! visible.
 //!
-//! This is the measurement side of the `serve` bench group and the
-//! `ides-cli serve` command: quiescent vs under-drift query p99, and
-//! admission throughput with and without coalescing.
+//! This is the measurement side of the `serve` / `serve_sharded` bench
+//! groups and the `ides-cli serve` command: quiescent vs under-drift
+//! query p99, admission throughput with and without coalescing, and
+//! sharded-vs-single throughput. [`scale_scenario`] builds the
+//! million-host deployment (topology-direct, bulk-admitted via
+//! [`ShardedEngine::join_many`]) that backs the scale acceptance runs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -24,7 +31,7 @@ use crate::error::Result;
 use crate::streaming::EpochUpdate;
 
 use super::metrics::LatencyHistogram;
-use super::{NodeId, QueryEngine};
+use super::{DistanceService, NodeId, QueryEngine, ShardedEngine};
 
 /// Query-load shape.
 #[derive(Debug, Clone, Copy)]
@@ -91,14 +98,17 @@ pub struct LoadReport {
     pub churned: u64,
     /// Fraction of queries answered from the pair cache.
     pub cache_hit_rate: f64,
+    /// Query latency split by the shard that served each query's first
+    /// endpoint (one entry per shard; a single engine reports one).
+    pub per_shard_latency: Vec<LatencyHistogram>,
 }
 
 /// Runs the query load (plus optional drift writer and churn worker)
 /// against `engine`, sampling query pairs uniformly from `nodes`. The
 /// node list must stay valid for the whole run — pass landmarks and
 /// hosts that the churn worker does not touch.
-pub fn run(
-    engine: &QueryEngine,
+pub fn run<S: DistanceService + ?Sized>(
+    engine: &S,
     nodes: &[NodeId],
     config: &LoadConfig,
     drift: Option<&DriftLoad>,
@@ -106,11 +116,12 @@ pub fn run(
 ) -> Result<LoadReport> {
     assert!(nodes.len() >= 2, "need at least two nodes to query");
     assert!(config.threads >= 1, "need at least one query worker");
+    let n_shards = engine.shard_count().max(1);
     let stats_before = engine.stats();
     let stop = AtomicBool::new(false);
     let start = Instant::now();
 
-    let mut worker_hists: Vec<LatencyHistogram> = Vec::new();
+    let mut worker_hists: Vec<Vec<LatencyHistogram>> = Vec::new();
     let mut churned = 0u64;
     std::thread::scope(|scope| {
         // Query workers.
@@ -120,7 +131,8 @@ pub fn run(
             handles.push(scope.spawn(move || {
                 let mut rng =
                     StdRng::seed_from_u64(config.seed ^ (tid as u64).wrapping_mul(0x9E37));
-                let mut hist = LatencyHistogram::new();
+                let mut hists: Vec<LatencyHistogram> =
+                    (0..n_shards).map(|_| LatencyHistogram::new()).collect();
                 let mut next_at = Instant::now();
                 while !stop.load(Ordering::Relaxed) {
                     if let Some(rate) = config.pace_per_thread {
@@ -136,18 +148,18 @@ pub fn run(
                     let b = nodes[rng.gen_range(0..nodes.len())];
                     let t0 = Instant::now();
                     let est = engine.estimate(a, b);
-                    hist.record(t0.elapsed());
+                    hists[engine.shard_of(a)].record(t0.elapsed());
                     debug_assert!(est.is_ok(), "query failed: {est:?}");
                     let _ = est;
                 }
-                hist
+                hists
             }));
         }
         // Drift writer.
         let drift_handle = drift.map(|d| {
             let stop = &stop;
             scope.spawn(move || {
-                let mut epoch = f64::max(engine.snapshot().epoch(), 0.0);
+                let mut epoch = f64::max(engine.current_epoch(), 0.0);
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(d.interval);
@@ -199,8 +211,15 @@ pub fn run(
     });
 
     let elapsed = start.elapsed();
+    let mut per_shard_latency: Vec<LatencyHistogram> =
+        (0..n_shards).map(|_| LatencyHistogram::new()).collect();
+    for worker in &worker_hists {
+        for (merged, h) in per_shard_latency.iter_mut().zip(worker) {
+            merged.merge(h);
+        }
+    }
     let mut query_latency = LatencyHistogram::new();
-    for h in &worker_hists {
+    for h in &per_shard_latency {
         query_latency.merge(h);
     }
     let stats_after = engine.stats();
@@ -221,6 +240,7 @@ pub fn run(
             delta_hits as f64 / delta_q as f64
         },
         query_latency,
+        per_shard_latency,
     })
 }
 
@@ -228,20 +248,115 @@ pub fn run(
 /// transit-stub substrate with `hosts` ordinary hosts admitted, plus the
 /// raw material the load drivers need (query node list, the hosts'
 /// measurement rows for churn, and a cycle of landmark drift epochs).
-/// Shared by `ides-cli serve`, the `serve` bench group, and the
-/// `serve_load` experiment so they all measure the same deployment.
+/// Shared by `ides-cli serve`, the `serve` / `serve_sharded` bench
+/// groups, and the `serve_load` experiment so they all measure the same
+/// deployment. Generic over the engine: [`QueryEngine`] for the classic
+/// single-writer scenarios, [`ShardedEngine`] for the sharded and scale
+/// ones.
 #[derive(Debug)]
-pub struct ServeScenario {
+pub struct ServeScenario<S = QueryEngine> {
     /// The serving engine (landmark model fitted, hosts admitted).
-    pub engine: QueryEngine,
+    pub engine: S,
     /// Landmarks plus every admitted host — the query population.
     pub nodes: Vec<NodeId>,
-    /// The admitted hosts' measurement rows (out, in), usable as churn
-    /// fodder or to re-derive coordinates externally.
+    /// Admitted hosts' measurement rows (out, in), usable as churn fodder
+    /// or to re-derive coordinates externally. [`scale_scenario`] retains
+    /// only a sample (keeping a million rows would dwarf the engine).
     pub host_rows: Vec<(Vec<f64>, Vec<f64>)>,
     /// Landmark drift epochs (non-empty batches, in epoch order) to cycle
     /// through a [`DriftLoad`].
     pub drift_updates: Vec<EpochUpdate>,
+}
+
+/// The fitted substrate every scenario builder starts from: a drifting
+/// transit-stub topology, the landmark ids, a [`StreamingServer`] fitted
+/// on the epoch-zero landmark matrix, and a cycle of drift epochs.
+struct ScenarioSubstrate {
+    topology: ides_netsim::TransitStubTopology,
+    drift: ides_netsim::drift::DriftModel,
+    lm_ids: Vec<usize>,
+    host_ids: Vec<usize>,
+    server: crate::streaming::StreamingServer,
+    drift_updates: Vec<EpochUpdate>,
+}
+
+use crate::streaming::StreamingServer;
+
+impl ScenarioSubstrate {
+    /// Fits the landmark model at drift epoch zero over the given
+    /// topology and host-id split. Deterministic per topology/seed.
+    fn fit(
+        topology: ides_netsim::TransitStubTopology,
+        lm_ids: Vec<usize>,
+        host_ids: Vec<usize>,
+        dim: usize,
+        seed: u64,
+    ) -> Result<ScenarioSubstrate> {
+        use crate::streaming::StalenessPolicy;
+        use ides_netsim::drift::{DriftModel, DriftStream};
+
+        let landmarks = lm_ids.len();
+        let drift = DriftModel::new(0.2, 24.0, seed);
+        let lm = ides_linalg::Matrix::from_fn(landmarks, landmarks, |a, b| {
+            drift.rtt(&topology, lm_ids[a], lm_ids[b], 0.0)
+        });
+        let server = StreamingServer::new(
+            &ides_datasets::DistanceMatrix::full("serve-lm", lm)
+                .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?,
+            dim,
+            StalenessPolicy::default(),
+        )?;
+        let mut stream = DriftStream::new(&topology, drift.clone(), lm_ids.clone(), 1.0, 0.01);
+        let drift_updates: Vec<EpochUpdate> = (&mut stream)
+            .take(16)
+            .filter(|b| !b.samples.is_empty())
+            .map(|b| super::replay::epoch_update_from_batch(&b))
+            .collect();
+        Ok(ScenarioSubstrate {
+            topology,
+            drift,
+            lm_ids,
+            host_ids,
+            server,
+            drift_updates,
+        })
+    }
+
+    /// Measurement row of ordinary host `h` at drift epoch zero (the same
+    /// row for both directions — the harness measures serving cost, not
+    /// asymmetry recovery).
+    fn row(&self, h: usize) -> Vec<f64> {
+        ides_netsim::workload::measurement_row(&self.topology, &self.drift, h, &self.lm_ids, 0.0)
+    }
+}
+
+/// Builds the P2PSim-like substrate used by [`synthetic_scenario`] and
+/// [`synthetic_scenario_sharded`] (post-filter host sampling, King-style
+/// measurement of the landmark matrix's substrate).
+fn p2psim_substrate(
+    landmarks: usize,
+    hosts: usize,
+    dim: usize,
+    seed: u64,
+) -> Result<ScenarioSubstrate> {
+    // `p2psim_like(n)` treats `n` as a *post-filter* target: how many
+    // hosts survive its measurement-loss filter is stochastic, and at
+    // larger populations the survivor count can land short of the
+    // request. Grow the target until enough hosts survive — each
+    // attempt is deterministic per (target, seed).
+    let want = landmarks + hosts;
+    let mut target = want;
+    let ds = loop {
+        let ds = ides_datasets::generators::p2psim_like(target, seed)
+            .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?;
+        if ds.row_hosts.len() >= want {
+            break ds;
+        }
+        target += target / 4 + 16;
+    };
+    let lm_ids: Vec<usize> = ds.row_hosts[..landmarks].to_vec();
+    let host_ids: Vec<usize> = ds.row_hosts[landmarks..landmarks + hosts].to_vec();
+    ScenarioSubstrate::fit(ds.topology, lm_ids, host_ids, dim, seed)
 }
 
 /// Builds a [`ServeScenario`]: a P2PSim-like transit-stub topology, a
@@ -255,29 +370,13 @@ pub fn synthetic_scenario(
     seed: u64,
     config: super::ServiceConfig,
 ) -> Result<ServeScenario> {
-    use crate::streaming::{StalenessPolicy, StreamingServer};
-    use ides_netsim::drift::{DriftModel, DriftStream};
-
-    let ds = ides_datasets::generators::p2psim_like(landmarks + hosts, seed)
-        .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?;
-    let lm_ids: Vec<usize> = ds.row_hosts[..landmarks].to_vec();
-    let host_ids: Vec<usize> = ds.row_hosts[landmarks..landmarks + hosts].to_vec();
-    let drift = DriftModel::new(0.2, 24.0, seed);
-    let lm = ides_linalg::Matrix::from_fn(landmarks, landmarks, |a, b| {
-        drift.rtt(&ds.topology, lm_ids[a], lm_ids[b], 0.0)
-    });
-    let server = StreamingServer::new(
-        &ides_datasets::DistanceMatrix::full("serve-lm", lm)
-            .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?,
-        dim,
-        StalenessPolicy::default(),
-    )?;
-    let engine = QueryEngine::new(server, config)?;
-
-    let host_rows: Vec<(Vec<f64>, Vec<f64>)> = host_ids
+    let sub = p2psim_substrate(landmarks, hosts, dim, seed)?;
+    let engine = QueryEngine::new(sub.server.clone(), config)?;
+    let host_rows: Vec<(Vec<f64>, Vec<f64>)> = sub
+        .host_ids
         .iter()
         .map(|&h| {
-            let row = ides_netsim::workload::measurement_row(&ds.topology, &drift, h, &lm_ids, 0.0);
+            let row = sub.row(h);
             (row.clone(), row)
         })
         .collect();
@@ -285,18 +384,104 @@ pub fn synthetic_scenario(
     for (d_out, d_in) in &host_rows {
         nodes.push(engine.join_direct(d_out, d_in)?);
     }
-
-    let mut stream = DriftStream::new(&ds.topology, drift, lm_ids, 1.0, 0.01);
-    let drift_updates: Vec<EpochUpdate> = (&mut stream)
-        .take(16)
-        .filter(|b| !b.samples.is_empty())
-        .map(|b| super::replay::epoch_update_from_batch(&b))
-        .collect();
     Ok(ServeScenario {
         engine,
         nodes,
         host_rows,
-        drift_updates,
+        drift_updates: sub.drift_updates,
+    })
+}
+
+/// [`synthetic_scenario`] partitioned across `shards` engines: the same
+/// substrate and the same epoch-zero measurement rows, admitted
+/// round-robin into a [`ShardedEngine`]. Deterministic per seed.
+pub fn synthetic_scenario_sharded(
+    landmarks: usize,
+    hosts: usize,
+    dim: usize,
+    seed: u64,
+    shards: usize,
+    config: super::ServiceConfig,
+) -> Result<ServeScenario<ShardedEngine>> {
+    let sub = p2psim_substrate(landmarks, hosts, dim, seed)?;
+    let engine = ShardedEngine::new(sub.server.clone(), shards, config)?;
+    let host_rows: Vec<(Vec<f64>, Vec<f64>)> = sub
+        .host_ids
+        .iter()
+        .map(|&h| {
+            let row = sub.row(h);
+            (row.clone(), row)
+        })
+        .collect();
+    let mut nodes: Vec<NodeId> = (0..landmarks).map(NodeId::Landmark).collect();
+    for (d_out, d_in) in &host_rows {
+        nodes.push(engine.join_direct(d_out, d_in)?);
+    }
+    Ok(ServeScenario {
+        engine,
+        nodes,
+        host_rows,
+        drift_updates: sub.drift_updates,
+    })
+}
+
+/// Rows per [`ShardedEngine::join_many`] call in [`scale_scenario`]: the
+/// whole population is admitted in `hosts / SCALE_ADMIT_CHUNK` bulk
+/// batches (one solve + one publish per involved shard per batch), so a
+/// million hosts take tens of publishes instead of a million.
+pub const SCALE_ADMIT_CHUNK: usize = 65_536;
+
+/// How many admitted hosts' measurement rows [`scale_scenario`] retains
+/// as churn fodder.
+pub const SCALE_CHURN_SAMPLE: usize = 1_024;
+
+/// Builds the **scale** deployment: a transit-stub topology generated
+/// directly at `landmarks + hosts` end hosts (no O(n²) measured matrix —
+/// unlike [`synthetic_scenario`], whose P2PSim-style measurement pass
+/// caps out around 10⁴ hosts), landmarks fitted at drift epoch zero, and
+/// all `hosts` admitted through [`ShardedEngine::join_many`] in
+/// [`SCALE_ADMIT_CHUNK`]-row batches. This is the ≥10⁶-host scenario
+/// behind the `serve_sharded` bench group. Deterministic per seed.
+pub fn scale_scenario(
+    landmarks: usize,
+    hosts: usize,
+    dim: usize,
+    seed: u64,
+    shards: usize,
+    config: super::ServiceConfig,
+) -> Result<ServeScenario<ShardedEngine>> {
+    use ides_netsim::{TransitStubParams, TransitStubTopology};
+    use rand::rngs::StdRng as NetRng;
+    use rand::SeedableRng as _;
+
+    let n = landmarks + hosts;
+    let params = TransitStubParams::internet_scale(n);
+    let mut rng = NetRng::seed_from_u64(seed);
+    let topology = TransitStubTopology::generate(&params, &mut rng);
+    let lm_ids: Vec<usize> = (0..landmarks).collect();
+    let host_ids: Vec<usize> = (landmarks..n).collect();
+    let sub = ScenarioSubstrate::fit(topology, lm_ids, host_ids, dim, seed)?;
+
+    let engine = ShardedEngine::new(sub.server.clone(), shards, config)?;
+    let mut nodes: Vec<NodeId> = (0..landmarks).map(NodeId::Landmark).collect();
+    nodes.reserve(hosts);
+    let mut host_rows: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(SCALE_CHURN_SAMPLE);
+    for chunk in sub.host_ids.chunks(SCALE_ADMIT_CHUNK) {
+        let mut batch = ides_linalg::Matrix::zeros(0, landmarks);
+        for &h in chunk {
+            let row = sub.row(h);
+            if host_rows.len() < SCALE_CHURN_SAMPLE {
+                host_rows.push((row.clone(), row.clone()));
+            }
+            batch.push_row(&row);
+        }
+        nodes.extend(engine.join_many(&batch, &batch)?);
+    }
+    Ok(ServeScenario {
+        engine,
+        nodes,
+        host_rows,
+        drift_updates: sub.drift_updates,
     })
 }
 
@@ -324,14 +509,16 @@ pub struct AdmissionReport {
     pub coalesced_flushes: u64,
 }
 
-/// Runs the comparison (see [`AdmissionReport`]).
-pub fn admission_comparison<F>(
+/// Runs the comparison (see [`AdmissionReport`]). Generic over the
+/// engine, so the sharded admission path can be compared the same way.
+pub fn admission_comparison<F, S>(
     make_engine: F,
     rows: &[(Vec<f64>, Vec<f64>)],
     joiner_threads: usize,
 ) -> Result<AdmissionReport>
 where
-    F: Fn() -> Result<QueryEngine>,
+    S: DistanceService,
+    F: Fn() -> Result<S>,
 {
     assert!(!rows.is_empty(), "need join rows");
     let joiner_threads = joiner_threads.clamp(1, rows.len());
@@ -407,6 +594,8 @@ pub struct ServeMeasurementConfig {
     pub service: super::ServiceConfig,
     /// Gap between drift epochs in the under-drift phase.
     pub drift_interval: Duration,
+    /// Horizontal shards (1 = classic single-engine serving).
+    pub shards: usize,
 }
 
 impl Default for ServeMeasurementConfig {
@@ -421,6 +610,7 @@ impl Default for ServeMeasurementConfig {
             pace_per_thread: None,
             service: super::ServiceConfig::default(),
             drift_interval: Duration::from_millis(2),
+            shards: 1,
         }
     }
 }
@@ -439,24 +629,35 @@ pub struct ServeSummary {
     pub quiescent: LoadReport,
     /// Query phase under continuous drift epochs.
     pub drifting: LoadReport,
+    /// Publish latency across both phases (merged over shards).
+    pub publish: LatencyHistogram,
 }
 
 impl ServeSummary {
-    /// Runs the standard measurement: builds the scenario, re-admits
-    /// every host onto fresh engines for the admission comparison, then
-    /// runs the two query phases against the admitted deployment.
+    /// Runs the standard measurement: builds the scenario (sharded when
+    /// `config.shards > 1`), re-admits every host onto fresh engines for
+    /// the admission comparison, then runs the two query phases against
+    /// the admitted deployment.
     pub fn measure(config: ServeMeasurementConfig) -> Result<ServeSummary> {
-        let scenario = synthetic_scenario(
+        let scenario = synthetic_scenario_sharded(
             config.landmarks,
             config.hosts,
             config.dim,
             config.seed,
+            config.shards.max(1),
             config.service,
         )?;
         let admission = admission_comparison(
             || {
-                synthetic_scenario(config.landmarks, 0, config.dim, config.seed, config.service)
-                    .map(|s| s.engine)
+                synthetic_scenario_sharded(
+                    config.landmarks,
+                    0,
+                    config.dim,
+                    config.seed,
+                    config.shards.max(1),
+                    config.service,
+                )
+                .map(|s| s.engine)
             },
             &scenario.host_rows,
             config.hosts,
@@ -479,11 +680,13 @@ impl ServeSummary {
             Some(&drift),
             None,
         )?;
+        let publish = scenario.engine.publish_latency();
         Ok(ServeSummary {
             config,
             admission,
             quiescent,
             drifting,
+            publish,
         })
     }
 
@@ -511,9 +714,25 @@ impl ServeSummary {
     /// The flat `serving` JSON object merged into `BENCH_NNNN.json`
     /// (hand-rendered: the vendored serde_json has no `json!` macro).
     pub fn to_json(&self) -> String {
+        let us = |h: &LatencyHistogram, q: f64| h.quantile(q).as_secs_f64() * 1e6;
+        // Per-shard quiescent latency: [{"shard": i, "p50_us": …, "p99_us": …}, …].
+        let per_shard: Vec<String> = self
+            .quiescent
+            .per_shard_latency
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                format!(
+                    "{{\"shard\": {i}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"queries\": {}}}",
+                    us(h, 0.5),
+                    us(h, 0.99),
+                    h.count(),
+                )
+            })
+            .collect();
         format!(
             "{{\"landmarks\": {}, \"hosts\": {}, \"dim\": {}, \"threads\": {}, \
-             \"mode\": \"{}\", \
+             \"shards\": {}, \"mode\": \"{}\", \
              \"admission_joiners\": {}, \"admission_coalesced_per_sec\": {:.1}, \
              \"admission_per_request_per_sec\": {:.1}, \"admission_speedup\": {:.3}, \
              \"admission_flushes\": {}, \
@@ -521,11 +740,14 @@ impl ServeSummary {
              \"quiescent_qps\": {:.1}, \"cache_hit_rate\": {:.4}, \
              \"drift_p50_us\": {:.3}, \"drift_p99_us\": {:.3}, \
              \"drift_qps\": {:.1}, \"drift_epochs\": {}, \
-             \"p99_drift_over_quiescent\": {:.4}}}",
+             \"p99_drift_over_quiescent\": {:.4}, \
+             \"publish_p50_us\": {:.3}, \"publish_p99_us\": {:.3}, \
+             \"publishes\": {}, \"per_shard\": [{}]}}",
             self.config.landmarks,
             self.config.hosts,
             self.config.dim,
             self.config.threads,
+            self.config.shards.max(1),
             if self.config.pace_per_thread.is_some() {
                 "open"
             } else {
@@ -545,6 +767,10 @@ impl ServeSummary {
             self.drifting.queries_per_sec,
             self.drifting.epochs,
             self.p99_ratio(),
+            us(&self.publish, 0.5),
+            us(&self.publish, 0.99),
+            self.publish.count(),
+            per_shard.join(", "),
         )
     }
 }
@@ -625,6 +851,53 @@ mod tests {
         assert!(report.coalesced_per_sec > 0.0);
         assert!(report.per_request_per_sec > 0.0);
         assert!(report.coalesced_flushes >= 1);
+    }
+
+    #[test]
+    fn p2psim_substrate_survives_post_filter_shortfall() {
+        // p2psim_like's measurement-loss filter keeps a stochastic
+        // fraction of the requested population; around 2k hosts the
+        // survivor count lands short of the request and the substrate
+        // must regrow the target instead of slicing out of range
+        // (regression: `serve --hosts 2000` panicked).
+        let sub = p2psim_substrate(32, 2000, 4, 20040427).expect("substrate");
+        assert_eq!(sub.lm_ids.len(), 32);
+        assert_eq!(sub.host_ids.len(), 2000);
+    }
+
+    #[test]
+    fn scale_scenario_bulk_admits_across_shards() {
+        let s = scale_scenario(8, 300, 4, 7, 3, ServiceConfig::default()).expect("scale scenario");
+        assert_eq!(s.nodes.len(), 308);
+        assert_eq!(s.engine.stats().joins, 300);
+        assert!(s.host_rows.len() <= SCALE_CHURN_SAMPLE);
+        // Round-robin dealing balances the one 300-row bulk batch.
+        assert!(s.engine.shard_stats().iter().all(|st| st.joins == 100));
+        // Bulk admission: one flush per shard for the whole batch.
+        assert_eq!(s.engine.stats().flushes, 3);
+        assert!(!s.drift_updates.is_empty());
+        let est = s
+            .engine
+            .estimate(s.nodes[8], s.nodes[307])
+            .expect("estimate");
+        assert!(est.is_finite());
+        // The generic load harness attributes latency per shard.
+        let report = run(
+            &s.engine,
+            &s.nodes,
+            &LoadConfig {
+                threads: 2,
+                duration: Duration::from_millis(80),
+                ..LoadConfig::default()
+            },
+            None,
+            None,
+        )
+        .expect("sharded load run");
+        assert_eq!(report.per_shard_latency.len(), 3);
+        assert!(report.queries > 0);
+        let split: u64 = report.per_shard_latency.iter().map(|h| h.count()).sum();
+        assert_eq!(split, report.queries);
     }
 
     #[test]

@@ -10,10 +10,23 @@
 //!   (handed off through [`CachedGram::from_factor`], so the snapshot
 //!   solves joins bit-identically to the writer without refactoring), and
 //!   the admitted-host coordinate table. Readers grab an `Arc<Snapshot>`
-//!   from a double-buffered cell whose write-side critical section is a
-//!   single pointer swap; queries therefore never block on drift
-//!   maintenance and never observe a torn epoch — a query runs start to
-//!   finish against one consistent version.
+//!   from an [`arc_swap::ArcSwap`] cell — the read side is an atomic load
+//!   plus an `Arc` clone, with no lock a writer could hold — so queries
+//!   never block on drift maintenance and never observe a torn epoch: a
+//!   query runs start to finish against one consistent version.
+//! * **Chunk-tree publish.** The snapshot's coordinate table and live-set
+//!   are [`ChunkedRows`] — persistent chunk trees whose clone cost tracks
+//!   the spine length, not the row count. Publishing after a join flush
+//!   therefore costs `O(changed chunks)`: at a million admitted hosts a
+//!   single-host churn publish clones ~tens of `Arc` pointers where the
+//!   flat table used to copy hundreds of megabytes. Published snapshots
+//!   stay immutable under the writer's copy-on-write mutations.
+//! * **Horizontal sharding.** [`ShardedEngine`] partitions hosts across
+//!   `N` single-writer engines that replicate the small global landmark
+//!   model; writes on different shards proceed concurrently, and a
+//!   cross-shard estimate reads one coordinate row from each endpoint's
+//!   shard snapshot, lock-free. The [`DistanceService`] trait abstracts
+//!   the sharded and single engines for the load/replay harnesses.
 //! * **Request coalescing.** Concurrent [`QueryEngine::join`] calls
 //!   accumulate into a pending admission batch; the first joiner becomes
 //!   the *leader*, lingers up to [`ServiceConfig::linger`] (or until
@@ -25,10 +38,12 @@
 //!   its own measurement row, coalesced admissions are **bit-identical**
 //!   to one-at-a-time [`QueryEngine::join_direct`] calls regardless of
 //!   how requests happened to batch.
-//! * **Epoch-tagged pair cache.** Pair estimates memoize into a sharded
-//!   cache tagged with the snapshot version; publishing a new snapshot
-//!   (join, leave, drift epoch) invalidates by tag mismatch — no
-//!   stop-the-world flush, stale entries simply stop matching.
+//! * **Epoch-tagged pair cache.** Pair estimates memoize into a sharded,
+//!   direct-mapped cache tagged with the snapshot version(s) they were
+//!   computed against; publishing a new snapshot (join, leave, drift
+//!   epoch) invalidates by tag mismatch, and eviction is lazy — a stale
+//!   or colliding entry is simply overwritten in place, so no reader ever
+//!   pays a drain and the cache never allocates after construction.
 //! * **Churn.** [`QueryEngine::leave`] retires a host's row to a free
 //!   list (the table never reallocates on leave; the slot is recycled by
 //!   the next admission), and [`QueryEngine::apply_epoch`] feeds drift
@@ -45,22 +60,25 @@
 pub mod load;
 pub mod metrics;
 pub mod replay;
+pub mod shard;
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
+use arc_swap::ArcSwap;
+use ides_linalg::chunked::ChunkedRows;
 use ides_linalg::solve::CachedGram;
 use ides_linalg::Matrix;
 use ides_mf::{DistanceEstimator, FactorModel};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::error::{IdesError, Result};
 use crate::projection::{join_host_with, BatchHostVectors, JoinOptions, JoinSolver, JoinWorkspace};
 use crate::streaming::{EpochOutcome, EpochUpdate, StreamingServer};
 
 pub use metrics::{LatencyHistogram, ServiceStats};
+pub use shard::ShardedEngine;
 
 /// An endpoint of a distance query: one of the `k` landmarks the engine
 /// was built from, or an admitted ordinary host (the id returned by
@@ -98,8 +116,9 @@ pub struct ServiceConfig {
     pub linger: Duration,
     /// Number of independently locked pair-cache shards.
     pub cache_shards: usize,
-    /// Entries per cache shard before the shard is wholesale cleared
-    /// (cheap epoch-style eviction). Zero disables the cache.
+    /// Direct-mapped slots per cache shard (allocated once; a colliding
+    /// or stale entry is overwritten in place — lazy eviction). Zero
+    /// disables the cache.
     pub cache_capacity: usize,
 }
 
@@ -118,6 +137,12 @@ impl Default for ServiceConfig {
 /// landmark factors, join solvers, and admitted-host coordinates. Readers
 /// hold it as an `Arc` for as long as they like; the writer never mutates
 /// a published snapshot.
+///
+/// The coordinate table is a persistent chunk tree ([`ChunkedRows`]):
+/// each slot's row stores `[outgoing d | incoming d]` interleaved, and
+/// the live-set is a one-column `bool` table. Publishing clones both
+/// trees — `O(spine)` `Arc` bumps plus the chunks the writer has touched
+/// since the last publish, independent of how many hosts are admitted.
 #[derive(Debug)]
 pub struct Snapshot {
     version: u64,
@@ -125,8 +150,13 @@ pub struct Snapshot {
     model: FactorModel,
     gram_x: CachedGram,
     gram_y: CachedGram,
-    coords: BatchHostVectors,
-    live: Vec<bool>,
+    /// Slot-major rows of `2 * dim` columns: `[outgoing | incoming]`.
+    coords: ChunkedRows<f64>,
+    /// One-column liveness flags, slot-indexed.
+    live: ChunkedRows<bool>,
+    /// Live-row count, maintained by the writer (so [`Snapshot::host_count`]
+    /// is O(1), not a scan).
+    live_count: usize,
 }
 
 impl Snapshot {
@@ -153,7 +183,7 @@ impl Snapshot {
 
     /// Number of live admitted hosts.
     pub fn host_count(&self) -> usize {
-        self.live.iter().filter(|&&l| l).count()
+        self.live_count
     }
 
     /// Number of host-table slots (live + retired).
@@ -166,29 +196,42 @@ impl Snapshot {
         &self.model
     }
 
-    /// The admitted-host coordinate table (slot-indexed; consult
-    /// [`Snapshot::is_live`] before trusting a row).
-    pub fn coords(&self) -> &BatchHostVectors {
+    /// The admitted-host coordinate chunk tree (slot-major rows of
+    /// `[outgoing dim | incoming dim]`; consult [`Snapshot::is_live`]
+    /// before trusting a row). Exposed so tests can assert chunk sharing
+    /// between consecutive publishes.
+    pub fn coords(&self) -> &ChunkedRows<f64> {
         &self.coords
+    }
+
+    /// Host slot `s`'s outgoing coordinate vector (valid for any
+    /// allocated slot; consult [`Snapshot::is_live`]).
+    pub fn host_outgoing(&self, slot: usize) -> &[f64] {
+        &self.coords.row(slot)[..self.dim()]
+    }
+
+    /// Host slot `s`'s incoming coordinate vector.
+    pub fn host_incoming(&self, slot: usize) -> &[f64] {
+        &self.coords.row(slot)[self.dim()..]
     }
 
     /// True when host slot `s` holds a live (admitted, not departed) host.
     pub fn is_live(&self, slot: usize) -> bool {
-        self.live.get(slot).copied().unwrap_or(false)
+        slot < self.live.len() && self.live.row(slot)[0]
     }
 
-    fn outgoing_of(&self, n: NodeId) -> Result<&[f64]> {
+    pub(crate) fn outgoing_of(&self, n: NodeId) -> Result<&[f64]> {
         match n {
             NodeId::Landmark(i) if i < self.landmark_count() => Ok(self.model.outgoing(i)),
-            NodeId::Host(s) if self.is_live(s) => Ok(self.coords.outgoing(s)),
+            NodeId::Host(s) if self.is_live(s) => Ok(self.host_outgoing(s)),
             _ => Err(unknown_node(n)),
         }
     }
 
-    fn incoming_of(&self, n: NodeId) -> Result<&[f64]> {
+    pub(crate) fn incoming_of(&self, n: NodeId) -> Result<&[f64]> {
         match n {
             NodeId::Landmark(i) if i < self.landmark_count() => Ok(self.model.incoming(i)),
-            NodeId::Host(s) if self.is_live(s) => Ok(self.coords.incoming(s)),
+            NodeId::Host(s) if self.is_live(s) => Ok(self.host_incoming(s)),
             _ => Err(unknown_node(n)),
         }
     }
@@ -237,84 +280,115 @@ fn unknown_node(n: NodeId) -> IdesError {
     })
 }
 
-/// Double-buffered snapshot cell. The vendored environment has no
-/// `arc-swap`, so the swap is an `RwLock<Arc<Snapshot>>` whose read-side
-/// critical section is one `Arc::clone` and whose write-side is one
-/// pointer store — readers never wait on model maintenance, only on the
-/// nanoseconds of a concurrent pointer swap.
+/// Atomic snapshot cell: an [`ArcSwap`] pointer swap. The read side is
+/// one atomic load plus an `Arc` clone with no lock a writer could hold,
+/// so there is no writer-blocks-readers window during publish — a reader
+/// that races a publish gets either the old or the new snapshot, never a
+/// wait.
 #[derive(Debug)]
 struct SnapshotCell {
-    cell: RwLock<Arc<Snapshot>>,
+    cell: ArcSwap<Snapshot>,
 }
 
 impl SnapshotCell {
     fn new(s: Arc<Snapshot>) -> Self {
         SnapshotCell {
-            cell: RwLock::new(s),
+            cell: ArcSwap::new(s),
         }
     }
 
     fn load(&self) -> Arc<Snapshot> {
-        self.cell.read().clone()
+        self.cell.load()
     }
 
     fn store(&self, s: Arc<Snapshot>) {
-        *self.cell.write() = s;
+        self.cell.store(s);
     }
 }
 
-/// One pair-cache shard: `(a, b) -> (snapshot version, estimate)`.
-type CacheShard = HashMap<(u64, u64), (u64, f64)>;
+/// One direct-mapped pair-cache entry. `key_a == EMPTY_KEY` marks an
+/// empty slot ([`NodeId::encode`] cannot produce it).
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    key_a: u64,
+    key_b: u64,
+    /// Snapshot version(s) the estimate was computed against: `a`'s
+    /// endpoint snapshot and `b`'s. A single engine tags both with the
+    /// same version; [`ShardedEngine`] tags each endpoint with its own
+    /// shard's snapshot, so a publish on *either* shard invalidates.
+    ver_a: u64,
+    ver_b: u64,
+    est: f64,
+}
 
-/// Version-tagged, sharded pair-estimate cache. Entries carry the
-/// snapshot version they were computed against; a lookup under a newer
-/// version misses (and overwrites), so publishing a snapshot invalidates
-/// the whole cache without touching it.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Version-tagged, sharded, direct-mapped pair-estimate cache. Each shard
+/// is a fixed array of [`CacheEntry`] slots indexed by a hash of the pair
+/// key; inserts overwrite the slot unconditionally (lazy eviction), so
+/// the cache never allocates or drains after construction — a publish
+/// invalidates by version-tag mismatch and the stale entries are simply
+/// overwritten as misses recompute them. No reader or writer ever pays
+/// more than one slot's worth of work inside the shard mutex.
 #[derive(Debug)]
 struct PairCache {
-    shards: Vec<Mutex<CacheShard>>,
+    shards: Vec<Mutex<Box<[CacheEntry]>>>,
     capacity: usize,
 }
 
 impl PairCache {
     fn new(shards: usize, capacity: usize) -> Self {
         let shards = shards.max(1);
+        let empty = CacheEntry {
+            key_a: EMPTY_KEY,
+            key_b: EMPTY_KEY,
+            ver_a: 0,
+            ver_b: 0,
+            est: 0.0,
+        };
         PairCache {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(vec![empty; capacity].into_boxed_slice()))
+                .collect(),
             capacity,
         }
     }
 
-    fn shard(&self, a: u64, b: u64) -> &Mutex<CacheShard> {
-        let mix = a
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-        &self.shards[(mix >> 32) as usize % self.shards.len()]
+    fn mix(a: u64, b: u64) -> u64 {
+        a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
     }
 
-    fn get(&self, version: u64, a: u64, b: u64) -> Option<f64> {
+    /// Shard index from the mix's high bits, slot from its low bits, so
+    /// the two choices stay independent.
+    fn place(&self, mix: u64) -> (usize, usize) {
+        (
+            (mix >> 32) as usize % self.shards.len(),
+            (mix as u32) as usize % self.capacity,
+        )
+    }
+
+    fn get(&self, ver_a: u64, ver_b: u64, a: u64, b: u64) -> Option<f64> {
         if self.capacity == 0 {
             return None;
         }
-        let shard = self.shard(a, b).lock();
-        match shard.get(&(a, b)) {
-            Some(&(v, est)) if v == version => Some(est),
-            _ => None,
-        }
+        let (shard, slot) = self.place(Self::mix(a, b));
+        let e = self.shards[shard].lock()[slot];
+        (e.key_a == a && e.key_b == b && e.ver_a == ver_a && e.ver_b == ver_b).then_some(e.est)
     }
 
-    fn insert(&self, version: u64, a: u64, b: u64, est: f64) {
+    fn insert(&self, ver_a: u64, ver_b: u64, a: u64, b: u64, est: f64) {
         if self.capacity == 0 {
             return;
         }
-        let mut shard = self.shard(a, b).lock();
-        if shard.len() >= self.capacity {
-            // Epoch-style eviction: dropping the whole shard is O(len) once
-            // per fill, far cheaper than per-entry LRU bookkeeping on the
-            // query hot path, and correctness never depends on residency.
-            shard.clear();
-        }
-        shard.insert((a, b), (version, est));
+        let (shard, slot) = self.place(Self::mix(a, b));
+        self.shards[shard].lock()[slot] = CacheEntry {
+            key_a: a,
+            key_b: b,
+            ver_a,
+            ver_b,
+            est,
+        };
     }
 }
 
@@ -323,13 +397,19 @@ impl PairCache {
 #[derive(Debug)]
 struct WriterState {
     server: StreamingServer,
+    /// Model dimensionality `d` (immutable; cached off the server).
+    dim: usize,
     /// Per-slot measured distances to (`meas_out`) / from (`meas_in`) the
     /// landmarks — kept so a drift epoch can re-join every admitted host.
     meas_out: Matrix,
     meas_in: Matrix,
-    /// Slot-indexed coordinate table (mirrors the published snapshot).
-    coords: BatchHostVectors,
-    live: Vec<bool>,
+    /// Slot-indexed coordinate chunk tree (`[outgoing d | incoming d]`
+    /// rows) — the same persistent structure the snapshots publish, so a
+    /// publish is a clone that shares every untouched chunk.
+    coords: ChunkedRows<f64>,
+    /// Slot-indexed liveness flags (one-column chunk tree).
+    live: ChunkedRows<bool>,
+    live_count: usize,
     /// Retired slots awaiting reuse (LIFO).
     free: Vec<usize>,
     version: u64,
@@ -337,6 +417,9 @@ struct WriterState {
     stage_out: Matrix,
     stage_in: Matrix,
     stage_coords: BatchHostVectors,
+    /// Scratch for the epoch-rejoin batch solve (scattered back into
+    /// `coords` afterwards).
+    epoch_coords: BatchHostVectors,
     /// Per-request QR scratch for the uncoalesced baseline path.
     join_ws: JoinWorkspace,
 }
@@ -431,6 +514,10 @@ pub struct QueryEngine {
     cache: PairCache,
     config: ServiceConfig,
     counters: Counters,
+    /// Publish-latency histogram (recorded inside [`QueryEngine::publish`]
+    /// while the writer lock is held, so the mutex is uncontended except
+    /// against [`QueryEngine::publish_latency`] readers).
+    publish_hist: Mutex<LatencyHistogram>,
     /// Landmark count, immutable for the engine's lifetime.
     k: usize,
 }
@@ -455,19 +542,25 @@ impl QueryEngine {
         }
         let k = server.landmark_count();
         let d = server.dim();
-        let mut coords = BatchHostVectors::new();
-        coords.reset_shape(0, d);
+        if d == 0 {
+            return Err(IdesError::InvalidInput(
+                "server dimensionality must be at least 1".into(),
+            ));
+        }
         let writer = WriterState {
             server,
+            dim: d,
             meas_out: Matrix::zeros(0, k),
             meas_in: Matrix::zeros(0, k),
-            coords,
-            live: Vec::new(),
+            coords: ChunkedRows::new(2 * d),
+            live: ChunkedRows::new(1),
+            live_count: 0,
             free: Vec::new(),
             version: 0,
             stage_out: Matrix::zeros(0, 0),
             stage_in: Matrix::zeros(0, 0),
             stage_coords: BatchHostVectors::new(),
+            epoch_coords: BatchHostVectors::new(),
             join_ws: JoinWorkspace::new(),
         };
         let initial = Arc::new(Self::build_snapshot(&writer)?);
@@ -478,6 +571,7 @@ impl QueryEngine {
             cache: PairCache::new(config.cache_shards, config.cache_capacity),
             config,
             counters: Counters::default(),
+            publish_hist: Mutex::new(LatencyHistogram::new()),
             k,
         })
     }
@@ -511,12 +605,13 @@ impl QueryEngine {
     pub fn estimate_on(&self, snap: &Snapshot, a: NodeId, b: NodeId) -> Result<f64> {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let (ka, kb) = (a.encode(), b.encode());
-        if let Some(est) = self.cache.get(snap.version(), ka, kb) {
+        let v = snap.version();
+        if let Some(est) = self.cache.get(v, v, ka, kb) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(est);
         }
         let est = snap.estimate(a, b)?;
-        self.cache.insert(snap.version(), ka, kb, est);
+        self.cache.insert(v, v, ka, kb, est);
         Ok(est)
     }
 
@@ -640,6 +735,42 @@ impl QueryEngine {
         Ok(NodeId::Host(ids[0]))
     }
 
+    /// Bulk admission: joins every row of `d_out`/`d_in` (hosts × k) with
+    /// **one** batched cached solve and **one** snapshot publish — the
+    /// mass-arrival path that makes admitting 10⁶ hosts a handful of
+    /// publishes instead of 10⁶. Bit-identical per row to
+    /// [`QueryEngine::join_direct`]. Returns the assigned ids in row
+    /// order.
+    pub fn join_many(&self, d_out: &Matrix, d_in: &Matrix) -> Result<Vec<NodeId>> {
+        let k = self.k;
+        if d_out.shape() != d_in.shape() || d_out.cols() != k {
+            return Err(IdesError::InvalidInput(format!(
+                "measurement batch must be hosts x {k}: out {:?}, in {:?}",
+                d_out.shape(),
+                d_in.shape()
+            )));
+        }
+        if d_out
+            .as_slice()
+            .iter()
+            .chain(d_in.as_slice().iter())
+            .any(|v| !v.is_finite() || *v < 0.0)
+        {
+            return Err(IdesError::InvalidInput(
+                "measurements must be finite and nonnegative".into(),
+            ));
+        }
+        let rows = d_out.rows();
+        if rows == 0 {
+            return Ok(Vec::new());
+        }
+        self.counters
+            .joins
+            .fetch_add(rows as u64, Ordering::Relaxed);
+        let slots = self.flush_rows(rows, d_out.as_slice(), d_in.as_slice())?;
+        Ok(slots.into_iter().map(NodeId::Host).collect())
+    }
+
     /// Admits a host the way a serving layer **without** this subsystem
     /// would: one writer acquisition, one per-request QR factorization of
     /// the landmark system ([`crate::projection::join_host_with`] with
@@ -685,10 +816,11 @@ impl QueryEngine {
             ));
         };
         let mut w = self.writer.lock();
-        if !w.live.get(slot).copied().unwrap_or(false) {
+        if !Self::slot_live(&w, slot) {
             return Err(unknown_node(host));
         }
-        w.live[slot] = false;
+        w.live.row_mut(slot)[0] = false;
+        w.live_count -= 1;
         w.free.push(slot);
         self.counters.leaves.fetch_add(1, Ordering::Relaxed);
         self.publish(&mut w)
@@ -710,13 +842,14 @@ impl QueryEngine {
                     "landmarks cannot leave the service".into(),
                 ));
             };
-            if !w.live.get(slot).copied().unwrap_or(false) || slots.contains(&slot) {
+            if !Self::slot_live(&w, slot) || slots.contains(&slot) {
                 return Err(unknown_node(h));
             }
             slots.push(slot);
         }
         for &slot in &slots {
-            w.live[slot] = false;
+            w.live.row_mut(slot)[0] = false;
+            w.live_count -= 1;
             w.free.push(slot);
         }
         self.counters
@@ -736,14 +869,26 @@ impl QueryEngine {
         if !w.coords.is_empty() {
             let WriterState {
                 server,
+                dim,
                 meas_out,
                 meas_in,
                 coords,
+                epoch_coords,
                 ..
             } = &mut *w;
             // Re-join the whole slot table (retired slots ride along
-            // harmlessly — their rows are recomputed but stay dead).
-            server.join_batch_cached(meas_out, meas_in, coords)?;
+            // harmlessly — their rows are recomputed but stay dead), then
+            // scatter the batch solve back into the chunk tree. Every
+            // chunk is rewritten, so the copy-on-write layer adds one
+            // chunk copy per chunk — the same O(hosts·d) bytes a drift
+            // epoch inherently moves.
+            server.join_batch_cached(meas_out, meas_in, epoch_coords)?;
+            let d = *dim;
+            for s in 0..coords.len() {
+                let row = coords.row_mut(s);
+                row[..d].copy_from_slice(epoch_coords.outgoing(s));
+                row[d..].copy_from_slice(epoch_coords.incoming(s));
+            }
         }
         self.counters.epochs.fetch_add(1, Ordering::Relaxed);
         self.publish(&mut w)?;
@@ -837,6 +982,11 @@ impl QueryEngine {
         Ok(slots)
     }
 
+    /// True when host slot `slot` is allocated and live.
+    fn slot_live(w: &WriterState, slot: usize) -> bool {
+        slot < w.live.len() && w.live.row(slot)[0]
+    }
+
     /// Assigns a slot for one admitted host (free list first, growth
     /// otherwise) and writes its measurements and coordinates into the
     /// writer tables. Returns the slot.
@@ -847,36 +997,51 @@ impl QueryEngine {
         outgoing: &[f64],
         incoming: &[f64],
     ) -> Result<usize> {
+        let d = w.dim;
         let slot = match w.free.pop() {
             Some(s) => s,
             None => {
                 // Fresh slot: grow the tables (amortized, capacity
                 // retained across churn).
                 let s = w.coords.len();
-                w.coords.push_host(outgoing, incoming)?;
+                w.coords.push_default_rows(1);
                 w.meas_out.push_row(d_out);
                 w.meas_in.push_row(d_in);
-                w.live.push(false);
+                w.live.push_row(&[false]);
                 s
             }
         };
         w.meas_out.set_row(slot, d_out);
         w.meas_in.set_row(slot, d_in);
-        w.coords.set_host(slot, outgoing, incoming);
-        w.live[slot] = true;
+        let row = w.coords.row_mut(slot);
+        row[..d].copy_from_slice(outgoing);
+        row[d..].copy_from_slice(incoming);
+        if !w.live.row(slot)[0] {
+            w.live.row_mut(slot)[0] = true;
+            w.live_count += 1;
+        }
         Ok(slot)
     }
 
     /// Publishes the writer's current state as a fresh snapshot: bump the
-    /// version, clone the model and tables, hand the Gram factors off via
-    /// [`CachedGram::from_factor`], and swap the pointer. The long work
-    /// (clones) happens before the swap; readers block only on the swap
-    /// itself.
+    /// version, clone the model and the coordinate chunk trees (sharing
+    /// every chunk the writer hasn't touched since the last publish —
+    /// `O(changed chunks)`, not `O(hosts)`), hand the Gram factors off via
+    /// [`CachedGram::from_factor`], and swap the pointer. Readers never
+    /// wait: the swap is an atomic store.
     fn publish(&self, w: &mut WriterState) -> Result<()> {
+        let t0 = Instant::now();
         w.version += 1;
         let snap = Arc::new(Self::build_snapshot(w)?);
         self.snapshot.store(snap);
+        self.publish_hist.lock().record(t0.elapsed());
         Ok(())
+    }
+
+    /// Publish-latency histogram (one sample per snapshot publish: join
+    /// flushes, leaves, drift epochs).
+    pub fn publish_latency(&self) -> LatencyHistogram {
+        self.publish_hist.lock().clone()
     }
 
     fn build_snapshot(w: &WriterState) -> Result<Snapshot> {
@@ -889,7 +1054,80 @@ impl QueryEngine {
             gram_y: CachedGram::from_factor(gram_y.l().clone(), gram_y.lambda())?,
             coords: w.coords.clone(),
             live: w.live.clone(),
+            live_count: w.live_count,
         })
+    }
+}
+
+/// The serving surface shared by [`QueryEngine`] (one shard) and
+/// [`ShardedEngine`] (N shards): everything the load harness
+/// ([`load::run`]), the scenario builders, and the CLI need to drive an
+/// engine without knowing its shard layout. Host [`NodeId`]s are only
+/// meaningful to the engine that issued them.
+pub trait DistanceService: Sync {
+    /// Number of landmarks.
+    fn landmark_count(&self) -> usize;
+    /// Estimated distance from `a` to `b` against current snapshot(s).
+    fn estimate(&self, a: NodeId, b: NodeId) -> Result<f64>;
+    /// Admits a host through the coalesced path.
+    fn join(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId>;
+    /// Admits a host through the per-request control path (one QR solve
+    /// and one publish per call).
+    fn join_per_request(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId>;
+    /// Bulk admission with one publish per engine shard.
+    fn join_many(&self, d_out: &Matrix, d_in: &Matrix) -> Result<Vec<NodeId>>;
+    /// Retires a host.
+    fn leave(&self, host: NodeId) -> Result<()>;
+    /// Applies one drift epoch (to every shard).
+    fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome>;
+    /// Aggregate counter snapshot.
+    fn stats(&self) -> ServiceStats;
+    /// Drift epoch of the current snapshot(s).
+    fn current_epoch(&self) -> f64;
+    /// Merged publish-latency histogram across shards.
+    fn publish_latency(&self) -> LatencyHistogram;
+    /// Number of shards (1 for the single engine).
+    fn shard_count(&self) -> usize {
+        1
+    }
+    /// Which shard owns `node`'s coordinate row (landmarks are replicated
+    /// on every shard and report shard 0).
+    fn shard_of(&self, node: NodeId) -> usize {
+        let _ = node;
+        0
+    }
+}
+
+impl DistanceService for QueryEngine {
+    fn landmark_count(&self) -> usize {
+        QueryEngine::landmark_count(self)
+    }
+    fn estimate(&self, a: NodeId, b: NodeId) -> Result<f64> {
+        QueryEngine::estimate(self, a, b)
+    }
+    fn join(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId> {
+        QueryEngine::join(self, d_out, d_in)
+    }
+    fn join_per_request(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId> {
+        QueryEngine::join_per_request(self, d_out, d_in)
+    }
+    fn join_many(&self, d_out: &Matrix, d_in: &Matrix) -> Result<Vec<NodeId>> {
+        QueryEngine::join_many(self, d_out, d_in)
+    }
+    fn leave(&self, host: NodeId) -> Result<()> {
+        QueryEngine::leave(self, host)
+    }
+    fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome> {
+        QueryEngine::apply_epoch(self, update)
+    }
+    fn stats(&self) -> ServiceStats {
+        QueryEngine::stats(self)
+    }
+    fn current_epoch(&self) -> f64 {
+        self.snapshot().epoch()
+    }
+    fn publish_latency(&self) -> LatencyHistogram {
+        QueryEngine::publish_latency(self)
     }
 }
 
@@ -960,11 +1198,11 @@ mod tests {
         snap.join_rows(&d_out, &d_in, &mut direct).unwrap();
         for j in 0..5 {
             assert_eq!(
-                snap.coords().outgoing(0)[j].to_bits(),
+                snap.host_outgoing(0)[j].to_bits(),
                 direct.outgoing(0)[j].to_bits()
             );
             assert_eq!(
-                snap.coords().incoming(0)[j].to_bits(),
+                snap.host_incoming(0)[j].to_bits(),
                 direct.incoming(0)[j].to_bits()
             );
         }
@@ -1030,13 +1268,13 @@ mod tests {
             let (sc, sd) = (slot_of[h], direct_slots[h]);
             for j in 0..4 {
                 assert_eq!(
-                    snap_c.coords().outgoing(sc)[j].to_bits(),
-                    snap_d.coords().outgoing(sd)[j].to_bits(),
+                    snap_c.host_outgoing(sc)[j].to_bits(),
+                    snap_d.host_outgoing(sd)[j].to_bits(),
                     "host {h} outgoing[{j}]"
                 );
                 assert_eq!(
-                    snap_c.coords().incoming(sc)[j].to_bits(),
-                    snap_d.coords().incoming(sd)[j].to_bits(),
+                    snap_c.host_incoming(sc)[j].to_bits(),
+                    snap_d.host_incoming(sd)[j].to_bits(),
                     "host {h} incoming[{j}]"
                 );
             }
@@ -1140,7 +1378,7 @@ mod tests {
         };
         for j in 0..4 {
             assert_eq!(
-                snap.coords().outgoing(slot)[j].to_bits(),
+                snap.host_outgoing(slot)[j].to_bits(),
                 fresh.outgoing(0)[j].to_bits()
             );
         }

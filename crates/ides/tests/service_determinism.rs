@@ -93,13 +93,13 @@ fn assert_snapshots_identical(a: &QueryEngine, b: &QueryEngine, context: &str) {
         assert_eq!(sa.is_live(s), sb.is_live(s), "{context}: liveness of {s}");
         for j in 0..sa.dim() {
             assert_eq!(
-                sa.coords().outgoing(s)[j].to_bits(),
-                sb.coords().outgoing(s)[j].to_bits(),
+                sa.host_outgoing(s)[j].to_bits(),
+                sb.host_outgoing(s)[j].to_bits(),
                 "{context}: slot {s} outgoing[{j}]"
             );
             assert_eq!(
-                sa.coords().incoming(s)[j].to_bits(),
-                sb.coords().incoming(s)[j].to_bits(),
+                sa.host_incoming(s)[j].to_bits(),
+                sb.host_incoming(s)[j].to_bits(),
                 "{context}: slot {s} incoming[{j}]"
             );
         }
@@ -198,8 +198,8 @@ fn snapshot_reads_are_bit_identical_to_direct_cached_joins() {
     for h in 0..live.len() {
         let found = live_slots.iter().any(|&slot| {
             (0..DIM).all(|j| {
-                snap.coords().outgoing(slot)[j].to_bits() == direct.outgoing(h)[j].to_bits()
-                    && snap.coords().incoming(slot)[j].to_bits() == direct.incoming(h)[j].to_bits()
+                snap.host_outgoing(slot)[j].to_bits() == direct.outgoing(h)[j].to_bits()
+                    && snap.host_incoming(slot)[j].to_bits() == direct.incoming(h)[j].to_bits()
             })
         });
         assert!(found, "direct join of host {h} not served by any live slot");
@@ -212,8 +212,7 @@ fn snapshot_reads_are_bit_identical_to_direct_cached_joins() {
             let served = engine
                 .estimate(NodeId::Host(slot), NodeId::Host(other))
                 .expect("estimate");
-            let direct_est =
-                FactorModel::dot(snap.coords().outgoing(slot), snap.coords().incoming(other));
+            let direct_est = FactorModel::dot(snap.host_outgoing(slot), snap.host_incoming(other));
             assert_eq!(served.to_bits(), direct_est.to_bits());
         }
     }

@@ -80,6 +80,7 @@
 #![deny(unsafe_code)]
 
 pub mod cholesky;
+pub mod chunked;
 pub mod eig;
 pub mod error;
 pub mod factor;

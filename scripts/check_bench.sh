@@ -16,6 +16,13 @@
 #   join_batch/500       batched_qr vs per_host_qr
 #   streaming_update/500 incremental update vs full refit
 #   serve/500            coalesced vs per-request admission
+#   serve_sharded        publish churn at 10x hosts <= MAX_PUBLISH_GROWTH
+#                        (default 2.0) x the 1x cost — the chunk-tree
+#                        publish-cost-independence claim — and each
+#                        sharded single-core qps >= MIN_SHARD_QPS_RATIO
+#                        (default 0.7) x the 1-shard qps (per-query cost
+#                        must not grow with shard count; multi-core
+#                        scaling needs cores this runner may not have)
 # Ratios are used instead of raw medians because CI runners and the
 # machines that commit BENCH_*.json have different CPUs: absolute
 # nanoseconds are not comparable across hosts, but "how much faster is the
@@ -110,6 +117,31 @@ check_abs() {
     case "$verdict" in FAIL*) fail=1 ;; esac
 }
 
+# check_abs_max GROUP NUM_BENCH DEN_BENCH MAX_RATIO LABEL
+#
+# Within-smoke-run *upper* bound: NUM's median must stay <= MAX_RATIO x
+# DEN's median. Used where growth, not speedup, is the regression — e.g.
+# publish cost as the table grows 10x.
+check_abs_max() {
+    local group="$1" num="$2" den="$3" max="$4" label="$5"
+    local sn sd
+    sn="$(median_ns "$smoke" "$group" "$num")"
+    sd="$(median_ns "$smoke" "$group" "$den")"
+    if [ "$sn" = "null" ] || [ "$sd" = "null" ]; then
+        echo "  skip $label: not in smoke run" >&2
+        return
+    fi
+    local verdict
+    verdict="$(jq -n --argjson sn "$sn" --argjson sd "$sd" --argjson max "$max" '
+        ($sn / $sd) as $now |
+        {now: (($now * 100 | round) / 100),
+         ok: ($now <= $max)} |
+        "\(if .ok then "ok  " else "FAIL" end) ratio \(.now)x vs ceiling \($max)x"')"
+    verdict="${verdict%\"}"; verdict="${verdict#\"}"
+    echo "  $verdict  $label" >&2
+    case "$verdict" in FAIL*) fail=1 ;; esac
+}
+
 check matmul           "blocked/512"     "seed_ikj/512"     "matmul/512 (blocked vs seed_ikj)"
 check_abs matmul "blocked/512" "blocked_scalar/512" "${MIN_SIMD_SPEEDUP:-1.5}" \
     "matmul/512 (dispatched SIMD vs forced-scalar kernel)"
@@ -117,6 +149,14 @@ check factor           "svd_blocked/512" "svd_jacobi/512"   "factor/512 (blocked
 check join_batch       "batched_qr/500"  "per_host_qr/500"  "join_batch/500 (batched vs per-host QR)"
 check streaming_update "incremental/500" "full_refit/500"   "streaming_update/500 (incremental vs full refit)"
 check serve            "coalesced_join/500" "per_request_join/500" "serve/500 (coalesced vs per-request admission)"
+check_abs_max serve_sharded "publish_churn/10x" "publish_churn/1x" "${MAX_PUBLISH_GROWTH:-2.0}" \
+    "serve_sharded (publish churn at 10x hosts vs 1x — chunk-tree publish)"
+check_abs serve_sharded "qps/shards2" "qps/shards1" "${MIN_SHARD_QPS_RATIO:-0.7}" \
+    "serve_sharded (2-shard single-core qps vs 1-shard)"
+check_abs serve_sharded "qps/shards4" "qps/shards1" "${MIN_SHARD_QPS_RATIO:-0.7}" \
+    "serve_sharded (4-shard single-core qps vs 1-shard)"
+check_abs serve_sharded "qps/shards8" "qps/shards1" "${MIN_SHARD_QPS_RATIO:-0.7}" \
+    "serve_sharded (8-shard single-core qps vs 1-shard)"
 
 if [ "$fail" -ne 0 ]; then
     echo "bench regression gate FAILED" >&2

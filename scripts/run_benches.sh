@@ -25,9 +25,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update serve table1}"
+BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update serve serve_sharded table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update serve}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update serve serve_sharded}"
     export CRITERION_QUICK=1
 fi
 
@@ -93,9 +93,9 @@ fi
 # path gets end-to-end exercise in CI too.
 if printf '%s\n' $BENCHES | grep -qx serve; then
     if [ "${QUICK:-0}" = "1" ]; then
-        echo "== smoke: 2-second loadgen (ides-cli serve)" >&2
+        echo "== smoke: 2-second sharded loadgen (ides-cli serve --shards 4)" >&2
         if ! cargo run --release -q -p ides-cli -- serve \
-            --landmarks 64 --dim 16 --hosts 120 --duration-s 2 --json \
+            --landmarks 64 --dim 16 --hosts 120 --shards 4 --duration-s 2 --json \
             > "$tmpdir/serving.json"; then
             echo "error: cli serve loadgen failed; not snapshotting" >&2
             exit 1
@@ -169,4 +169,12 @@ jq -r 'if .serving then
          "serving: admission coalesced \(.serving.admission_speedup)x at \(.serving.admission_joiners) joiners " +
          "(\(.serving.admission_flushes) flushes); query p99 \(.serving.quiescent_p99_us)us quiescent, " +
          "\(.serving.drift_p99_us)us under drift (\(.serving.p99_drift_over_quiescent)x)"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.serve_sharded // [] | map(select(.group == "serve_sharded")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."publish_churn/1x") and (."qps/shards1") then
+         "serve_sharded: publish churn at 10x hosts \((."publish_churn/10x" / ."publish_churn/1x") * 100 | round / 100)x the 1x cost; " +
+         "single-core qps vs 1 shard: 2 shards \((."qps/shards1" / ."qps/shards2") * 100 | round / 100)x, " +
+         "4 shards \((."qps/shards1" / ."qps/shards4") * 100 | round / 100)x, " +
+         "8 shards \((."qps/shards1" / ."qps/shards8") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true

@@ -1,0 +1,191 @@
+//! Vendored, offline subset of the `arc-swap` API.
+//!
+//! One type: [`ArcSwap<T>`], an atomically swappable `Arc<T>` cell whose
+//! read side is wait-free with respect to writers — a reader never takes
+//! a lock, so a writer publishing a new value can never block readers the
+//! way an `RwLock<Arc<T>>` write acquisition does.
+//!
+//! # Algorithm
+//!
+//! A two-slot cell with per-slot reader pin counts:
+//!
+//! * Each slot holds an `Arc<T>`; `current` names the live slot (0/1).
+//! * **Readers** pin the slot they saw in `current` (increment its pin
+//!   count), re-check that `current` still names it (retrying if a writer
+//!   flipped in between), clone the `Arc`, and unpin. The critical
+//!   section is three atomic RMW/loads plus one `Arc` clone.
+//! * **Writers** serialize on an internal mutex, install the new `Arc`
+//!   into the *non-current* slot, and flip `current`. Before touching the
+//!   non-current slot they wait for its pin count to drain — any pins on
+//!   it belong to readers that lost the re-check race and are about to
+//!   retry, so the wait is bounded by nanoseconds, not by how long a
+//!   reader *holds* the loaded `Arc` (the clone already happened).
+//!
+//! The pin / flip pair uses `SeqCst` on both sides (the store-buffer
+//! litmus: either the reader observes the new `current` and retries, or
+//! the writer observes the reader's pin and waits). Every load returns an
+//! `Arc` that was stored by some `store` (or the initial value) — torn
+//! values are impossible because the slot content is only replaced while
+//! provably unobserved.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One slot of the double buffer: a pin count and the value it guards.
+struct Slot<T> {
+    readers: AtomicUsize,
+    value: UnsafeCell<Arc<T>>,
+}
+
+/// An `Arc<T>` holder that can be atomically read and replaced: readers
+/// get a cheap `Arc` clone without locking, writers swap the pointer
+/// without ever blocking readers.
+pub struct ArcSwap<T> {
+    /// Index (0/1) of the slot readers should pin.
+    current: AtomicUsize,
+    slots: [Slot<T>; 2],
+    /// Serializes writers (readers never touch it).
+    writer: Mutex<()>,
+}
+
+// SAFETY: the pin-count protocol guarantees a slot's `UnsafeCell` is only
+// written while no reader is pinned on it and only read while pinned, so
+// sharing across threads is sound whenever `Arc<T>` itself is sendable —
+// i.e. `T: Send + Sync`.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        ArcSwap {
+            current: AtomicUsize::new(0),
+            slots: [
+                Slot {
+                    readers: AtomicUsize::new(0),
+                    value: UnsafeCell::new(initial.clone()),
+                },
+                Slot {
+                    readers: AtomicUsize::new(0),
+                    value: UnsafeCell::new(initial),
+                },
+            ],
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Loads the current value (an `Arc` clone). Lock-free: at most a few
+    /// retries while a concurrent `store` flips the slot index.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let idx = self.current.load(Ordering::SeqCst);
+            let slot = &self.slots[idx];
+            // Pin before re-checking: SeqCst pairs with the writer's
+            // SeqCst flip + drain check, so either we see the flip (and
+            // retry) or the writer sees our pin (and waits).
+            slot.readers.fetch_add(1, Ordering::SeqCst);
+            if self.current.load(Ordering::SeqCst) == idx {
+                // SAFETY: the slot is pinned and `current` still names
+                // it, so no writer may replace its content until the
+                // unpin below.
+                let value = unsafe { (*slot.value.get()).clone() };
+                slot.readers.fetch_sub(1, Ordering::Release);
+                return value;
+            }
+            // A writer flipped between the load and the pin: unpin the
+            // stale slot (a draining writer may be waiting on us).
+            slot.readers.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Publishes `new`, replacing the current value. Readers that loaded
+    /// before the flip keep their `Arc`; readers after it see `new`.
+    pub fn store(&self, new: Arc<T>) {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let next = 1 - self.current.load(Ordering::Relaxed);
+        let slot = &self.slots[next];
+        // Drain stragglers pinned on the non-current slot: they lost the
+        // re-check race and will unpin without dereferencing, so this
+        // spin is bounded by a few instructions per reader.
+        while slot.readers.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the slot is non-current and its pin count was observed
+        // at zero after the last flip (SeqCst), so no reader holds or can
+        // acquire a reference into it before `current` names it again.
+        unsafe {
+            *slot.value.get() = new;
+        }
+        self.current.store(next, Ordering::SeqCst);
+    }
+
+    /// Alias of [`ArcSwap::load`], matching the upstream name for the
+    /// owned-`Arc` variant.
+    pub fn load_full(&self) -> Arc<T> {
+        self.load()
+    }
+}
+
+impl<T> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = ArcSwap::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(*cell.load_full(), 2);
+        // Old Arcs held by readers stay valid across stores.
+        let held = cell.load();
+        cell.store(Arc::new(3));
+        assert_eq!(*held, 2);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn drops_both_slots() {
+        // Initial value lives in both slots; one store replaces one slot.
+        let probe = Arc::new(41u32);
+        let cell = ArcSwap::new(probe.clone());
+        cell.store(Arc::new(42));
+        drop(cell);
+        assert_eq!(Arc::strong_count(&probe), 1, "cell must drop its clones");
+    }
+
+    #[test]
+    fn concurrent_loads_see_only_stored_values() {
+        // Writers publish strictly increasing values; readers must only
+        // ever observe published values, and values must not tear.
+        let cell = ArcSwap::new(Arc::new(0u64));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = *cell.load();
+                        assert!(v >= last, "monotone writes observed out of order");
+                        last = v;
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for v in 1..=10_000u64 {
+                    cell.store(Arc::new(v));
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(*cell.load(), 10_000);
+    }
+}
