@@ -478,6 +478,16 @@ fn cmd_serve(args: &Args) {
         summary.drifting.epochs
     );
     println!("p99 drift/quiescent: {:.2}x", summary.p99_ratio());
+    if summary.epoch_plan.epochs > 0 {
+        println!(
+            "epoch plans:         {} executed, mean width {:.1} (max {}), critical path {} over {} groups",
+            summary.epoch_plan.epochs,
+            summary.epoch_plan.mean_width(),
+            summary.epoch_plan.max_width,
+            summary.epoch_plan.critical_path,
+            summary.epoch_plan.groups
+        );
+    }
     let pub_us = |q: f64| summary.publish.quantile(q).as_secs_f64() * 1e6;
     println!(
         "publishes:           p50 {:.1}us  p99 {:.1}us  ({} publishes across {} shard(s))",

@@ -73,7 +73,7 @@ impl PredictionResult {
 /// Number of shards the evaluation sweeps fan out to. Always 1 without the
 /// `parallel` feature; with it, one per available core unless
 /// `IDES_LINALG_THREADS` overrides (the same knob the GEMM kernels honor).
-fn eval_threads() -> usize {
+pub(crate) fn eval_threads() -> usize {
     #[cfg(feature = "parallel")]
     {
         std::env::var("IDES_LINALG_THREADS")
@@ -94,7 +94,7 @@ fn eval_threads() -> usize {
 
 /// Splits `n` items into at most `shards` contiguous ranges whose sizes
 /// differ by at most one.
-fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+pub(crate) fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
     let shards = shards.clamp(1, n.max(1));
     let base = n / shards;
     let extra = n % shards;
@@ -120,7 +120,21 @@ where
     R: Send,
     F: Fn(&[T], usize) -> Result<R> + Sync,
 {
-    let threads = eval_threads();
+    map_shards_with(items, eval_threads(), f)
+}
+
+/// [`map_shards`] with an explicit shard/thread count instead of the
+/// ambient [`eval_threads`] resolution — the hook callers with their own
+/// parallelism policy (the epoch-DAG executor, the serial-vs-DAG benches
+/// and determinism tests) drive. Spawns scoped std threads whenever
+/// `threads > 1`, independent of the `parallel` feature (the feature only
+/// governs the ambient default).
+pub(crate) fn map_shards_with<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], usize) -> Result<R> + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
         return Ok(vec![f(items, 0)?]);
     }

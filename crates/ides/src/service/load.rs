@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 use crate::error::Result;
 use crate::streaming::EpochUpdate;
 
-use super::metrics::LatencyHistogram;
+use super::metrics::{EpochPlanTotals, LatencyHistogram};
 use super::{DistanceService, NodeId, QueryEngine, ShardedEngine};
 
 /// Query-load shape.
@@ -631,6 +631,9 @@ pub struct ServeSummary {
     pub drifting: LoadReport,
     /// Publish latency across both phases (merged over shards).
     pub publish: LatencyHistogram,
+    /// Epoch-plan shape accumulated by the drift phase's writer (merged
+    /// over shards): DAG group counts, antichain widths, critical paths.
+    pub epoch_plan: EpochPlanTotals,
 }
 
 impl ServeSummary {
@@ -681,12 +684,14 @@ impl ServeSummary {
             None,
         )?;
         let publish = scenario.engine.publish_latency();
+        let epoch_plan = scenario.engine.epoch_plan_totals();
         Ok(ServeSummary {
             config,
             admission,
             quiescent,
             drifting,
             publish,
+            epoch_plan,
         })
     }
 
@@ -742,7 +747,11 @@ impl ServeSummary {
              \"drift_qps\": {:.1}, \"drift_epochs\": {}, \
              \"p99_drift_over_quiescent\": {:.4}, \
              \"publish_p50_us\": {:.3}, \"publish_p99_us\": {:.3}, \
-             \"publishes\": {}, \"per_shard\": [{}]}}",
+             \"publishes\": {}, \
+             \"epoch_plan_epochs\": {}, \"epoch_plan_nodes\": {}, \
+             \"epoch_plan_groups\": {}, \"epoch_plan_max_width\": {}, \
+             \"epoch_plan_critical_path\": {}, \"epoch_plan_mean_width\": {:.3}, \
+             \"per_shard\": [{}]}}",
             self.config.landmarks,
             self.config.hosts,
             self.config.dim,
@@ -770,6 +779,12 @@ impl ServeSummary {
             us(&self.publish, 0.5),
             us(&self.publish, 0.99),
             self.publish.count(),
+            self.epoch_plan.epochs,
+            self.epoch_plan.nodes,
+            self.epoch_plan.groups,
+            self.epoch_plan.max_width,
+            self.epoch_plan.critical_path,
+            self.epoch_plan.mean_width(),
             per_shard.join(", "),
         )
     }

@@ -141,6 +141,58 @@ pub struct ServiceStats {
     pub version: u64,
 }
 
+/// Accumulated shape of the epoch plans a drift writer has executed
+/// ([`crate::streaming::dag::PlanStats`] summed over epochs) — the
+/// write-side parallelism signal exposed through
+/// `DistanceService::epoch_plan_totals` and `ides-cli serve --json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochPlanTotals {
+    /// Epochs whose plans were executed.
+    pub epochs: u64,
+    /// Total DAG nodes across all plans.
+    pub nodes: u64,
+    /// Total dependency edges across all plans.
+    pub edges: u64,
+    /// Total antichain groups executed (one solve/commit barrier each).
+    pub groups: u64,
+    /// Widest antichain seen in any plan — peak admitted concurrency.
+    pub max_width: u64,
+    /// Summed critical-path lengths (the serial fraction of the plans).
+    pub critical_path: u64,
+}
+
+impl EpochPlanTotals {
+    /// Folds one executed plan's statistics in.
+    pub fn absorb(&mut self, stats: &crate::streaming::dag::PlanStats) {
+        self.epochs += 1;
+        self.nodes += stats.nodes as u64;
+        self.edges += stats.edges as u64;
+        self.groups += stats.groups as u64;
+        self.max_width = self.max_width.max(stats.max_width as u64);
+        self.critical_path += stats.critical_path as u64;
+    }
+
+    /// Merges another accumulator (e.g. a sibling shard's) into `self`.
+    pub fn merge(&mut self, other: &EpochPlanTotals) {
+        self.epochs += other.epochs;
+        self.nodes += other.nodes;
+        self.edges += other.edges;
+        self.groups += other.groups;
+        self.max_width = self.max_width.max(other.max_width);
+        self.critical_path += other.critical_path;
+    }
+
+    /// Mean antichain width (nodes per group) across all executed plans —
+    /// the average concurrency the DAGs admitted (0 when no plans ran).
+    pub fn mean_width(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.nodes as f64 / self.groups as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +261,44 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn plan_totals_absorb_and_merge() {
+        use crate::streaming::dag::PlanStats;
+        let mut a = EpochPlanTotals::default();
+        assert_eq!(a.mean_width(), 0.0);
+        a.absorb(&PlanStats {
+            nodes: 6,
+            edges: 8,
+            groups: 2,
+            max_width: 5,
+            critical_path: 2,
+        });
+        a.absorb(&PlanStats {
+            nodes: 1,
+            edges: 0,
+            groups: 1,
+            max_width: 1,
+            critical_path: 1,
+        });
+        assert_eq!(a.epochs, 2);
+        assert_eq!(a.nodes, 7);
+        assert_eq!(a.groups, 3);
+        assert_eq!(a.max_width, 5, "max_width is a high-water mark");
+        assert_eq!(a.critical_path, 3);
+        let mut b = EpochPlanTotals::default();
+        b.absorb(&PlanStats {
+            nodes: 9,
+            edges: 1,
+            groups: 3,
+            max_width: 7,
+            critical_path: 3,
+        });
+        b.merge(&a);
+        assert_eq!(b.epochs, 3);
+        assert_eq!(b.nodes, 16);
+        assert_eq!(b.max_width, 7);
+        assert!((b.mean_width() - 16.0 / 6.0).abs() < 1e-12);
     }
 }

@@ -75,9 +75,9 @@ use parking_lot::Mutex;
 
 use crate::error::{IdesError, Result};
 use crate::projection::{join_host_with, BatchHostVectors, JoinOptions, JoinSolver, JoinWorkspace};
-use crate::streaming::{EpochOutcome, EpochUpdate, StreamingServer};
+use crate::streaming::{EpochOutcome, EpochUpdate, RejoinTables, StreamingServer};
 
-pub use metrics::{LatencyHistogram, ServiceStats};
+pub use metrics::{EpochPlanTotals, LatencyHistogram, ServiceStats};
 pub use shard::ShardedEngine;
 
 /// An endpoint of a distance query: one of the `k` landmarks the engine
@@ -420,6 +420,9 @@ struct WriterState {
     /// Scratch for the epoch-rejoin batch solve (scattered back into
     /// `coords` afterwards).
     epoch_coords: BatchHostVectors,
+    /// Slot-id list `0..slots` handed to the epoch plan as its rejoin
+    /// nodes (reused, high-water sized).
+    rejoin_ids: Vec<usize>,
     /// Per-request QR scratch for the uncoalesced baseline path.
     join_ws: JoinWorkspace,
 }
@@ -518,6 +521,9 @@ pub struct QueryEngine {
     /// while the writer lock is held, so the mutex is uncontended except
     /// against [`QueryEngine::publish_latency`] readers).
     publish_hist: Mutex<LatencyHistogram>,
+    /// Accumulated epoch-plan shape (recorded by [`QueryEngine::apply_epoch`]
+    /// while the writer lock is held).
+    plan_totals: Mutex<EpochPlanTotals>,
     /// Landmark count, immutable for the engine's lifetime.
     k: usize,
 }
@@ -561,6 +567,7 @@ impl QueryEngine {
             stage_in: Matrix::zeros(0, 0),
             stage_coords: BatchHostVectors::new(),
             epoch_coords: BatchHostVectors::new(),
+            rejoin_ids: Vec::new(),
             join_ws: JoinWorkspace::new(),
         };
         let initial = Arc::new(Self::build_snapshot(&writer)?);
@@ -572,6 +579,7 @@ impl QueryEngine {
             config,
             counters: Counters::default(),
             publish_hist: Mutex::new(LatencyHistogram::new()),
+            plan_totals: Mutex::new(EpochPlanTotals::default()),
             k,
         })
     }
@@ -859,14 +867,22 @@ impl QueryEngine {
     }
 
     /// Feeds one epoch of landmark measurement drift to the underlying
-    /// [`StreamingServer`] (absorb or refresh per its staleness policy),
-    /// re-joins every admitted host against the maintained model in one
-    /// batched cached solve, and publishes the new snapshot. Queries keep
-    /// being served from the previous snapshot until the publish lands.
+    /// [`StreamingServer`] through its dependency-DAG executor
+    /// ([`StreamingServer::apply_epoch_planned`]): absorb or refresh per
+    /// the staleness policy, with every admitted host a rejoin node of
+    /// the same plan, then publishes the new snapshot. Queries keep being
+    /// served from the previous snapshot until the publish lands. The
+    /// executed plan's shape accumulates into
+    /// [`QueryEngine::epoch_plan_totals`].
     pub fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome> {
         let mut w = self.writer.lock();
-        let outcome = w.server.apply_epoch(update)?;
-        if !w.coords.is_empty() {
+        let stats;
+        let outcome;
+        if w.coords.is_empty() {
+            let (o, s) = w.server.apply_epoch_planned(update, None, None)?;
+            outcome = o;
+            stats = s;
+        } else {
             let WriterState {
                 server,
                 dim,
@@ -874,25 +890,50 @@ impl QueryEngine {
                 meas_in,
                 coords,
                 epoch_coords,
+                rejoin_ids,
                 ..
             } = &mut *w;
             // Re-join the whole slot table (retired slots ride along
             // harmlessly — their rows are recomputed but stay dead), then
-            // scatter the batch solve back into the chunk tree. Every
-            // chunk is rewritten, so the copy-on-write layer adds one
-            // chunk copy per chunk — the same O(hosts·d) bytes a drift
-            // epoch inherently moves.
-            server.join_batch_cached(meas_out, meas_in, epoch_coords)?;
+            // scatter the plan's rejoin output back into the chunk tree.
+            // Every chunk is rewritten, so the copy-on-write layer adds
+            // one chunk copy per chunk — the same O(hosts·d) bytes a
+            // drift epoch inherently moves.
+            let slots = coords.len();
             let d = *dim;
-            for s in 0..coords.len() {
+            if rejoin_ids.len() != slots {
+                rejoin_ids.clear();
+                rejoin_ids.extend(0..slots);
+            }
+            epoch_coords.reset_shape(slots, d);
+            let (o, s) = server.apply_epoch_planned(
+                update,
+                Some(RejoinTables {
+                    hosts: rejoin_ids,
+                    d_out: meas_out,
+                    d_in: meas_in,
+                    coords: epoch_coords,
+                }),
+                None,
+            )?;
+            outcome = o;
+            stats = s;
+            for s in 0..slots {
                 let row = coords.row_mut(s);
                 row[..d].copy_from_slice(epoch_coords.outgoing(s));
                 row[d..].copy_from_slice(epoch_coords.incoming(s));
             }
         }
+        self.plan_totals.lock().absorb(&stats);
         self.counters.epochs.fetch_add(1, Ordering::Relaxed);
         self.publish(&mut w)?;
         Ok(outcome)
+    }
+
+    /// Accumulated shape of the epoch plans this engine's drift writer
+    /// has executed (group counts, antichain widths, critical paths).
+    pub fn epoch_plan_totals(&self) -> EpochPlanTotals {
+        *self.plan_totals.lock()
     }
 
     /// Counter snapshot (queries served, cache hits, joins, flushes,
@@ -1082,6 +1123,9 @@ pub trait DistanceService: Sync {
     fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome>;
     /// Aggregate counter snapshot.
     fn stats(&self) -> ServiceStats;
+    /// Accumulated epoch-plan shape across shards (DAG group counts,
+    /// antichain widths, critical paths).
+    fn epoch_plan_totals(&self) -> EpochPlanTotals;
     /// Drift epoch of the current snapshot(s).
     fn current_epoch(&self) -> f64;
     /// Merged publish-latency histogram across shards.
@@ -1122,6 +1166,9 @@ impl DistanceService for QueryEngine {
     }
     fn stats(&self) -> ServiceStats {
         QueryEngine::stats(self)
+    }
+    fn epoch_plan_totals(&self) -> EpochPlanTotals {
+        QueryEngine::epoch_plan_totals(self)
     }
     fn current_epoch(&self) -> f64 {
         self.snapshot().epoch()

@@ -38,7 +38,7 @@ use ides_mf::FactorModel;
 use crate::error::{IdesError, Result};
 use crate::streaming::{EpochOutcome, EpochUpdate, StreamingServer};
 
-use super::metrics::{LatencyHistogram, ServiceStats};
+use super::metrics::{EpochPlanTotals, LatencyHistogram, ServiceStats};
 use super::{DistanceService, NodeId, PairCache, QueryEngine, ServiceConfig, Snapshot};
 
 /// A horizontally sharded serving engine (see the [module docs](self)).
@@ -384,6 +384,18 @@ impl ShardedEngine {
         }
         merged
     }
+
+    /// Epoch-plan totals merged across every shard replica (sums, with
+    /// `max_width` the cross-shard high-water mark). Every shard executes
+    /// its own plan of each epoch, so `epochs` counts shard-plans, not
+    /// distinct drift epochs.
+    pub fn epoch_plan_totals(&self) -> EpochPlanTotals {
+        let mut merged = EpochPlanTotals::default();
+        for s in &self.shards {
+            merged.merge(&s.epoch_plan_totals());
+        }
+        merged
+    }
 }
 
 impl DistanceService for ShardedEngine {
@@ -410,6 +422,9 @@ impl DistanceService for ShardedEngine {
     }
     fn stats(&self) -> ServiceStats {
         ShardedEngine::stats(self)
+    }
+    fn epoch_plan_totals(&self) -> EpochPlanTotals {
+        ShardedEngine::epoch_plan_totals(self)
     }
     fn current_epoch(&self) -> f64 {
         self.shards[0].snapshot().epoch()

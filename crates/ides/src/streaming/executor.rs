@@ -1,0 +1,392 @@
+//! Level-by-level executor for planned epochs.
+//!
+//! [`StreamingServer::apply_epoch_planned`] turns one epoch's update
+//! batch into [`dag::EpochOp`]s, plans them with [`dag::EpochDag::build`],
+//! and executes the antichain levels in order. Within a level:
+//!
+//! 1. **Solve phase** (parallel): every absorb node's new factor rows are
+//!    computed against the level-start model and Grams — pure `&self`
+//!    reads into a detached scratch pool, one buffer per node, fanned out
+//!    over scoped threads. Each solve's floating-point op sequence
+//!    depends only on the level-start state and its own landmark, never
+//!    on the grouping or the thread count.
+//! 2. **Commit phase** (serial, the deterministic merge): solved rows are
+//!    swapped into the model and absorbed into the cached Grams by rank-1
+//!    surgery **in ascending node order** — the same order a width-1
+//!    (serial) plan commits in.
+//! 3. **Rejoin phase**: the level's host rejoins run through the cached
+//!    join path, sharded with [`crate::eval::map_shards_with`]; per-host
+//!    rows are computed independently and scattered in host order, so the
+//!    result is bit-identical at any shard count (the PR 5 property).
+//!
+//! Because solves read frozen level-start state and commits land in a
+//! fixed order, the executed result is **bit-identical to serial
+//! application at any thread count** — parallelism changes *when* a solve
+//! runs, never *what* it reads or the order its result is merged.
+
+use ides_linalg::Matrix;
+
+/// Minimum absorb nodes per spawned thread before a level's solve phase
+/// fans out under the automatic (`threads = None`) policy. One absorb
+/// solve is a couple of `O(d²)` back-substitutions — a few microseconds —
+/// while a scoped-thread spawn costs tens; below this grain parallelism
+/// is a pure loss and the level runs serial (bit-identical either way).
+const MIN_ABSORBS_PER_THREAD: usize = 32;
+
+/// Minimum rejoin nodes per spawned thread under the automatic policy;
+/// same reasoning as [`MIN_ABSORBS_PER_THREAD`] with the per-node cost of
+/// one cached-Gram host join.
+const MIN_REJOINS_PER_THREAD: usize = 256;
+
+/// Effective thread count for a level of `n` nodes: the ambient cap,
+/// clamped so each thread gets at least `min_per_thread` nodes.
+fn auto_fanout(n: usize, cap: usize, min_per_thread: usize) -> usize {
+    cap.min(n / min_per_thread).max(1)
+}
+
+use super::dag::{EpochDag, EpochOp, Observed, PlanStats};
+use super::{AbsorbSolution, EpochOutcome, EpochUpdate, RefreshStrategy, StreamingServer};
+use crate::error::{IdesError, Result};
+use crate::eval::{eval_threads, map_shards_with, shard_ranges};
+use crate::projection::BatchHostVectors;
+
+/// The ordinary-host side of a planned epoch: the full measurement tables
+/// and the coordinate cache whose affected rows the plan's rejoin nodes
+/// refresh in place.
+#[derive(Debug)]
+pub struct RejoinTables<'a> {
+    /// Hosts whose own measurements drifted this epoch (rows of the
+    /// measurement matrices); each becomes one rejoin node.
+    pub hosts: &'a [usize],
+    /// Full `hosts x k` outgoing measurement matrix.
+    pub d_out: &'a Matrix,
+    /// Full `hosts x k` incoming measurement matrix.
+    pub d_in: &'a Matrix,
+    /// Cached coordinate table; only rows in `hosts` are rewritten.
+    pub coords: &'a mut BatchHostVectors,
+}
+
+impl StreamingServer {
+    /// Ingests one epoch of measurement deltas and maintains the model
+    /// through a planned dependency DAG: absorb/refresh nodes per the
+    /// staleness policy, plus one rejoin node per host in `rejoin` (when
+    /// given).
+    ///
+    /// `threads = None` is the production policy: the ambient
+    /// `IDES_LINALG_THREADS`-resolved cap, with per-level fan-out
+    /// clamped by work size (`MIN_ABSORBS_PER_THREAD` /
+    /// `MIN_REJOINS_PER_THREAD`) so levels too small to amortize a
+    /// thread spawn run serial. `Some(t)` executes with exactly `t`
+    /// threads, no heuristic — the determinism suites use it to force
+    /// real fan-out at small scale. Either way the committed state is
+    /// **bit-identical to `threads = Some(1)`** — see the executor
+    /// module docs for the phase structure that guarantees it.
+    ///
+    /// Returns the epoch outcome together with the executed plan's
+    /// [`PlanStats`].
+    pub fn apply_epoch_planned(
+        &mut self,
+        update: &EpochUpdate,
+        rejoin: Option<RejoinTables<'_>>,
+        threads: Option<usize>,
+    ) -> Result<(EpochOutcome, PlanStats)> {
+        let k = self.landmark_count();
+        for d in &update.deltas {
+            if d.from >= k || d.to >= k {
+                return Err(IdesError::InvalidInput(format!(
+                    "delta ({}, {}) out of range for {k} landmarks",
+                    d.from, d.to
+                )));
+            }
+            if !d.rtt.is_finite() || d.rtt < 0.0 {
+                return Err(IdesError::InvalidInput(format!(
+                    "invalid RTT {} for delta ({}, {})",
+                    d.rtt, d.from, d.to
+                )));
+            }
+        }
+        if let Some(r) = &rejoin {
+            if r.coords.len() != r.d_out.rows() || r.coords.dim() != self.dim() {
+                return Err(IdesError::InvalidInput(format!(
+                    "coordinate table is {}x{}, expected {}x{}",
+                    r.coords.len(),
+                    r.coords.dim(),
+                    r.d_out.rows(),
+                    self.dim()
+                )));
+            }
+            if let Some(&bad) = r.hosts.iter().find(|&&h| h >= r.d_out.rows()) {
+                return Err(IdesError::InvalidInput(format!(
+                    "affected host {bad} out of range for {} hosts",
+                    r.d_out.rows()
+                )));
+            }
+        }
+        let auto = threads.is_none();
+        let threads = threads.unwrap_or_else(eval_threads).max(1);
+
+        // Apply the deltas and collect the touched landmarks in sorted
+        // order (deterministic absorb order).
+        let mut changed: Vec<usize> = Vec::new();
+        for d in &update.deltas {
+            self.landmarks[(d.from, d.to)] = d.rtt;
+            changed.push(d.from);
+            changed.push(d.to);
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        self.epoch = update.epoch;
+
+        let deviation = self.deviation();
+        let refreshed = deviation > self.policy.deviation_threshold;
+
+        // Plan: one refresh barrier or one absorb per changed landmark,
+        // then one full-measurement rejoin per affected host.
+        let mut ops: Vec<EpochOp> = Vec::new();
+        if refreshed {
+            ops.push(EpochOp::Refresh);
+        } else {
+            ops.extend(changed.iter().map(|&l| EpochOp::Absorb { landmark: l }));
+        }
+        if let Some(r) = &rejoin {
+            ops.extend(r.hosts.iter().map(|&h| EpochOp::Rejoin {
+                host: h,
+                observed: Observed::All,
+            }));
+        }
+        let dag = EpochDag::build(k, ops);
+        let stats = dag.stats();
+
+        let mut rejoin = rejoin;
+        for level in dag.levels() {
+            self.execute_level(&dag, level, rejoin.as_mut(), threads, auto)?;
+        }
+
+        let absorbed = if refreshed { 0 } else { changed.len() };
+        let sweeps = if refreshed {
+            self.policy.sweep_budget
+        } else {
+            0
+        };
+        Ok((
+            EpochOutcome {
+                epoch: update.epoch,
+                applied: update.deltas.len(),
+                absorbed,
+                deviation,
+                refreshed,
+                sweeps,
+            },
+            stats,
+        ))
+    }
+
+    /// Executes one antichain: parallel absorb solves, serial in-order
+    /// commits, then the level's rejoins. With `auto` set, each phase's
+    /// fan-out is clamped by its node count so undersized levels skip the
+    /// thread spawns entirely.
+    fn execute_level(
+        &mut self,
+        dag: &EpochDag,
+        level: &[usize],
+        rejoin: Option<&mut RejoinTables<'_>>,
+        threads: usize,
+        auto: bool,
+    ) -> Result<()> {
+        let mut absorbs: Vec<usize> = Vec::new();
+        let mut hosts: Vec<usize> = Vec::new();
+        let mut refresh = false;
+        for &node in level {
+            match &dag.ops()[node] {
+                EpochOp::Absorb { landmark } => absorbs.push(*landmark),
+                EpochOp::Rejoin { host, .. } => hosts.push(*host),
+                EpochOp::Refresh => refresh = true,
+            }
+        }
+        if refresh {
+            self.refresh()?;
+        }
+        if !absorbs.is_empty() {
+            let t = if auto {
+                auto_fanout(absorbs.len(), threads, MIN_ABSORBS_PER_THREAD)
+            } else {
+                threads
+            };
+            self.absorb_level(&absorbs, t)?;
+        }
+        if !hosts.is_empty() {
+            let t = if auto {
+                auto_fanout(hosts.len(), threads, MIN_REJOINS_PER_THREAD)
+            } else {
+                threads
+            };
+            let r = rejoin.expect("plan contains rejoin nodes only when tables were given");
+            self.rejoin_hosts_with(&hosts, r.d_out, r.d_in, r.coords, t)?;
+        }
+        Ok(())
+    }
+
+    /// One level's absorbs: solve every landmark's new factor rows against
+    /// the frozen level-start state (parallel over the detached scratch
+    /// pool — each solve reads `&self` only), then commit them serially in
+    /// node order. A width-1 level degenerates to exactly the serial
+    /// solve-then-commit sequence, so the staged schedule *is* the serial
+    /// semantics, not an approximation of it.
+    fn absorb_level(&mut self, landmarks: &[usize], threads: usize) -> Result<()> {
+        // Detach the solution pool so the solve phase can borrow `self`
+        // shared while writing into per-node buffers.
+        let mut pool = std::mem::take(&mut self.scratch.pool);
+        if pool.len() < landmarks.len() {
+            pool.resize_with(landmarks.len(), AbsorbSolution::default);
+        }
+        let solve_result: Result<()> = if threads <= 1 || landmarks.len() <= 1 {
+            landmarks
+                .iter()
+                .zip(pool.iter_mut())
+                .try_for_each(|(&l, sol)| self.solve_absorb(l, sol))
+        } else {
+            let ranges = shard_ranges(landmarks.len(), threads);
+            let mut chunks: Vec<(&[usize], &mut [AbsorbSolution])> = Vec::new();
+            let mut rest_l = landmarks;
+            let mut rest_p = &mut pool[..landmarks.len()];
+            for &(lo, hi) in &ranges {
+                let (lhs_l, rhs_l) = rest_l.split_at(hi - lo);
+                let (lhs_p, rhs_p) = std::mem::take(&mut rest_p).split_at_mut(hi - lo);
+                chunks.push((lhs_l, lhs_p));
+                rest_l = rhs_l;
+                rest_p = rhs_p;
+            }
+            let mut slots: Vec<Option<Result<()>>> = Vec::new();
+            slots.resize_with(chunks.len(), || None);
+            std::thread::scope(|scope| {
+                for (slot, (ls, sols)) in slots.iter_mut().zip(chunks) {
+                    let server = &*self;
+                    scope.spawn(move || {
+                        *slot = Some(
+                            ls.iter()
+                                .zip(sols.iter_mut())
+                                .try_for_each(|(&l, sol)| server.solve_absorb(l, sol)),
+                        );
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .try_for_each(|s| s.expect("every solve thread ran"))
+        };
+        // Commit in node order even if a solve failed part-way: nothing
+        // was committed yet, so an error leaves the level unapplied.
+        let commit_result = solve_result.and_then(|()| {
+            landmarks
+                .iter()
+                .zip(pool.iter())
+                .try_for_each(|(&l, sol)| self.commit_absorb(l, sol))
+        });
+        // Restore the pool (with its grown high-water capacity) before
+        // surfacing any error.
+        self.scratch.pool = pool;
+        commit_result
+    }
+
+    /// Solve phase of one absorb: recompute landmark `l`'s outgoing and
+    /// incoming factor rows against the current (level-start) factors —
+    /// via the cached Grams for ALS-family servers (`O(k d)` right-hand
+    /// sides, `O(d²)` per solve), via ridge-augmented NNLS for NMF-family
+    /// servers so factors stay nonnegative between refreshes. Reads
+    /// `&self` only; the arithmetic is exactly the pre-DAG serial absorb's
+    /// solve sequence.
+    fn solve_absorb(&self, l: usize, sol: &mut AbsorbSolution) -> Result<()> {
+        let d = self.dim();
+        let k = self.landmark_count();
+        sol.col.clear();
+        sol.col.extend((0..k).map(|i| self.landmarks[(i, l)]));
+        if matches!(self.refit, RefreshStrategy::Nmf(_)) {
+            // NNLS absorb tier: min ‖Y x − D[l, :]‖ + λ‖x‖² s.t. x ≥ 0
+            // (and the mirrored incoming problem). The ridge is applied
+            // the standard way — augmenting the design with √λ·I rows —
+            // so the policy's λ knob binds this tier exactly like the
+            // cached-Gram solves of the ALS branch. Lawson–Hanson
+            // allocates its active-set scratch, so NMF absorbs trade the
+            // zero-allocation property for the nonnegativity guarantee.
+            let ridge = self.policy.ridge;
+            sol.new_x.clear();
+            sol.new_x.extend(super::nnls_ridge(
+                self.model.y(),
+                self.landmarks.row(l),
+                ridge,
+            )?);
+            sol.new_y.clear();
+            sol.new_y
+                .extend(super::nnls_ridge(self.model.x(), &sol.col, ridge)?);
+        } else {
+            // New outgoing row: solve (YᵀY + λI) x = Yᵀ D[l, :].
+            sol.new_x.clear();
+            sol.new_x.resize(d, 0.0);
+            self.model
+                .y()
+                .tr_matvec_into(self.landmarks.row(l), &mut sol.new_x)?;
+            self.gram_y.solve_in_place(&mut sol.new_x)?;
+            // New incoming row: solve (XᵀX + λI) y = Xᵀ D[:, l].
+            sol.new_y.clear();
+            sol.new_y.resize(d, 0.0);
+            self.model.x().tr_matvec_into(&sol.col, &mut sol.new_y)?;
+            self.gram_x.solve_in_place(&mut sol.new_y)?;
+        }
+        Ok(())
+    }
+
+    /// Commit phase of one absorb: swap the solved rows into the model and
+    /// let the Grams absorb the change surgically; a failed downdate (mass
+    /// loss beyond what the factor holds) falls back to one
+    /// refactorization. Commits run serially in ascending node order —
+    /// the deterministic merge.
+    fn commit_absorb(&mut self, l: usize, sol: &AbsorbSolution) -> Result<()> {
+        let ws = &mut self.scratch;
+        ws.old_x.clear();
+        ws.old_x.extend_from_slice(self.model.outgoing(l));
+        ws.old_y.clear();
+        ws.old_y.extend_from_slice(self.model.incoming(l));
+        self.model.set_outgoing(l, &sol.new_x);
+        self.model.set_incoming(l, &sol.new_y);
+        let surgically = self
+            .gram_y
+            .replace_row(&self.scratch.old_y, &sol.new_y)
+            .and_then(|()| self.gram_x.replace_row(&self.scratch.old_x, &sol.new_x));
+        if surgically.is_err() {
+            self.refactor_grams()?;
+            self.gram_refactors += 1;
+        }
+        self.absorbed_total += 1;
+        Ok(())
+    }
+
+    /// Re-joins `hosts` through the cached join path with an explicit
+    /// shard count: per-host rows are computed independently and scattered
+    /// in host order, so the result is bit-identical at any `threads`.
+    pub(crate) fn rejoin_hosts_with(
+        &self,
+        hosts: &[usize],
+        d_out: &Matrix,
+        d_in: &Matrix,
+        coords: &mut BatchHostVectors,
+        threads: usize,
+    ) -> Result<()> {
+        let shards = map_shards_with(hosts, threads, |shard, _offset| {
+            let mut batch = BatchHostVectors::new();
+            self.join_batch_cached(
+                &d_out.select_rows(shard),
+                &d_in.select_rows(shard),
+                &mut batch,
+            )?;
+            Ok(batch)
+        })?;
+        let mut cursor = 0usize;
+        for batch in &shards {
+            for i in 0..batch.len() {
+                coords.set_host(hosts[cursor], batch.outgoing(i), batch.incoming(i));
+                cursor += 1;
+            }
+        }
+        Ok(())
+    }
+}

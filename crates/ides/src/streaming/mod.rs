@@ -40,6 +40,23 @@
 //! re-joining only the affected hosts, while the accuracy stays within a
 //! few percent of a fresh fit at drift amplitude 0.2 (the `streaming_update`
 //! experiment binary measures the accuracy side).
+//!
+//! **Dependency-DAG epoch application.** An epoch's maintenance work is
+//! planned as a dependency DAG ([`dag::EpochDag`]) and executed level by
+//! level ([`StreamingServer::apply_epoch_planned`]): each antichain's
+//! landmark solves run concurrently on scoped threads against the
+//! level-start state, then commit serially in ascending node order —
+//! bit-identical to serial application at any thread count, because
+//! every solve's floating-point op sequence is independent of the
+//! grouping and the commit (merge) order is fixed. See the [`dag`]
+//! module docs for the dependency rules and the executor docs on
+//! [`StreamingServer::apply_epoch_planned`] for the bit-identity
+//! argument.
+
+pub mod dag;
+mod executor;
+
+pub use executor::RejoinTables;
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -53,7 +70,6 @@ use ides_mf::nmf::{self, NmfConfig};
 use ides_mf::FactorModel;
 
 use crate::error::{IdesError, Result};
-use crate::eval::map_shards;
 use crate::projection::{BatchHostVectors, JoinOptions, JoinSolver};
 use crate::system::{IdesConfig, InformationServer};
 
@@ -282,16 +298,25 @@ pub struct StreamingServer {
     scratch: AbsorbScratch,
 }
 
-/// Reusable buffers for [`StreamingServer::absorb_landmark`]: the
-/// re-solved rows, the gathered matrix column, and the displaced factor
-/// rows. Sized once (high-water mark `d` / `k`), then allocation-free.
+/// Absorb-tier scratch: the displaced factor rows captured at commit time
+/// plus a pool of per-landmark solve buffers (one [`AbsorbSolution`] per
+/// absorb node of the current epoch's widest level). Sized once
+/// (high-water mark `d` / `k` / absorbs-per-epoch), then allocation-free.
 #[derive(Debug, Clone, Default)]
 struct AbsorbScratch {
+    old_x: Vec<f64>,
+    old_y: Vec<f64>,
+    pool: Vec<AbsorbSolution>,
+}
+
+/// One landmark's solve-phase output (and its gather scratch): the
+/// re-solved outgoing/incoming factor rows, computed against the
+/// level-start state and committed later in node order.
+#[derive(Debug, Clone, Default)]
+struct AbsorbSolution {
     new_x: Vec<f64>,
     new_y: Vec<f64>,
     col: Vec<f64>,
-    old_x: Vec<f64>,
-    old_y: Vec<f64>,
 }
 
 impl StreamingServer {
@@ -463,54 +488,13 @@ impl StreamingServer {
     /// Ingests one epoch of measurement deltas and maintains the model —
     /// absorb or refresh, per the staleness policy. See the module docs
     /// for the tiers and their costs.
+    ///
+    /// This is [`StreamingServer::apply_epoch_planned`] with no rejoin
+    /// set and the ambient thread count; the plan statistics are
+    /// discarded.
     pub fn apply_epoch(&mut self, update: &EpochUpdate) -> Result<EpochOutcome> {
-        let k = self.landmark_count();
-        for d in &update.deltas {
-            if d.from >= k || d.to >= k {
-                return Err(IdesError::InvalidInput(format!(
-                    "delta ({}, {}) out of range for {k} landmarks",
-                    d.from, d.to
-                )));
-            }
-            if !d.rtt.is_finite() || d.rtt < 0.0 {
-                return Err(IdesError::InvalidInput(format!(
-                    "invalid RTT {} for delta ({}, {})",
-                    d.rtt, d.from, d.to
-                )));
-            }
-        }
-        // Apply the deltas and collect the touched landmarks in sorted
-        // order (deterministic absorb order).
-        let mut changed: Vec<usize> = Vec::new();
-        for d in &update.deltas {
-            self.landmarks[(d.from, d.to)] = d.rtt;
-            changed.push(d.from);
-            changed.push(d.to);
-        }
-        changed.sort_unstable();
-        changed.dedup();
-        self.epoch = update.epoch;
-
-        let deviation = self.deviation();
-        let refreshed = deviation > self.policy.deviation_threshold;
-        let (absorbed, sweeps) = if refreshed {
-            self.refresh()?;
-            (0, self.policy.sweep_budget)
-        } else {
-            let n = changed.len();
-            for &l in &changed {
-                self.absorb_landmark(l)?;
-            }
-            (n, 0)
-        };
-        Ok(EpochOutcome {
-            epoch: update.epoch,
-            applied: update.deltas.len(),
-            absorbed,
-            deviation,
-            refreshed,
-            sweeps,
-        })
+        self.apply_epoch_planned(update, None, None)
+            .map(|(outcome, _)| outcome)
     }
 
     /// Warm partial refit: a bounded number of warm sweeps (ALS) or
@@ -561,71 +545,6 @@ impl StreamingServer {
         self.gram_x
             .refactor(self.model.x())
             .map_err(|_| IdesError::InvalidInput("refreshed factors are rank-deficient".into()))?;
-        Ok(())
-    }
-
-    /// Absorbs landmark `l`'s changed measurements: re-solves its
-    /// outgoing vector against the incoming factors (and vice versa) —
-    /// via the cached Grams for ALS-family servers (`O(k d)` for the
-    /// right-hand sides, `O(d²)` per solve), via [`nnls`] for NMF-family
-    /// servers so factors stay nonnegative between refreshes — then lets
-    /// both Grams absorb the changed factor rows by rank-1 up/downdates.
-    /// Falls back to a full Gram refactorization when a downdate would
-    /// lose positive definiteness.
-    fn absorb_landmark(&mut self, l: usize) -> Result<()> {
-        let d = self.dim();
-        let k = self.landmark_count();
-        let nonnegative = matches!(self.refit, RefreshStrategy::Nmf(_));
-        let ws = &mut self.scratch;
-        ws.col.clear();
-        ws.col.extend((0..k).map(|i| self.landmarks[(i, l)]));
-        if nonnegative {
-            // NNLS absorb tier: min ‖Y x − D[l, :]‖ + λ‖x‖² s.t. x ≥ 0
-            // (and the mirrored incoming problem). The ridge is applied
-            // the standard way — augmenting the design with √λ·I rows —
-            // so the policy's λ knob binds this tier exactly like the
-            // cached-Gram solves of the ALS branch. Lawson–Hanson
-            // allocates its active-set scratch, so NMF absorbs trade the
-            // zero-allocation property for the nonnegativity guarantee.
-            let ridge = self.policy.ridge;
-            ws.new_x.clear();
-            ws.new_x
-                .extend(nnls_ridge(self.model.y(), self.landmarks.row(l), ridge)?);
-            ws.new_y.clear();
-            ws.new_y.extend(nnls_ridge(self.model.x(), &ws.col, ridge)?);
-        } else {
-            // New outgoing row: solve (YᵀY + λI) x = Yᵀ D[l, :].
-            ws.new_x.clear();
-            ws.new_x.resize(d, 0.0);
-            self.model
-                .y()
-                .tr_matvec_into(self.landmarks.row(l), &mut ws.new_x)?;
-            self.gram_y.solve_in_place(&mut ws.new_x)?;
-            // New incoming row: solve (XᵀX + λI) y = Xᵀ D[:, l].
-            ws.new_y.clear();
-            ws.new_y.resize(d, 0.0);
-            self.model.x().tr_matvec_into(&ws.col, &mut ws.new_y)?;
-            self.gram_x.solve_in_place(&mut ws.new_y)?;
-        }
-
-        // Swap the rows in and let the Grams absorb the change surgically;
-        // a failed downdate (mass loss beyond what the factor holds) falls
-        // back to one refactorization.
-        ws.old_x.clear();
-        ws.old_x.extend_from_slice(self.model.outgoing(l));
-        ws.old_y.clear();
-        ws.old_y.extend_from_slice(self.model.incoming(l));
-        self.model.set_outgoing(l, &ws.new_x);
-        self.model.set_incoming(l, &ws.new_y);
-        let surgically = self
-            .gram_y
-            .replace_row(&ws.old_y, &ws.new_y)
-            .and_then(|()| self.gram_x.replace_row(&ws.old_x, &ws.new_x));
-        if surgically.is_err() {
-            self.refactor_grams()?;
-            self.gram_refactors += 1;
-        }
-        self.absorbed_total += 1;
         Ok(())
     }
 
@@ -701,23 +620,7 @@ impl StreamingServer {
                 d_out.rows()
             )));
         }
-        let shards = map_shards(affected, |shard, _offset| {
-            let mut batch = BatchHostVectors::new();
-            self.join_batch_cached(
-                &d_out.select_rows(shard),
-                &d_in.select_rows(shard),
-                &mut batch,
-            )?;
-            Ok(batch)
-        })?;
-        let mut cursor = 0usize;
-        for batch in &shards {
-            for i in 0..batch.len() {
-                coords.set_host(affected[cursor], batch.outgoing(i), batch.incoming(i));
-                cursor += 1;
-            }
-        }
-        Ok(())
+        self.rejoin_hosts_with(affected, d_out, d_in, coords, crate::eval::eval_threads())
     }
 }
 

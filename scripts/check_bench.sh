@@ -23,12 +23,19 @@
 #                        (default 0.7) x the 1-shard qps (per-query cost
 #                        must not grow with shard count; multi-core
 #                        scaling needs cores this runner may not have)
+#   epoch_apply          DAG epoch application >= MIN_DAG_RATIO (default
+#                        0.9) x serial at 500 and 5000 hosts — on the
+#                        single-core CI runner parallel planning must cost
+#                        (almost) nothing, mirroring the sharded-qps
+#                        honesty note
 # Ratios are used instead of raw medians because CI runners and the
 # machines that commit BENCH_*.json have different CPUs: absolute
 # nanoseconds are not comparable across hosts, but "how much faster is the
 # optimized path than its in-process control" is. A key group present in
 # the baseline but missing (or ratio-regressed beyond MAX_REGRESSION_PCT,
-# default 25) in the smoke run fails the job.
+# default 25) in the smoke run fails the job; a within-run-gated group
+# missing from the smoke run fails it too (a renamed bench must not
+# un-gate itself).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +43,7 @@ cd "$(dirname "$0")/.."
 smoke="${1:?usage: check_bench.sh SMOKE_JSON [BASELINE_JSON]}"
 # `ls` exits non-zero when no snapshot exists; don't let set -e/pipefail
 # turn "no baseline" into an opaque abort — that case is a clean skip.
+# shellcheck disable=SC2012  # fixed BENCH_NNNN names: no spaces/controls to mangle
 baseline="${2:-$({ ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null || true; } | sort | tail -n 1)}"
 max_pct="${MAX_REGRESSION_PCT:-25}"
 
@@ -93,17 +101,21 @@ check() {
 # (AVX2 vs AVX-512) differs across hosts and a baseline recorded on one
 # can't calibrate another. Both benches run in the same process on the
 # same host, so their ratio is host-independent in the way that matters:
-# "the runtime dispatcher picked a vector kernel and it pays off". Skips
-# when the fast/slow pair is absent from the smoke run (pre-SIMD bench
-# set). On a runner whose CPU lacks AVX2+FMA the dispatcher falls back to
-# scalar and the ratio is ~1x; set MIN_SIMD_SPEEDUP=0 there to disable.
+# "the runtime dispatcher picked a vector kernel and it pays off". A
+# missing fast/slow pair is a hard failure: every within-run-gated group
+# ships in the smoke bench set, so absence means a rename or a dropped
+# registration, not an older snapshot. On a runner whose CPU lacks
+# AVX2+FMA the dispatcher falls back to scalar and the ratio is ~1x; set
+# MIN_SIMD_SPEEDUP=0 there to disable that one floor (the group must
+# still be present).
 check_abs() {
     local group="$1" fast="$2" slow="$3" min="$4" label="$5"
     local sf ss
     sf="$(median_ns "$smoke" "$group" "$fast")"
     ss="$(median_ns "$smoke" "$group" "$slow")"
     if [ "$sf" = "null" ] || [ "$ss" = "null" ]; then
-        echo "  skip $label: not in smoke run" >&2
+        echo "  FAIL $label: gated pair missing from smoke run" >&2
+        fail=1
         return
     fi
     local verdict
@@ -128,7 +140,8 @@ check_abs_max() {
     sn="$(median_ns "$smoke" "$group" "$num")"
     sd="$(median_ns "$smoke" "$group" "$den")"
     if [ "$sn" = "null" ] || [ "$sd" = "null" ]; then
-        echo "  skip $label: not in smoke run" >&2
+        echo "  FAIL $label: gated pair missing from smoke run" >&2
+        fail=1
         return
     fi
     local verdict
@@ -157,6 +170,10 @@ check_abs serve_sharded "qps/shards4" "qps/shards1" "${MIN_SHARD_QPS_RATIO:-0.7}
     "serve_sharded (4-shard single-core qps vs 1-shard)"
 check_abs serve_sharded "qps/shards8" "qps/shards1" "${MIN_SHARD_QPS_RATIO:-0.7}" \
     "serve_sharded (8-shard single-core qps vs 1-shard)"
+check_abs epoch_apply "dag/500" "serial/500" "${MIN_DAG_RATIO:-0.9}" \
+    "epoch_apply/500 (DAG vs serial epoch application)"
+check_abs epoch_apply "dag/5000" "serial/5000" "${MIN_DAG_RATIO:-0.9}" \
+    "epoch_apply/5000 (DAG vs serial epoch application)"
 
 if [ "$fail" -ne 0 ]; then
     echo "bench regression gate FAILED" >&2

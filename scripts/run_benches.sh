@@ -25,15 +25,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update serve serve_sharded table1}"
+BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update epoch_apply serve serve_sharded table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update serve serve_sharded}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update epoch_apply serve serve_sharded}"
     export CRITERION_QUICK=1
 fi
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+# shellcheck disable=SC2086  # BENCHES is a space-separated word list
 for bench in $BENCHES; do
     echo "== bench: $bench" >&2
     if ! CRITERION_JSON="$tmpdir/$bench.json" \
@@ -66,6 +67,7 @@ jq -n \
     --arg rustc "$(rustc --version)" \
     '{date: $date, host: $host, cores: ($cores | tonumber), rustc: $rustc, benches: {}}' \
     > "$out.tmp"
+# shellcheck disable=SC2086  # BENCHES is a space-separated word list
 for bench in $BENCHES; do
     jq --arg name "$bench" --slurpfile records "$tmpdir/$bench.json" \
         '.benches[$name] = $records[0]' "$out.tmp" > "$out.tmp2"
@@ -74,6 +76,7 @@ done
 
 # Full runs: attach the streaming accuracy-vs-staleness summary so the
 # committed trajectory records accuracy next to the update-cost numbers.
+# shellcheck disable=SC2086  # BENCHES is a space-separated word list
 if [ "${QUICK:-0}" != "1" ] && printf '%s\n' $BENCHES | grep -qx streaming_update; then
     echo "== experiment: streaming_update accuracy" >&2
     if ! cargo run --release -q -p ides-experiments --bin streaming_update -- --json \
@@ -91,6 +94,7 @@ fi
 # under drift). Full runs use the serve_load experiment (4s, 500 hosts);
 # QUICK smoke runs a 2-second loadgen through the CLI so the serving
 # path gets end-to-end exercise in CI too.
+# shellcheck disable=SC2086  # BENCHES is a space-separated word list
 if printf '%s\n' $BENCHES | grep -qx serve; then
     if [ "${QUICK:-0}" = "1" ]; then
         echo "== smoke: 2-second sharded loadgen (ides-cli serve --shards 4)" >&2
@@ -116,11 +120,14 @@ mv "$out.tmp" "$out"
 echo "wrote $out" >&2
 
 # Surface the headline numbers: blocked vs naive matmul at 512, the
-# batched vs per-host join speedup at 500 hosts, and the per-epoch
-# incremental update vs full refit at 500 hosts.
+# batched vs per-host join speedup at 500 hosts, the per-epoch
+# incremental update vs full refit at 500 hosts, and serial vs DAG epoch
+# application. Every headline guards ALL the operands it divides by, so a
+# partial QUICK snapshot (BENCHES_OVERRIDE with a subset of groups) never
+# prints spurious `null`-arithmetic output.
 jq -r '.benches.kernels // [] | map(select(.group == "matmul")) |
        map({(.bench): .median_ns}) | add // {} |
-       if (."blocked/512") then
+       if (."blocked/512") and (."naive_ijk/512") and (."seed_ikj/512") then
          "matmul/512 speedup vs naive_ijk: \((."naive_ijk/512" / ."blocked/512") * 100 | round / 100)x, " +
          "vs seed_ikj: \((."seed_ikj/512" / ."blocked/512") * 100 | round / 100)x" +
          (if (."blocked_scalar/512") then
@@ -136,7 +143,9 @@ jq -r '.benches.kernels // [] | map(select(.group == "matmul" and .gflops)) |
        else empty end' "$out" >&2 || true
 jq -r '.benches.factor // [] | map(select(.group == "factor")) |
        map({(.bench): .median_ns}) | add // {} |
-       if (."svd_blocked/512") and (."svd_jacobi/512") then
+       if (."svd_blocked/512") and (."svd_jacobi/512") and
+          (."qr_unblocked/512") and (."qr_blocked/512") and
+          (."eig_jacobi/512") and (."eig_blocked/512") then
          "factor/512 speedup blocked vs unblocked: " +
          "svd \((."svd_jacobi/512" / ."svd_blocked/512") * 100 | round / 100)x, " +
          "qr \((."qr_unblocked/512" / ."qr_blocked/512") * 100 | round / 100)x, " +
@@ -144,14 +153,15 @@ jq -r '.benches.factor // [] | map(select(.group == "factor")) |
        else empty end' "$out" >&2 || true
 jq -r '.benches.join_batch // [] | map(select(.group == "join_batch")) |
        map({(.bench): .median_ns}) | add // {} |
-       if (."batched_qr/500") then
+       if (."batched_qr/500") and (."per_host_qr/500") and
+          (."per_host_normal_eq/500") and (."batched_normal_eq/500") then
          "join_batch/500 speedup batched vs per-host: " +
          "qr \((."per_host_qr/500" / ."batched_qr/500") * 100 | round / 100)x, " +
          "normal_eq \((."per_host_normal_eq/500" / ."batched_normal_eq/500") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true
 jq -r '.benches.streaming_update // [] | map(select(.group == "streaming_update")) |
        map({(.bench): .median_ns}) | add // {} |
-       if (."incremental/500") then
+       if (."incremental/500") and (."full_refit/500") and (."warm_refresh/500") then
          "streaming_update/500 full refit vs incremental: \((."full_refit/500" / ."incremental/500") * 100 | round / 100)x, " +
          "vs warm refresh: \((."full_refit/500" / ."warm_refresh/500") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true
@@ -161,7 +171,8 @@ jq -r 'if .streaming_accuracy then
        else empty end' "$out" >&2 || true
 jq -r '.benches.serve // [] | map(select(.group == "serve")) |
        map({(.bench): .median_ns}) | add // {} |
-       if (."coalesced_join/500") then
+       if (."coalesced_join/500") and (."per_request_join/500") and
+          (."query_under_drift/500") and (."query_quiescent/500") then
          "serve/500 coalesced vs per-request admission: \((."per_request_join/500" / ."coalesced_join/500") * 100 | round / 100)x; " +
          "query under drift vs quiescent (median): \((."query_under_drift/500" / ."query_quiescent/500") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true
@@ -172,9 +183,23 @@ jq -r 'if .serving then
        else empty end' "$out" >&2 || true
 jq -r '.benches.serve_sharded // [] | map(select(.group == "serve_sharded")) |
        map({(.bench): .median_ns}) | add // {} |
-       if (."publish_churn/1x") and (."qps/shards1") then
+       if (."publish_churn/1x") and (."publish_churn/10x") and
+          (."qps/shards1") and (."qps/shards2") and (."qps/shards4") and (."qps/shards8") then
          "serve_sharded: publish churn at 10x hosts \((."publish_churn/10x" / ."publish_churn/1x") * 100 | round / 100)x the 1x cost; " +
          "single-core qps vs 1 shard: 2 shards \((."qps/shards1" / ."qps/shards2") * 100 | round / 100)x, " +
          "4 shards \((."qps/shards1" / ."qps/shards4") * 100 | round / 100)x, " +
          "8 shards \((."qps/shards1" / ."qps/shards8") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.epoch_apply // [] | map(select(.group == "epoch_apply")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."serial/500") and (."dag/500") and (."serial/5000") and (."dag/5000") then
+         "epoch_apply DAG vs serial: " +
+         "500 hosts \((."serial/500" / ."dag/500") * 100 | round / 100)x, " +
+         "5000 hosts \((."serial/5000" / ."dag/5000") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r 'if (.serving.epoch_plan_epochs // 0) > 0 then
+         "serving epoch plans: \(.serving.epoch_plan_epochs) executed, " +
+         "mean width \((.serving.epoch_plan_mean_width * 10 | round) / 10) " +
+         "(max \(.serving.epoch_plan_max_width)), " +
+         "critical path \(.serving.epoch_plan_critical_path) over \(.serving.epoch_plan_groups) groups"
        else empty end' "$out" >&2 || true
