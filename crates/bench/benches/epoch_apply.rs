@@ -106,12 +106,12 @@ fn bench_epoch_apply(c: &mut Criterion) {
                 .server
                 .apply_epoch_planned(
                     &s.update,
-                    Some(RejoinTables {
-                        hosts: &s.affected,
-                        d_out: &s.meas,
-                        d_in: &s.meas,
-                        coords: &mut s.coords,
-                    }),
+                    Some(RejoinTables::full(
+                        &s.affected,
+                        &s.meas,
+                        &s.meas,
+                        &mut s.coords,
+                    )),
                     threads,
                 )
                 .expect("warmup epoch");
@@ -125,12 +125,12 @@ fn bench_epoch_apply(c: &mut Criterion) {
                     s.server
                         .apply_epoch_planned(
                             &s.update,
-                            Some(RejoinTables {
-                                hosts: &s.affected,
-                                d_out: &s.meas,
-                                d_in: &s.meas,
-                                coords: &mut s.coords,
-                            }),
+                            Some(RejoinTables::full(
+                                &s.affected,
+                                &s.meas,
+                                &s.meas,
+                                &mut s.coords,
+                            )),
                             threads,
                         )
                         .expect("apply")

@@ -65,7 +65,9 @@ commands:
   serve                       load-test the concurrent serving engine
                               (--landmarks K --hosts H --dim D --threads T
                                --shards N for a horizontally sharded
-                               engine, --duration-s S --rate QPS-per-thread
+                               engine, --drift-batch B to pipeline B drift
+                               epochs per writer call,
+                               --duration-s S --rate QPS-per-thread
                                for open loop, --seed N, --json); admits H
                                hosts, compares coalesced vs per-request
                                admission, then measures query p50/p99
@@ -431,6 +433,11 @@ fn cmd_serve(args: &Args) {
         eprintln!("error: --shards must be >= 1");
         exit(2);
     }
+    let drift_batch: usize = args.get_parsed("drift-batch", 1);
+    if drift_batch == 0 {
+        eprintln!("error: --drift-batch must be >= 1");
+        exit(2);
+    }
     let config = ServeMeasurementConfig {
         landmarks,
         dim,
@@ -441,6 +448,7 @@ fn cmd_serve(args: &Args) {
         phase: Duration::from_secs_f64((duration_s / 2.0).max(0.2)),
         pace_per_thread: (rate > 0.0).then_some(rate),
         shards,
+        drift_batch,
         ..ServeMeasurementConfig::default()
     };
     let summary = ServeSummary::measure(config).unwrap_or_else(|e| {
@@ -486,6 +494,12 @@ fn cmd_serve(args: &Args) {
             summary.epoch_plan.max_width,
             summary.epoch_plan.critical_path,
             summary.epoch_plan.groups
+        );
+        println!(
+            "epoch pruning:       {:.1}% of worst-case edges avoided ({} rejoins elided), pipeline overlap {:.0}%",
+            summary.epoch_plan.pruning_ratio() * 100.0,
+            summary.epoch_plan.pruned,
+            summary.epoch_plan.overlap_fraction() * 100.0
         );
     }
     let pub_us = |q: f64| summary.publish.quantile(q).as_secs_f64() * 1e6;

@@ -60,14 +60,21 @@ impl Default for LoadConfig {
 }
 
 /// Continuous drift applied while the query load runs: the updates are
-/// cycled in order, one [`QueryEngine::apply_epoch`] per `interval`.
+/// cycled in order, one writer call per `interval` — a single
+/// [`QueryEngine::apply_epoch`] when `batch <= 1`, a pipelined
+/// [`QueryEngine::apply_epochs`] batch otherwise (epoch `N`'s host
+/// rejoins overlap epoch `N+1`'s landmark absorbs; one publish per
+/// batch).
 #[derive(Debug, Clone)]
 pub struct DriftLoad {
     /// Epoch updates to cycle through (epochs are re-stamped
     /// monotonically so the streaming server always moves forward).
     pub updates: Vec<EpochUpdate>,
-    /// Wall-clock gap between epochs.
+    /// Wall-clock gap between writer calls.
     pub interval: Duration,
+    /// Epochs per writer call (0/1 = classic barriered single epochs;
+    /// >= 2 engages the cross-epoch pipeline).
+    pub batch: usize,
 }
 
 /// Continuous admission churn applied while the query load runs: each
@@ -161,16 +168,26 @@ pub fn run<S: DistanceService + ?Sized>(
             scope.spawn(move || {
                 let mut epoch = f64::max(engine.current_epoch(), 0.0);
                 let mut i = 0usize;
+                let batch = d.batch.max(1);
+                let mut updates: Vec<EpochUpdate> = Vec::with_capacity(batch);
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(d.interval);
                     if stop.load(Ordering::Relaxed) || d.updates.is_empty() {
                         break;
                     }
-                    epoch += 1.0;
-                    let mut update = d.updates[i % d.updates.len()].clone();
-                    update.epoch = epoch;
-                    engine.apply_epoch(&update).expect("drift epoch");
-                    i += 1;
+                    updates.clear();
+                    for _ in 0..batch {
+                        epoch += 1.0;
+                        let mut update = d.updates[i % d.updates.len()].clone();
+                        update.epoch = epoch;
+                        updates.push(update);
+                        i += 1;
+                    }
+                    if batch == 1 {
+                        engine.apply_epoch(&updates[0]).expect("drift epoch");
+                    } else {
+                        engine.apply_epochs(&updates).expect("drift epoch batch");
+                    }
                 }
             })
         });
@@ -594,6 +611,9 @@ pub struct ServeMeasurementConfig {
     pub service: super::ServiceConfig,
     /// Gap between drift epochs in the under-drift phase.
     pub drift_interval: Duration,
+    /// Drift epochs per writer call (>= 2 engages the cross-epoch
+    /// pipeline; 1 = classic barriered epochs).
+    pub drift_batch: usize,
     /// Horizontal shards (1 = classic single-engine serving).
     pub shards: usize,
 }
@@ -610,6 +630,7 @@ impl Default for ServeMeasurementConfig {
             pace_per_thread: None,
             service: super::ServiceConfig::default(),
             drift_interval: Duration::from_millis(2),
+            drift_batch: 1,
             shards: 1,
         }
     }
@@ -675,6 +696,7 @@ impl ServeSummary {
         let drift = DriftLoad {
             updates: scenario.drift_updates.clone(),
             interval: config.drift_interval,
+            batch: config.drift_batch.max(1),
         };
         let drifting = run(
             &scenario.engine,
@@ -751,6 +773,9 @@ impl ServeSummary {
              \"epoch_plan_epochs\": {}, \"epoch_plan_nodes\": {}, \
              \"epoch_plan_groups\": {}, \"epoch_plan_max_width\": {}, \
              \"epoch_plan_critical_path\": {}, \"epoch_plan_mean_width\": {:.3}, \
+             \"epoch_plan_full_edges\": {}, \"epoch_plan_pruning\": {:.4}, \
+             \"epoch_plan_pruned\": {}, \"epoch_pipeline_overlap\": {:.4}, \
+             \"drift_batch\": {}, \
              \"per_shard\": [{}]}}",
             self.config.landmarks,
             self.config.hosts,
@@ -785,6 +810,11 @@ impl ServeSummary {
             self.epoch_plan.max_width,
             self.epoch_plan.critical_path,
             self.epoch_plan.mean_width(),
+            self.epoch_plan.full_edges,
+            self.epoch_plan.pruning_ratio(),
+            self.epoch_plan.pruned,
+            self.epoch_plan.overlap_fraction(),
+            self.config.drift_batch.max(1),
             per_shard.join(", "),
         )
     }
@@ -825,6 +855,7 @@ mod tests {
                 ],
             }],
             interval: Duration::from_millis(5),
+            batch: 2, // exercise the pipelined writer path
         };
         let report = run(
             &e,

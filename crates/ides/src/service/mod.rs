@@ -908,12 +908,12 @@ impl QueryEngine {
             epoch_coords.reset_shape(slots, d);
             let (o, s) = server.apply_epoch_planned(
                 update,
-                Some(RejoinTables {
-                    hosts: rejoin_ids,
-                    d_out: meas_out,
-                    d_in: meas_in,
-                    coords: epoch_coords,
-                }),
+                Some(RejoinTables::full(
+                    rejoin_ids,
+                    meas_out,
+                    meas_in,
+                    epoch_coords,
+                )),
                 None,
             )?;
             outcome = o;
@@ -928,6 +928,75 @@ impl QueryEngine {
         self.counters.epochs.fetch_add(1, Ordering::Relaxed);
         self.publish(&mut w)?;
         Ok(outcome)
+    }
+
+    /// Applies a batch of drift epochs through the **cross-epoch
+    /// pipeline** ([`StreamingServer::apply_epochs_pipelined`]): epoch
+    /// `N`'s host-rejoin tier runs against a frozen end-of-epoch model
+    /// clone while epoch `N+1`'s landmark absorbs mutate the live
+    /// server. The final published state is **bit-identical** to calling
+    /// [`QueryEngine::apply_epoch`] once per update; the difference is
+    /// wall-clock (overlap) and that intermediate snapshots are not
+    /// published — one publish lands at the end of the batch. The
+    /// overlap count accumulates into
+    /// [`QueryEngine::epoch_plan_totals`]'s `pipelined` field.
+    pub fn apply_epochs(&self, updates: &[EpochUpdate]) -> Result<Vec<EpochOutcome>> {
+        if updates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut w = self.writer.lock();
+        let report;
+        if w.coords.is_empty() {
+            report = w.server.apply_epochs_pipelined(updates, None, None)?;
+        } else {
+            let WriterState {
+                server,
+                dim,
+                meas_out,
+                meas_in,
+                coords,
+                epoch_coords,
+                rejoin_ids,
+                ..
+            } = &mut *w;
+            let slots = coords.len();
+            let d = *dim;
+            if rejoin_ids.len() != slots {
+                rejoin_ids.clear();
+                rejoin_ids.extend(0..slots);
+            }
+            epoch_coords.reset_shape(slots, d);
+            report = server.apply_epochs_pipelined(
+                updates,
+                Some(RejoinTables::full(
+                    rejoin_ids,
+                    meas_out,
+                    meas_in,
+                    epoch_coords,
+                )),
+                None,
+            )?;
+            // Each epoch's rejoin tier rewrote every slot; the table now
+            // holds the last epoch's rows — exactly what a back-to-back
+            // apply_epoch loop leaves behind.
+            for s in 0..slots {
+                let row = coords.row_mut(s);
+                row[..d].copy_from_slice(epoch_coords.outgoing(s));
+                row[d..].copy_from_slice(epoch_coords.incoming(s));
+            }
+        }
+        {
+            let mut totals = self.plan_totals.lock();
+            for (_, stats) in &report.outcomes {
+                totals.absorb(stats);
+            }
+            totals.pipelined += report.overlapped as u64;
+        }
+        self.counters
+            .epochs
+            .fetch_add(report.outcomes.len() as u64, Ordering::Relaxed);
+        self.publish(&mut w)?;
+        Ok(report.outcomes.into_iter().map(|(o, _)| o).collect())
     }
 
     /// Accumulated shape of the epoch plans this engine's drift writer
@@ -1121,6 +1190,14 @@ pub trait DistanceService: Sync {
     fn leave(&self, host: NodeId) -> Result<()>;
     /// Applies one drift epoch (to every shard).
     fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome>;
+    /// Applies a batch of drift epochs in input order. Implementations
+    /// may pipeline (overlap one epoch's host rejoins with the next
+    /// epoch's landmark absorbs) as long as the final published state is
+    /// bit-identical to back-to-back [`DistanceService::apply_epoch`]
+    /// calls; the default does exactly that, serially.
+    fn apply_epochs(&self, updates: &[EpochUpdate]) -> Result<Vec<EpochOutcome>> {
+        updates.iter().map(|u| self.apply_epoch(u)).collect()
+    }
     /// Aggregate counter snapshot.
     fn stats(&self) -> ServiceStats;
     /// Accumulated epoch-plan shape across shards (DAG group counts,
@@ -1163,6 +1240,9 @@ impl DistanceService for QueryEngine {
     }
     fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome> {
         QueryEngine::apply_epoch(self, update)
+    }
+    fn apply_epochs(&self, updates: &[EpochUpdate]) -> Result<Vec<EpochOutcome>> {
+        QueryEngine::apply_epochs(self, updates)
     }
     fn stats(&self) -> ServiceStats {
         QueryEngine::stats(self)

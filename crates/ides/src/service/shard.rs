@@ -328,6 +328,35 @@ impl ShardedEngine {
         Ok(first.expect("at least one shard"))
     }
 
+    /// Applies a batch of drift epochs to every shard replica,
+    /// concurrently on scoped threads, with each replica running the
+    /// cross-epoch pipeline ([`QueryEngine::apply_epochs`]): within a
+    /// shard, epoch `N`'s host rejoins overlap epoch `N+1`'s landmark
+    /// absorbs. Replicas run identical arithmetic, so their final models
+    /// stay bit-identical; the returned outcomes are shard 0's.
+    pub fn apply_epochs(&self, updates: &[EpochUpdate]) -> Result<Vec<EpochOutcome>> {
+        if self.shards.len() == 1 {
+            return self.shards[0].apply_epochs(updates);
+        }
+        let results: Vec<Result<Vec<EpochOutcome>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|engine| scope.spawn(move || engine.apply_epochs(updates)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard epoch batch panicked"))
+                .collect()
+        });
+        let mut first = None;
+        for r in results {
+            let r = r?;
+            first.get_or_insert(r);
+        }
+        Ok(first.expect("at least one shard"))
+    }
+
     /// A live host's `(outgoing, incoming)` coordinate rows, read from
     /// its shard's current snapshot (the bit-identity tests compare these
     /// against a single engine's table).
@@ -419,6 +448,9 @@ impl DistanceService for ShardedEngine {
     }
     fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome> {
         ShardedEngine::apply_epoch(self, update)
+    }
+    fn apply_epochs(&self, updates: &[EpochUpdate]) -> Result<Vec<EpochOutcome>> {
+        ShardedEngine::apply_epochs(self, updates)
     }
     fn stats(&self) -> ServiceStats {
         ShardedEngine::stats(self)

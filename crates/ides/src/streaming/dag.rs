@@ -72,6 +72,17 @@ pub struct PlanStats {
     pub nodes: usize,
     /// Dependency edges (one per distinct (node, dependency) pair).
     pub edges: usize,
+    /// Edges the same operation stream would have if every rejoin were
+    /// [`Observed::All`] — the conservative PR-8 worst case. The spread
+    /// between `full_edges` and `edges` is what partial observed sets
+    /// pruned; [`PlanStats::pruning`] reports it as a ratio.
+    pub full_edges: usize,
+    /// Rejoins elided entirely: hosts whose observed subset misses every
+    /// landmark this epoch touched, planned while the caller attested the
+    /// coordinate table was current (their recompute would be a bitwise
+    /// no-op). Not counted in `nodes`/`edges`; their `Observed::All`
+    /// worst-case edges still count in `full_edges`.
+    pub pruned: usize,
     /// Antichain groups the executor runs (one barrier sync per group).
     pub groups: usize,
     /// Widest group — the peak concurrency the plan admits.
@@ -81,6 +92,20 @@ pub struct PlanStats {
     /// quantity with meaning (the serial fraction of the plan) even if a
     /// future executor subdivides groups.
     pub critical_path: usize,
+}
+
+impl PlanStats {
+    /// Fraction of the [`Observed::All`] worst-case dependency edges this
+    /// plan avoided (`1 − edges/full_edges`; 0 when the worst case has no
+    /// edges). A full-row epoch reports 0; a localized-drift epoch whose
+    /// hosts mostly observe undrifted landmarks approaches 1.
+    pub fn pruning(&self) -> f64 {
+        if self.full_edges == 0 {
+            0.0
+        } else {
+            1.0 - self.edges as f64 / self.full_edges as f64
+        }
+    }
 }
 
 /// A leveled dependency DAG over one epoch's operations.
@@ -95,6 +120,9 @@ pub struct EpochDag {
     /// Node indices per antichain level, ascending within each level.
     levels: Vec<Vec<usize>>,
     edges: usize,
+    /// Edge count under the `Observed::All` worst case (see
+    /// [`PlanStats::full_edges`]).
+    full_edges: usize,
 }
 
 impl EpochDag {
@@ -108,8 +136,15 @@ impl EpochDag {
         let mut levels: Vec<Vec<usize>> = Vec::new();
         let mut node_level: Vec<usize> = Vec::with_capacity(ops.len());
         let mut edges = 0usize;
+        // Edges the same stream would have were every rejoin Observed::All
+        // (tracked alongside `edges`; they only diverge on Subset rejoins).
+        let mut full_edges = 0usize;
         // Last absorb per Gram row, reset at each barrier.
         let mut row_writers = RowWriters::new(landmarks);
+        // Dedup stamp per landmark id: repeated entries in one observed
+        // set must count one edge, not one per occurrence.
+        let mut seen_stamp: Vec<usize> = vec![0; landmarks];
+        let mut stamp = 0usize;
         // The last barrier (every node at or after it depends on it).
         let mut barrier: Option<usize> = None;
         // Absorbs since the last barrier: count (edge accounting for
@@ -123,11 +158,13 @@ impl EpochDag {
                     let mut lvl = 0usize;
                     if let Some(b) = barrier {
                         edges += 1;
+                        full_edges += 1;
                         lvl = lvl.max(node_level[b] + 1);
                     }
                     // Chain on the previous absorb of the same row.
                     if let Some(prev) = row_writers.note(*landmark, i) {
                         edges += 1;
+                        full_edges += 1;
                         lvl = lvl.max(node_level[prev] + 1);
                     }
                     absorbs_since_barrier += 1;
@@ -138,8 +175,10 @@ impl EpochDag {
                     let mut lvl = 0usize;
                     if let Some(b) = barrier {
                         edges += 1;
+                        full_edges += 1;
                         lvl = lvl.max(node_level[b] + 1);
                     }
+                    full_edges += absorbs_since_barrier;
                     match observed {
                         Observed::All => {
                             edges += absorbs_since_barrier;
@@ -148,7 +187,12 @@ impl EpochDag {
                             }
                         }
                         Observed::Subset(seen) => {
+                            stamp += 1;
                             for &l in seen {
+                                if seen_stamp[l] == stamp {
+                                    continue; // duplicate id in this set
+                                }
+                                seen_stamp[l] = stamp;
                                 if let Some(prev) = row_writers.last(l) {
                                     edges += 1;
                                     lvl = lvl.max(node_level[prev] + 1);
@@ -162,6 +206,7 @@ impl EpochDag {
                     // Barrier: after every earlier node (level = 1 + max
                     // level so far), and later nodes chain through it.
                     edges += i;
+                    full_edges += i;
                     let lvl = levels.len(); // 1 + max level of any prior node
                     barrier = Some(i);
                     row_writers.reset();
@@ -176,7 +221,12 @@ impl EpochDag {
             }
             levels[level].push(i);
         }
-        EpochDag { ops, levels, edges }
+        EpochDag {
+            ops,
+            levels,
+            edges,
+            full_edges,
+        }
     }
 
     /// The planned operations, in program order (node index = position).
@@ -190,11 +240,16 @@ impl EpochDag {
         &self.levels
     }
 
-    /// Plan shape statistics.
+    /// Plan shape statistics. `pruned` is 0 here: elided rejoins never
+    /// reach the DAG, so the executor that elided them accounts for them
+    /// (`StreamingServer::apply_epoch_planned` folds their worst-case
+    /// edges into `full_edges` and their count into `pruned`).
     pub fn stats(&self) -> PlanStats {
         PlanStats {
             nodes: self.ops.len(),
             edges: self.edges,
+            full_edges: self.full_edges,
+            pruned: 0,
             groups: self.levels.len(),
             max_width: self.levels.iter().map(Vec::len).max().unwrap_or(0),
             critical_path: self.levels.len(),
@@ -226,11 +281,14 @@ mod tests {
             PlanStats {
                 nodes: 0,
                 edges: 0,
+                full_edges: 0,
+                pruned: 0,
                 groups: 0,
                 max_width: 0,
                 critical_path: 0
             }
         );
+        assert_eq!(dag.stats().pruning(), 0.0);
     }
 
     #[test]
@@ -302,6 +360,11 @@ mod tests {
         let s = dag.stats();
         assert_eq!(s.max_width, 2);
         assert_eq!(s.edges, 1, "only the Observed::All rejoin has a dep");
+        assert_eq!(
+            s.full_edges, 2,
+            "worst case: both rejoins would depend on the absorb"
+        );
+        assert!((s.pruning() - 0.5).abs() < 1e-12);
         // Observing the absorbed landmark restores the edge.
         let ops = vec![
             absorb(0),
@@ -313,6 +376,52 @@ mod tests {
         let dag = EpochDag::build(8, ops);
         assert_eq!(dag.levels(), &[vec![0], vec![1]]);
         assert_eq!(dag.stats().edges, 1);
+    }
+
+    #[test]
+    fn duplicate_subset_ids_count_one_edge() {
+        // A degenerate observed set repeating one landmark five times must
+        // plan exactly like the deduplicated set: one edge, same level.
+        let dup = vec![
+            absorb(0),
+            EpochOp::Rejoin {
+                host: 3,
+                observed: Observed::Subset(vec![0, 0, 5, 0, 0, 5]),
+            },
+        ];
+        let dag = EpochDag::build(8, dup);
+        assert_eq!(dag.levels(), &[vec![0], vec![1]]);
+        let s = dag.stats();
+        assert_eq!(s.edges, 1, "duplicates must not inflate the edge count");
+        assert_eq!(s.full_edges, 1);
+        // Two rejoins sharing duplicated ids each get their own dedup
+        // stamp — the second set's duplicates are deduped independently.
+        let two = vec![
+            absorb(0),
+            absorb(1),
+            EpochOp::Rejoin {
+                host: 3,
+                observed: Observed::Subset(vec![0, 0]),
+            },
+            EpochOp::Rejoin {
+                host: 4,
+                observed: Observed::Subset(vec![1, 1, 0]),
+            },
+        ];
+        let s = EpochDag::build(8, two).stats();
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.full_edges, 4, "All worst case: 2 rejoins x 2 absorbs");
+    }
+
+    #[test]
+    fn full_edges_match_edges_without_subsets() {
+        // On plans with no Subset rejoins the worst case IS the plan.
+        let mut ops: Vec<EpochOp> = (0..3).map(absorb).collect();
+        ops.push(EpochOp::Refresh);
+        ops.extend((0..4).map(rejoin_all));
+        let s = EpochDag::build(8, ops).stats();
+        assert_eq!(s.full_edges, s.edges);
+        assert_eq!(s.pruning(), 0.0);
     }
 
     #[test]

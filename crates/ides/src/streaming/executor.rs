@@ -2,27 +2,49 @@
 //!
 //! [`StreamingServer::apply_epoch_planned`] turns one epoch's update
 //! batch into [`dag::EpochOp`]s, plans them with [`dag::EpochDag::build`],
-//! and executes the antichain levels in order. Within a level:
+//! and executes the plan as two tiers:
 //!
-//! 1. **Solve phase** (parallel): every absorb node's new factor rows are
-//!    computed against the level-start model and Grams — pure `&self`
-//!    reads into a detached scratch pool, one buffer per node, fanned out
-//!    over scoped threads. Each solve's floating-point op sequence
-//!    depends only on the level-start state and its own landmark, never
-//!    on the grouping or the thread count.
-//! 2. **Commit phase** (serial, the deterministic merge): solved rows are
-//!    swapped into the model and absorbed into the cached Grams by rank-1
-//!    surgery **in ascending node order** — the same order a width-1
-//!    (serial) plan commits in.
-//! 3. **Rejoin phase**: the level's host rejoins run through the cached
-//!    join path, sharded with [`crate::eval::map_shards_with`]; per-host
-//!    rows are computed independently and scattered in host order, so the
-//!    result is bit-identical at any shard count (the PR 5 property).
+//! 1. **Absorb tier** (the model-mutating half): each antichain level's
+//!    absorb nodes solve their new factor rows in parallel against the
+//!    level-start model and Grams — pure `&self` reads into a detached
+//!    scratch pool — then commit serially in ascending node order
+//!    (row swap + rank-1 Gram surgery), exactly the order a width-1
+//!    serial plan commits in. Refresh barriers run alone at their level.
+//! 2. **Rejoin tier** (the coordinate-writing half,
+//!    [`run_rejoin_tier`]): the epoch's host rejoins run after every
+//!    absorb has committed. Full-measurement hosts go through the cached
+//!    join path, sharded with [`crate::eval::map_shards_with`]; hosts
+//!    with **partial observed sets** are grouped by identical subset and
+//!    solved through [`crate::projection::join_hosts_subset_into`] — one
+//!    gathered factorization per distinct subset, executed serially so
+//!    the arithmetic never depends on the thread count.
+//!
+//! Running the whole rejoin tier after the whole absorb tier is bitwise
+//! identical to level-interleaved execution: rejoins only *read* the
+//! model and only *write* the coordinate table, absorbs never read
+//! coordinates, and a subset rejoin planned below an absorb's level
+//! observes none of the epoch's absorbed rows — its gathered reference
+//! rows are the same bytes before and after the absorb commits. This
+//! tier split is also what the cross-epoch pipeline
+//! ([`StreamingServer::apply_epochs_pipelined`]) overlaps: epoch `N`'s
+//! rejoin tier runs against a frozen end-of-epoch model clone while
+//! epoch `N+1`'s absorb tier mutates the live server.
+//!
+//! **Pruning.** When the caller attests the coordinate table already
+//! reflects the current model (`RejoinTables::coords_current`), a
+//! partial-subset host whose subset contains no landmark this epoch
+//! touched is *elided*: recomputing its row would read only unchanged
+//! reference rows and unchanged measurements, reproducing the stored
+//! bytes. Elided hosts are counted in [`PlanStats::pruned`].
 //!
 //! Because solves read frozen level-start state and commits land in a
 //! fixed order, the executed result is **bit-identical to serial
 //! application at any thread count** — parallelism changes *when* a solve
 //! runs, never *what* it reads or the order its result is merged.
+//!
+//! [`StreamingServer::apply_epochs_pipelined`]: StreamingServer::apply_epochs_pipelined
+
+use std::collections::BTreeMap;
 
 use ides_linalg::Matrix;
 
@@ -45,10 +67,15 @@ fn auto_fanout(n: usize, cap: usize, min_per_thread: usize) -> usize {
 }
 
 use super::dag::{EpochDag, EpochOp, Observed, PlanStats};
-use super::{AbsorbSolution, EpochOutcome, EpochUpdate, RefreshStrategy, StreamingServer};
+use super::{
+    cached_join_into, AbsorbSolution, EpochOutcome, EpochUpdate, RefreshStrategy, RejoinCtx,
+    StreamingServer,
+};
 use crate::error::{IdesError, Result};
 use crate::eval::{eval_threads, map_shards_with, shard_ranges};
-use crate::projection::BatchHostVectors;
+use crate::projection::{
+    join_hosts_subset_into, BatchHostVectors, JoinOptions, JoinSolver, JoinWorkspace,
+};
 
 /// The ordinary-host side of a planned epoch: the full measurement tables
 /// and the coordinate cache whose affected rows the plan's rejoin nodes
@@ -64,6 +91,100 @@ pub struct RejoinTables<'a> {
     pub d_in: &'a Matrix,
     /// Cached coordinate table; only rows in `hosts` are rewritten.
     pub coords: &'a mut BatchHostVectors,
+    /// Per-host observed-landmark subsets, parallel to `hosts`: the §6.2
+    /// partial-measurement metadata that makes the plan dependency-exact.
+    /// `None` means every host measured every landmark ([`Observed::All`]
+    /// rejoin nodes — the conservative PR-8 plan). A host whose deduped
+    /// subset covers all `k` landmarks routes through the cached full
+    /// join, bitwise identical to the `None` case.
+    pub observed: Option<&'a [Vec<usize>]>,
+    /// Caller's attestation that `coords` already holds each partial-
+    /// subset host's subset-join output against the **current** model
+    /// (true after any epoch that rejoined them, e.g. a priming epoch).
+    /// When set, partial hosts observing no landmark this epoch touched
+    /// are elided — their recompute would be a bitwise no-op. Full-join
+    /// hosts are never elided (the cached path reads the whole model).
+    pub coords_current: bool,
+}
+
+impl<'a> RejoinTables<'a> {
+    /// Tables for hosts that measured every landmark: no observed-set
+    /// metadata, no currency attestation — the conservative plan.
+    pub fn full(
+        hosts: &'a [usize],
+        d_out: &'a Matrix,
+        d_in: &'a Matrix,
+        coords: &'a mut BatchHostVectors,
+    ) -> Self {
+        RejoinTables {
+            hosts,
+            d_out,
+            d_in,
+            coords,
+            observed: None,
+            coords_current: false,
+        }
+    }
+
+    /// The planner's read-only view of these tables. It carries the
+    /// coordinate table's *shape* but no reference to its bytes, so the
+    /// pipeline can plan epoch `N+1` on the main thread while epoch `N`'s
+    /// rejoin tier still holds the mutable coordinate borrow.
+    pub(crate) fn plan_view(&self) -> RejoinPlanView<'a> {
+        RejoinPlanView {
+            hosts: self.hosts,
+            observed: self.observed,
+            coords_current: self.coords_current,
+            coords_rows: self.coords.len(),
+            coords_dim: self.coords.dim(),
+            meas_rows: self.d_out.rows(),
+        }
+    }
+}
+
+/// Everything [`StreamingServer::plan_epoch`] needs from the rejoin
+/// tables: the host list, the observed-set metadata, the currency
+/// attestation, and the coordinate/measurement shapes for validation.
+/// The references borrow the caller's slices (`'a`), **not** the
+/// `RejoinTables` struct — planning never aliases the coordinate bytes a
+/// concurrent rejoin tier is writing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RejoinPlanView<'a> {
+    pub hosts: &'a [usize],
+    pub observed: Option<&'a [Vec<usize>]>,
+    pub coords_current: bool,
+    pub coords_rows: usize,
+    pub coords_dim: usize,
+    pub meas_rows: usize,
+}
+
+/// How the rejoin tier reaches each planned host: full-measurement hosts
+/// take the sharded cached-join path, partial-subset hosts are grouped by
+/// identical (deduped, sorted) subset for one gathered factorization per
+/// group, and pruned hosts were elided at plan time.
+#[derive(Debug, Default)]
+pub(crate) struct RejoinRoute {
+    /// Hosts joining through every landmark (cached full join), in input
+    /// order.
+    pub full: Vec<usize>,
+    /// `(subset, member hosts)` per distinct partial subset, in subset
+    /// order (deterministic `BTreeMap` grouping); members in input order.
+    pub groups: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Hosts elided because their subset misses every landmark this epoch
+    /// touched while `coords_current` attested their rows were current.
+    pub pruned: usize,
+}
+
+/// One planned epoch, ready to execute: the leveled DAG, its shape
+/// statistics (pruning accounted), the rejoin routing, and the outcome
+/// the caller reports. Produced by [`StreamingServer::plan_epoch`] with
+/// the deltas already applied to the measurement matrix.
+#[derive(Debug)]
+pub(crate) struct PlannedEpoch {
+    pub dag: EpochDag,
+    pub stats: PlanStats,
+    pub route: RejoinRoute,
+    pub outcome: EpochOutcome,
 }
 
 impl StreamingServer {
@@ -90,6 +211,37 @@ impl StreamingServer {
         rejoin: Option<RejoinTables<'_>>,
         threads: Option<usize>,
     ) -> Result<(EpochOutcome, PlanStats)> {
+        let auto = threads.is_none();
+        let threads = threads.unwrap_or_else(eval_threads).max(1);
+        let mut rejoin = rejoin;
+        let view = rejoin.as_ref().map(|r| r.plan_view());
+        let planned = self.plan_epoch(update, view.as_ref())?;
+        self.run_absorb_tier(&planned, threads, auto)?;
+        if let Some(r) = rejoin.as_mut() {
+            run_rejoin_tier(
+                &self.rejoin_ctx(),
+                &planned.route,
+                r.d_out,
+                r.d_in,
+                r.coords,
+                threads,
+                auto,
+            )?;
+        }
+        Ok((planned.outcome, planned.stats))
+    }
+
+    /// Validates one epoch's inputs, applies its deltas to the landmark
+    /// matrix, picks the maintenance tier per Gram row, and plans the
+    /// dependency DAG plus the rejoin routing. Mutates only the
+    /// measurement matrix and the epoch stamp — the model-changing work
+    /// is [`StreamingServer::run_absorb_tier`] and the coordinate-writing
+    /// work [`run_rejoin_tier`], so the pipeline can stage them.
+    pub(crate) fn plan_epoch(
+        &mut self,
+        update: &EpochUpdate,
+        rejoin: Option<&RejoinPlanView<'_>>,
+    ) -> Result<PlannedEpoch> {
         let k = self.landmark_count();
         for d in &update.deltas {
             if d.from >= k || d.to >= k {
@@ -105,25 +257,32 @@ impl StreamingServer {
                 )));
             }
         }
-        if let Some(r) = &rejoin {
-            if r.coords.len() != r.d_out.rows() || r.coords.dim() != self.dim() {
+        if let Some(r) = rejoin {
+            if r.coords_rows != r.meas_rows || r.coords_dim != self.dim() {
                 return Err(IdesError::InvalidInput(format!(
                     "coordinate table is {}x{}, expected {}x{}",
-                    r.coords.len(),
-                    r.coords.dim(),
-                    r.d_out.rows(),
+                    r.coords_rows,
+                    r.coords_dim,
+                    r.meas_rows,
                     self.dim()
                 )));
             }
-            if let Some(&bad) = r.hosts.iter().find(|&&h| h >= r.d_out.rows()) {
+            if let Some(&bad) = r.hosts.iter().find(|&&h| h >= r.meas_rows) {
                 return Err(IdesError::InvalidInput(format!(
                     "affected host {bad} out of range for {} hosts",
-                    r.d_out.rows()
+                    r.meas_rows
                 )));
             }
+            if let Some(obs) = r.observed {
+                if obs.len() != r.hosts.len() {
+                    return Err(IdesError::InvalidInput(format!(
+                        "{} observed sets for {} rejoin hosts",
+                        obs.len(),
+                        r.hosts.len()
+                    )));
+                }
+            }
         }
-        let auto = threads.is_none();
-        let threads = threads.unwrap_or_else(eval_threads).max(1);
 
         // Apply the deltas and collect the touched landmarks in sorted
         // order (deterministic absorb order).
@@ -137,30 +296,81 @@ impl StreamingServer {
         changed.dedup();
         self.epoch = update.epoch;
 
+        // Per-row tier gate: refresh only when more hot Gram rows than
+        // the policy's fraction allows — one badly drifted landmark is
+        // absorbed, never a whole-model barrier.
         let deviation = self.deviation();
-        let refreshed = deviation > self.policy.deviation_threshold;
+        let hot_rows = self.hot_landmarks();
+        let refreshed = hot_rows as f64 > self.policy.refresh_row_fraction * k as f64;
 
         // Plan: one refresh barrier or one absorb per changed landmark,
-        // then one full-measurement rejoin per affected host.
+        // then one rejoin per (non-elided) affected host.
         let mut ops: Vec<EpochOp> = Vec::new();
         if refreshed {
             ops.push(EpochOp::Refresh);
         } else {
             ops.extend(changed.iter().map(|&l| EpochOp::Absorb { landmark: l }));
         }
-        if let Some(r) = &rejoin {
-            ops.extend(r.hosts.iter().map(|&h| EpochOp::Rejoin {
-                host: h,
-                observed: Observed::All,
-            }));
+        let mut route = RejoinRoute::default();
+        if let Some(r) = rejoin {
+            match r.observed {
+                None => {
+                    ops.extend(r.hosts.iter().map(|&h| EpochOp::Rejoin {
+                        host: h,
+                        observed: Observed::All,
+                    }));
+                    route.full.extend_from_slice(r.hosts);
+                }
+                Some(subsets) => {
+                    let mut groups: BTreeMap<Vec<usize>, Vec<usize>> = BTreeMap::new();
+                    for (&h, raw) in r.hosts.iter().zip(subsets) {
+                        let mut s = raw.clone();
+                        s.sort_unstable();
+                        s.dedup();
+                        if let Some(&bad) = s.last().filter(|&&l| l >= k) {
+                            return Err(IdesError::InvalidInput(format!(
+                                "host {h} observes landmark {bad}, out of range for {k}"
+                            )));
+                        }
+                        if s.is_empty() {
+                            return Err(IdesError::InvalidInput(format!(
+                                "host {h} has an empty observed set"
+                            )));
+                        }
+                        if s.len() == k {
+                            // Full coverage: the cached full join, bitwise
+                            // identical to the Observed::All plan.
+                            ops.push(EpochOp::Rejoin {
+                                host: h,
+                                observed: Observed::All,
+                            });
+                            route.full.push(h);
+                        } else if r.coords_current
+                            && !refreshed
+                            && s.iter().all(|l| changed.binary_search(l).is_err())
+                        {
+                            // No observed landmark changed and the stored
+                            // row is current: recompute is a bitwise no-op.
+                            route.pruned += 1;
+                        } else {
+                            ops.push(EpochOp::Rejoin {
+                                host: h,
+                                observed: Observed::Subset(s.clone()),
+                            });
+                            groups.entry(s).or_default().push(h);
+                        }
+                    }
+                    route.groups = groups.into_iter().collect();
+                }
+            }
         }
         let dag = EpochDag::build(k, ops);
-        let stats = dag.stats();
-
-        let mut rejoin = rejoin;
-        for level in dag.levels() {
-            self.execute_level(&dag, level, rejoin.as_mut(), threads, auto)?;
-        }
+        let mut stats = dag.stats();
+        // Elided rejoins never reach the DAG; fold their worst-case
+        // Observed::All edges (one per absorb) into the denominator and
+        // their count into `pruned`.
+        stats.pruned = route.pruned;
+        stats.full_edges += route.pruned * changed.len();
 
         let absorbed = if refreshed { 0 } else { changed.len() };
         let sweeps = if refreshed {
@@ -168,60 +378,54 @@ impl StreamingServer {
         } else {
             0
         };
-        Ok((
-            EpochOutcome {
+        Ok(PlannedEpoch {
+            dag,
+            stats,
+            route,
+            outcome: EpochOutcome {
                 epoch: update.epoch,
                 applied: update.deltas.len(),
                 absorbed,
                 deviation,
+                hot_rows,
                 refreshed,
                 sweeps,
             },
-            stats,
-        ))
+        })
     }
 
-    /// Executes one antichain: parallel absorb solves, serial in-order
-    /// commits, then the level's rejoins. With `auto` set, each phase's
-    /// fan-out is clamped by its node count so undersized levels skip the
-    /// thread spawns entirely.
-    fn execute_level(
+    /// The model-mutating half of a planned epoch: every antichain
+    /// level's absorb nodes (parallel solves, serial in-order commits)
+    /// and refresh barriers, in level order. Rejoin nodes are skipped —
+    /// they form the tier [`run_rejoin_tier`] executes afterwards (or
+    /// the pipeline overlaps with the next epoch).
+    pub(crate) fn run_absorb_tier(
         &mut self,
-        dag: &EpochDag,
-        level: &[usize],
-        rejoin: Option<&mut RejoinTables<'_>>,
+        planned: &PlannedEpoch,
         threads: usize,
         auto: bool,
     ) -> Result<()> {
-        let mut absorbs: Vec<usize> = Vec::new();
-        let mut hosts: Vec<usize> = Vec::new();
-        let mut refresh = false;
-        for &node in level {
-            match &dag.ops()[node] {
-                EpochOp::Absorb { landmark } => absorbs.push(*landmark),
-                EpochOp::Rejoin { host, .. } => hosts.push(*host),
-                EpochOp::Refresh => refresh = true,
+        for level in planned.dag.levels() {
+            let mut absorbs: Vec<usize> = Vec::new();
+            let mut refresh = false;
+            for &node in level {
+                match &planned.dag.ops()[node] {
+                    EpochOp::Absorb { landmark } => absorbs.push(*landmark),
+                    EpochOp::Rejoin { .. } => {}
+                    EpochOp::Refresh => refresh = true,
+                }
             }
-        }
-        if refresh {
-            self.refresh()?;
-        }
-        if !absorbs.is_empty() {
-            let t = if auto {
-                auto_fanout(absorbs.len(), threads, MIN_ABSORBS_PER_THREAD)
-            } else {
-                threads
-            };
-            self.absorb_level(&absorbs, t)?;
-        }
-        if !hosts.is_empty() {
-            let t = if auto {
-                auto_fanout(hosts.len(), threads, MIN_REJOINS_PER_THREAD)
-            } else {
-                threads
-            };
-            let r = rejoin.expect("plan contains rejoin nodes only when tables were given");
-            self.rejoin_hosts_with(&hosts, r.d_out, r.d_in, r.coords, t)?;
+            if refresh {
+                self.refresh()?;
+            }
+            if !absorbs.is_empty() {
+                let t = if auto {
+                    auto_fanout(absorbs.len(), threads, MIN_ABSORBS_PER_THREAD)
+                } else {
+                    threads
+                };
+                self.absorb_level(&absorbs, t)?;
+            }
         }
         Ok(())
     }
@@ -371,22 +575,113 @@ impl StreamingServer {
         coords: &mut BatchHostVectors,
         threads: usize,
     ) -> Result<()> {
-        let shards = map_shards_with(hosts, threads, |shard, _offset| {
-            let mut batch = BatchHostVectors::new();
-            self.join_batch_cached(
-                &d_out.select_rows(shard),
-                &d_in.select_rows(shard),
-                &mut batch,
-            )?;
-            Ok(batch)
-        })?;
-        let mut cursor = 0usize;
-        for batch in &shards {
-            for i in 0..batch.len() {
-                coords.set_host(hosts[cursor], batch.outgoing(i), batch.incoming(i));
-                cursor += 1;
+        rejoin_full_hosts(&self.rejoin_ctx(), hosts, d_out, d_in, coords, threads)
+    }
+}
+
+/// Executes one planned epoch's rejoin tier against an explicit
+/// [`RejoinCtx`] — the live server's borrowed state on the barriered
+/// path, a frozen end-of-epoch clone on the pipelined path (bitwise
+/// identical either way: clones are exact byte copies and the arithmetic
+/// reads nothing else).
+pub(crate) fn run_rejoin_tier(
+    ctx: &RejoinCtx<'_>,
+    route: &RejoinRoute,
+    d_out: &Matrix,
+    d_in: &Matrix,
+    coords: &mut BatchHostVectors,
+    threads: usize,
+    auto: bool,
+) -> Result<()> {
+    if !route.full.is_empty() {
+        let t = if auto {
+            auto_fanout(route.full.len(), threads, MIN_REJOINS_PER_THREAD)
+        } else {
+            threads
+        };
+        rejoin_full_hosts(ctx, &route.full, d_out, d_in, coords, t)?;
+    }
+    rejoin_subset_groups(ctx, &route.groups, d_out, d_in, coords)
+}
+
+/// The cached-full-join leg of the rejoin tier: shard `hosts` over scoped
+/// threads, compute each shard's rows through [`cached_join_into`], and
+/// scatter in host order — bit-identical at any shard count.
+fn rejoin_full_hosts(
+    ctx: &RejoinCtx<'_>,
+    hosts: &[usize],
+    d_out: &Matrix,
+    d_in: &Matrix,
+    coords: &mut BatchHostVectors,
+    threads: usize,
+) -> Result<()> {
+    let shards = map_shards_with(hosts, threads, |shard, _offset| {
+        let mut batch = BatchHostVectors::new();
+        cached_join_into(
+            ctx,
+            &d_out.select_rows(shard),
+            &d_in.select_rows(shard),
+            &mut batch,
+        )?;
+        Ok(batch)
+    })?;
+    let mut cursor = 0usize;
+    for batch in &shards {
+        for i in 0..batch.len() {
+            coords.set_host(hosts[cursor], batch.outgoing(i), batch.incoming(i));
+            cursor += 1;
+        }
+    }
+    Ok(())
+}
+
+/// The partial-subset leg of the rejoin tier: one gathered factorization
+/// per distinct observed subset (the §6.2 grouped join), executed
+/// serially in subset order so the floating-point sequence never depends
+/// on the thread count. Measurement columns are gathered from the full
+/// tables in subset order; per-host arithmetic is independent of the
+/// group's row count, so results are bit-identical to per-host subset
+/// joins.
+fn rejoin_subset_groups(
+    ctx: &RejoinCtx<'_>,
+    groups: &[(Vec<usize>, Vec<usize>)],
+    d_out: &Matrix,
+    d_in: &Matrix,
+    coords: &mut BatchHostVectors,
+) -> Result<()> {
+    if groups.is_empty() {
+        return Ok(());
+    }
+    let mut ws = JoinWorkspace::new();
+    let mut g_out = Matrix::zeros(0, 0);
+    let mut g_in = Matrix::zeros(0, 0);
+    let mut batch = BatchHostVectors::new();
+    let opts = JoinOptions {
+        solver: JoinSolver::NormalEquations,
+        ridge: ctx.ridge,
+    };
+    for (subset, members) in groups {
+        g_out.reset_shape(members.len(), subset.len());
+        g_in.reset_shape(members.len(), subset.len());
+        for (r, &h) in members.iter().enumerate() {
+            for (c, &l) in subset.iter().enumerate() {
+                g_out[(r, c)] = d_out[(h, l)];
+                g_in[(r, c)] = d_in[(h, l)];
             }
         }
-        Ok(())
+        join_hosts_subset_into(
+            &mut ws,
+            ctx.model.x(),
+            ctx.model.y(),
+            subset,
+            &g_out,
+            &g_in,
+            opts,
+            &mut batch,
+        )?;
+        for (r, &h) in members.iter().enumerate() {
+            coords.set_host(h, batch.outgoing(r), batch.incoming(r));
+        }
     }
+    Ok(())
 }

@@ -55,8 +55,10 @@
 
 pub mod dag;
 mod executor;
+mod pipeline;
 
 pub use executor::RejoinTables;
+pub use pipeline::PipelineReport;
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -206,25 +208,47 @@ impl UpdateQueue {
 /// When to pay for freshness: the knobs of the maintenance tiers.
 #[derive(Debug, Clone, Copy)]
 pub struct StalenessPolicy {
-    /// Refresh (warm partial refit) when the mean relative deviation of
-    /// the landmark matrix from its state at the last refresh exceeds
-    /// this; below it, changed landmarks are absorbed by rank-1 surgery
-    /// and everything else is served cached.
+    /// A landmark (Gram row) counts as **hot** when the mean relative
+    /// deviation of its measured row and column from the last-refresh
+    /// baseline exceeds this. The refresh decision is per-row: the epoch
+    /// refreshes only when more than [`refresh_row_fraction`] of the
+    /// landmarks are hot — one badly drifted landmark is absorbed (with
+    /// the commit path's refactor fallback), never a whole-model barrier.
+    ///
+    /// [`refresh_row_fraction`]: StalenessPolicy::refresh_row_fraction
     pub deviation_threshold: f64,
+    /// Refresh (warm partial refit) when the fraction of hot landmark
+    /// rows exceeds this; at or below it, changed landmarks are absorbed
+    /// by rank-1 surgery and everything else is served cached. 0 refreshes
+    /// on any hot row (closest to the PR-8 global gate); 1 never
+    /// refreshes.
+    pub refresh_row_fraction: f64,
     /// Full ALS sweeps per warm refresh (the paper's half-updates come in
     /// X-then-Y pairs; 1–3 sweeps recover most of the drift error).
     pub sweep_budget: usize,
     /// Ridge term baked into the cached join Grams (0 = plain normal
     /// equations).
     pub ridge: f64,
+    /// Below this many rejoin hosts,
+    /// [`StreamingServer::apply_epochs_pipelined`] under the automatic
+    /// thread policy runs its epochs barriered instead of spawning the
+    /// pipeline worker: a sub-millisecond rejoin tier cannot amortize the
+    /// batch's thread spawn and per-epoch channel hand-off (two context
+    /// switches each on a time-sliced core). Same bits either way — the
+    /// clamp only changes wall-clock. An explicit thread count bypasses
+    /// it, mirroring the executor's per-level fan-out clamps; 0 always
+    /// pipelines.
+    pub min_pipeline_hosts: usize,
 }
 
 impl Default for StalenessPolicy {
     fn default() -> Self {
         StalenessPolicy {
             deviation_threshold: 0.05,
+            refresh_row_fraction: 0.25,
             sweep_budget: 2,
             ridge: 0.0,
+            min_pipeline_hosts: 1024,
         }
     }
 }
@@ -263,7 +287,11 @@ pub struct EpochOutcome {
     /// Mean relative deviation from the last-refresh baseline, after
     /// applying the deltas.
     pub deviation: f64,
-    /// True when the staleness policy triggered a warm partial refit.
+    /// Landmarks whose per-row deviation exceeded the threshold after
+    /// applying the deltas (the per-row tier gate's input).
+    pub hot_rows: usize,
+    /// True when the staleness policy triggered a warm partial refit
+    /// (more than `refresh_row_fraction` of the landmark rows were hot).
     pub refreshed: bool,
     /// Warm sweeps (ALS) or multiplicative iterations (NMF) spent by this
     /// call (0 on the absorb tier).
@@ -463,6 +491,45 @@ impl StreamingServer {
         }
     }
 
+    /// Per-landmark drift signal: the mean relative deviation of landmark
+    /// `l`'s measured row **and** column from the last-refresh baseline
+    /// (both directions, because an absorb re-solves both of `l`'s factor
+    /// rows). This is the per-Gram-row input of the tier gate.
+    pub fn landmark_deviation(&self, l: usize) -> f64 {
+        let k = self.landmarks.rows();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for j in 0..k {
+            if j == l {
+                continue;
+            }
+            for (r, c) in [(l, j), (j, l)] {
+                let base = self.baseline[(r, c)];
+                if base > 0.0 {
+                    total += (self.landmarks[(r, c)] - base).abs() / base;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Number of **hot** landmarks: rows whose [`landmark_deviation`]
+    /// exceeds the policy's `deviation_threshold`. The epoch refreshes
+    /// only when `hot / k` exceeds `refresh_row_fraction` — the per-row
+    /// tier choice.
+    ///
+    /// [`landmark_deviation`]: StreamingServer::landmark_deviation
+    pub fn hot_landmarks(&self) -> usize {
+        (0..self.landmarks.rows())
+            .filter(|&l| self.landmark_deviation(l) > self.policy.deviation_threshold)
+            .count()
+    }
+
     /// The cached join-Gram factorizations `(gram_x, gram_y)` of the
     /// current factors — the snapshot-publish hook: `ides::service`
     /// clones the factors out through [`CachedGram::l`] and reconstitutes
@@ -581,14 +648,18 @@ impl StreamingServer {
                 d_out.cols()
             )));
         }
-        let hosts = d_out.rows();
-        out.reset_shape(hosts, self.dim());
-        let (out_m, in_m) = out.matrices_mut();
-        d_out.matmul_into(self.model.y(), out_m)?;
-        self.gram_y.solve_rows_in_place(out_m)?;
-        d_in.matmul_into(self.model.x(), in_m)?;
-        self.gram_x.solve_rows_in_place(in_m)?;
-        Ok(())
+        cached_join_into(&self.rejoin_ctx(), d_out, d_in, out)
+    }
+
+    /// The borrowed rejoin inputs — model factors, cached Grams, ridge —
+    /// shared by the in-place executor and the pipeline's frozen stage.
+    pub(crate) fn rejoin_ctx(&self) -> RejoinCtx<'_> {
+        RejoinCtx {
+            model: &self.model,
+            gram_x: &self.gram_x,
+            gram_y: &self.gram_y,
+            ridge: self.policy.ridge,
+        }
     }
 
     /// Re-joins only the `affected` hosts (rows of the full `hosts x k`
@@ -622,6 +693,39 @@ impl StreamingServer {
         }
         self.rejoin_hosts_with(affected, d_out, d_in, coords, crate::eval::eval_threads())
     }
+}
+
+/// Borrowed rejoin inputs: the factor model, the cached join Grams, and
+/// the ridge. The executor borrows them from the live server; the
+/// pipeline borrows them from a frozen epoch-end clone so rejoin solves
+/// can overlap the next epoch's absorb tier without reading mutating
+/// state.
+#[derive(Debug)]
+pub(crate) struct RejoinCtx<'m> {
+    pub model: &'m FactorModel,
+    pub gram_x: &'m CachedGram,
+    pub gram_y: &'m CachedGram,
+    pub ridge: f64,
+}
+
+/// The cached host join against an explicit [`RejoinCtx`]: one GEMM per
+/// direction, then one `O(d²)` triangular solve per host. This is the
+/// arithmetic of [`StreamingServer::join_batch_cached`], factored out so
+/// the pipeline can run it against a frozen model snapshot bit-identically.
+pub(crate) fn cached_join_into(
+    ctx: &RejoinCtx<'_>,
+    d_out: &Matrix,
+    d_in: &Matrix,
+    out: &mut BatchHostVectors,
+) -> Result<()> {
+    let hosts = d_out.rows();
+    out.reset_shape(hosts, ctx.model.dim());
+    let (out_m, in_m) = out.matrices_mut();
+    d_out.matmul_into(ctx.model.y(), out_m)?;
+    ctx.gram_y.solve_rows_in_place(out_m)?;
+    d_in.matmul_into(ctx.model.x(), in_m)?;
+    ctx.gram_x.solve_rows_in_place(in_m)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -679,8 +783,10 @@ mod tests {
         let ds = ides_datasets::generators::gnp_like(15, 7).unwrap();
         let policy = StalenessPolicy {
             deviation_threshold: 0.05,
+            refresh_row_fraction: 0.25,
             sweep_budget: 2,
             ridge: 0.0,
+            ..StalenessPolicy::default()
         };
         let mut server = StreamingServer::new(&ds.matrix, 5, policy).unwrap();
         // Tiny drift on one pair: absorb tier.

@@ -11,6 +11,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use ides::projection::{join_hosts_into, BatchHostVectors, JoinOptions, JoinSolver, JoinWorkspace};
 use ides_linalg::Matrix;
@@ -40,6 +41,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// The counters are process-global, so concurrently running tests would
+/// bleed allocations into each other's measured regions; every test that
+/// measures holds this lock for its full body.
+static MEASURED: Mutex<()> = Mutex::new(());
 
 /// Runs `f` and returns `(allocation calls, allocated bytes)` during it.
 fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
@@ -83,6 +89,7 @@ fn measurements(hosts: usize, k: usize, seed: u64) -> Matrix {
 /// per additional host — on both factorization-sharing solver paths.
 #[test]
 fn batched_join_zero_alloc_per_additional_host() {
+    let _serial = MEASURED.lock().unwrap();
     let k = 24;
     let d = 8;
     let x_refs = reference(k, d, 1);
@@ -159,6 +166,7 @@ fn batched_join_zero_alloc_per_additional_host() {
 /// (QR path) or nothing at all (normal-equation/ridge paths).
 #[test]
 fn warm_normal_equation_batch_allocates_nothing_at_all() {
+    let _serial = MEASURED.lock().unwrap();
     let k = 16;
     let d = 6;
     let x_refs = reference(k, d, 7);

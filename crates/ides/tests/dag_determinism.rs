@@ -111,12 +111,7 @@ fn run_planned(
         let res = srv
             .apply_epoch_planned(
                 update,
-                Some(RejoinTables {
-                    hosts: affected,
-                    d_out: meas,
-                    d_in: meas,
-                    coords: &mut coords,
-                }),
+                Some(RejoinTables::full(affected, meas, meas, &mut coords)),
                 Some(threads),
             )
             .expect("apply epoch");

@@ -32,8 +32,10 @@ fn apply_epoch_then_join_is_bit_identical_to_fresh_partial_refit() {
     let lm = ds.matrix.submatrix(&sub, &sub);
     let policy = StalenessPolicy {
         deviation_threshold: 0.0, // every epoch refreshes
+        refresh_row_fraction: 0.0,
         sweep_budget: 2,
         ridge: 0.0,
+        ..StalenessPolicy::default()
     };
     let mut server = StreamingServer::new(&lm, 6, policy).expect("server");
     let prior_model = server.model().clone();
@@ -167,8 +169,10 @@ fn nmf_family_refresh_is_bit_identical_to_manual_nmf_refine() {
     let lm = ds.matrix.submatrix(&sub, &sub);
     let policy = StalenessPolicy {
         deviation_threshold: 0.0, // every epoch refreshes
+        refresh_row_fraction: 0.0,
         sweep_budget: 3,
         ridge: 0.0,
+        ..StalenessPolicy::default()
     };
     let nmf_cfg = nmf::NmfConfig::new(5);
     let mut server = StreamingServer::with_nmf_config(&lm, nmf_cfg, policy).expect("server");
@@ -245,8 +249,10 @@ fn nmf_family_absorb_tier_keeps_factors_nonnegative() {
     let lm = ds.matrix.submatrix(&sub, &sub);
     let policy = StalenessPolicy {
         deviation_threshold: 0.9, // never refresh: every epoch absorbs
+        refresh_row_fraction: 1.0,
         sweep_budget: 2,
         ridge: 0.0,
+        ..StalenessPolicy::default()
     };
     let mut server =
         StreamingServer::with_nmf_config(&lm, nmf::NmfConfig::new(5), policy).expect("server");
@@ -320,8 +326,10 @@ fn nmf_absorb_honors_the_ridge() {
     let ridge = 0.3;
     let policy = StalenessPolicy {
         deviation_threshold: 0.9, // absorb tier only
+        refresh_row_fraction: 1.0,
         sweep_budget: 2,
         ridge,
+        ..StalenessPolicy::default()
     };
     let mut server =
         StreamingServer::with_nmf_config(&lm, nmf::NmfConfig::new(4), policy).expect("server");

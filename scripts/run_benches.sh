@@ -25,9 +25,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update epoch_apply serve serve_sharded table1}"
+BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update epoch_apply epoch_pipeline serve serve_sharded table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update epoch_apply serve serve_sharded}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update epoch_apply epoch_pipeline serve serve_sharded}"
     export CRITERION_QUICK=1
 fi
 
@@ -196,6 +196,16 @@ jq -r '.benches.epoch_apply // [] | map(select(.group == "epoch_apply")) |
          "epoch_apply DAG vs serial: " +
          "500 hosts \((."serial/500" / ."dag/500") * 100 | round / 100)x, " +
          "5000 hosts \((."serial/5000" / ."dag/5000") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.epoch_pipeline // [] | map(select(.group == "epoch_pipeline")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."barriered_localized/500") and (."pipelined_localized/500") and
+          (."barriered_localized/5000") and (."pipelined_localized/5000") and
+          (."barriered_global/5000") and (."pipelined_global/5000") then
+         "epoch_pipeline pipelined vs barriered (localized drift): " +
+         "500 hosts \((."barriered_localized/500" / ."pipelined_localized/500") * 100 | round / 100)x, " +
+         "5000 hosts \((."barriered_localized/5000" / ."pipelined_localized/5000") * 100 | round / 100)x; " +
+         "global drift 5000 hosts \((."barriered_global/5000" / ."pipelined_global/5000") * 100 | round / 100)x"
        else empty end' "$out" >&2 || true
 jq -r 'if (.serving.epoch_plan_epochs // 0) > 0 then
          "serving epoch plans: \(.serving.epoch_plan_epochs) executed, " +
