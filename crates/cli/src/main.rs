@@ -66,13 +66,19 @@ commands:
                               (--landmarks K --hosts H --dim D --threads T
                                --shards N for a horizontally sharded
                                engine, --drift-batch B to pipeline B drift
-                               epochs per writer call,
+                               epochs per writer call, --pipeline-hosts N
+                               to override the pipeline's min-rejoin-hosts
+                               clamp (0 always pipelines),
                                --duration-s S --rate QPS-per-thread
                                for open loop, --seed N, --json); admits H
                                hosts, compares coalesced vs per-request
                                admission, then measures query p50/p99
                                quiescent and under active drift, with
-                               per-shard and publish latency in --json
+                               per-shard and publish latency in --json;
+                               --metrics-out FILE writes a Prometheus
+                               text exposition and --trace-out FILE a
+                               Chrome-trace JSON (open in Perfetto) —
+                               either flag enables telemetry recording
 ";
 
 fn load_matrix(path_str: &str) -> DistanceMatrix {
@@ -438,6 +444,23 @@ fn cmd_serve(args: &Args) {
         eprintln!("error: --drift-batch must be >= 1");
         exit(2);
     }
+    let min_pipeline_hosts = args
+        .has("pipeline-hosts")
+        .then(|| args.get_parsed("pipeline-hosts", 0usize));
+    let metrics_out = args
+        .flags
+        .get("metrics-out")
+        .cloned()
+        .filter(|p| !p.is_empty());
+    let trace_out = args
+        .flags
+        .get("trace-out")
+        .cloned()
+        .filter(|p| !p.is_empty());
+    let telemetry_on = metrics_out.is_some() || trace_out.is_some();
+    if telemetry_on {
+        ides::telemetry::set_enabled(true);
+    }
     let config = ServeMeasurementConfig {
         landmarks,
         dim,
@@ -449,12 +472,49 @@ fn cmd_serve(args: &Args) {
         pace_per_thread: (rate > 0.0).then_some(rate),
         shards,
         drift_batch,
+        min_pipeline_hosts,
         ..ServeMeasurementConfig::default()
     };
     let summary = ServeSummary::measure(config).unwrap_or_else(|e| {
         eprintln!("serve measurement failed: {e}");
         exit(1);
     });
+    if telemetry_on {
+        ides::telemetry::set_enabled(false);
+        // Query/cache-hit totals are not recorded on the query hot path
+        // (the engine's always-on ServiceStats counters are already
+        // exact); fold them into the registry so the exposition carries
+        // them without a second per-query RMW.
+        let reg = ides::telemetry::global();
+        reg.add(ides::telemetry::Counter::Queries, summary.stats.queries);
+        reg.add(
+            ides::telemetry::Counter::CacheHits,
+            summary.stats.cache_hits,
+        );
+        // The exposition's query histogram is the load harness's own
+        // merged histogram, so its `_count`/`_sum` reconcile exactly
+        // with the `telemetry_query_*` keys in `--json`.
+        let snap = reg.snapshot();
+        let spans = ides::telemetry::take_spans();
+        if let Some(path) = &metrics_out {
+            let query_hist = summary.query_latency_merged();
+            let text = ides::telemetry::render_prometheus(
+                &snap,
+                &[("query_latency_ns", &query_hist)],
+                &[("chunk_share_ratio", summary.stats.chunk_share_ratio())],
+            );
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write --metrics-out {path}: {e}");
+                exit(1);
+            }
+        }
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, ides::telemetry::render_chrome_trace(&spans)) {
+                eprintln!("error: cannot write --trace-out {path}: {e}");
+                exit(1);
+            }
+        }
+    }
     if args.has("json") {
         println!("{}", summary.to_json());
         return;
@@ -509,6 +569,13 @@ fn cmd_serve(args: &Args) {
         pub_us(0.99),
         summary.publish.count(),
         config.shards
+    );
+    println!(
+        "gauges:              coalescer depth {}, pair cache {}/{} slots, snapshot chunk share {:.1}%",
+        summary.stats.coalescer_depth,
+        summary.stats.cache_occupied,
+        summary.stats.cache_slots,
+        summary.stats.chunk_share_ratio() * 100.0
     );
     if config.shards > 1 {
         for (i, h) in summary.quiescent.per_shard_latency.iter().enumerate() {

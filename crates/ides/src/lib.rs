@@ -43,6 +43,13 @@
 //!   streams), [`service::replay`] (bit-identical replay at any thread
 //!   count) and [`service::load`] (wall-clock latency/throughput
 //!   harness).
+//! * [`telemetry`] — end-to-end observability: a lock-free,
+//!   statically-registered metrics registry (striped atomic counters /
+//!   gauges / histogram timers with exact merge), bounded per-thread
+//!   tracing-span ring buffers covering every write-side stage and the
+//!   read-side events, and Prometheus-text / Chrome-trace-JSON
+//!   exporters. Off by default (one relaxed load per site);
+//!   observational only — enabling it never changes a computed bit.
 //! * [`protocol`] — the wire protocol simulated over `ides-netsim`
 //!   (framed serde messages, ping-based RTT measurement, deterministic
 //!   discrete-event timing).
@@ -72,6 +79,7 @@ pub mod protocol;
 pub mod service;
 pub mod streaming;
 pub mod system;
+pub mod telemetry;
 
 pub use error::{IdesError, Result};
 pub use projection::{BatchHostVectors, HostVectors, JoinOptions, JoinSolver};

@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 use crate::error::Result;
 use crate::streaming::EpochUpdate;
 
-use super::metrics::{EpochPlanTotals, LatencyHistogram};
+use super::metrics::{EpochPlanTotals, LatencyHistogram, ServiceStats};
 use super::{DistanceService, NodeId, QueryEngine, ShardedEngine};
 
 /// Query-load shape.
@@ -308,8 +308,8 @@ impl ScenarioSubstrate {
         host_ids: Vec<usize>,
         dim: usize,
         seed: u64,
+        policy: crate::streaming::StalenessPolicy,
     ) -> Result<ScenarioSubstrate> {
-        use crate::streaming::StalenessPolicy;
         use ides_netsim::drift::{DriftModel, DriftStream};
 
         let landmarks = lm_ids.len();
@@ -321,7 +321,7 @@ impl ScenarioSubstrate {
             &ides_datasets::DistanceMatrix::full("serve-lm", lm)
                 .map_err(|e| crate::error::IdesError::InvalidInput(e.to_string()))?,
             dim,
-            StalenessPolicy::default(),
+            policy,
         )?;
         let mut stream = DriftStream::new(&topology, drift.clone(), lm_ids.clone(), 1.0, 0.01);
         let drift_updates: Vec<EpochUpdate> = (&mut stream)
@@ -355,6 +355,7 @@ fn p2psim_substrate(
     hosts: usize,
     dim: usize,
     seed: u64,
+    policy: crate::streaming::StalenessPolicy,
 ) -> Result<ScenarioSubstrate> {
     // `p2psim_like(n)` treats `n` as a *post-filter* target: how many
     // hosts survive its measurement-loss filter is stochastic, and at
@@ -373,7 +374,7 @@ fn p2psim_substrate(
     };
     let lm_ids: Vec<usize> = ds.row_hosts[..landmarks].to_vec();
     let host_ids: Vec<usize> = ds.row_hosts[landmarks..landmarks + hosts].to_vec();
-    ScenarioSubstrate::fit(ds.topology, lm_ids, host_ids, dim, seed)
+    ScenarioSubstrate::fit(ds.topology, lm_ids, host_ids, dim, seed, policy)
 }
 
 /// Builds a [`ServeScenario`]: a P2PSim-like transit-stub topology, a
@@ -387,7 +388,32 @@ pub fn synthetic_scenario(
     seed: u64,
     config: super::ServiceConfig,
 ) -> Result<ServeScenario> {
-    let sub = p2psim_substrate(landmarks, hosts, dim, seed)?;
+    synthetic_scenario_with_policy(
+        landmarks,
+        hosts,
+        dim,
+        seed,
+        config,
+        crate::streaming::StalenessPolicy::default(),
+    )
+}
+
+/// [`synthetic_scenario`] with an explicit [`StalenessPolicy`] for the
+/// fitted streaming server — e.g. a lowered
+/// [`min_pipeline_hosts`](crate::streaming::StalenessPolicy::min_pipeline_hosts)
+/// so small CI deployments still engage the cross-epoch pipeline (and
+/// emit overlapping `pipeline_handoff`/`rejoin` trace spans).
+///
+/// [`StalenessPolicy`]: crate::streaming::StalenessPolicy
+pub fn synthetic_scenario_with_policy(
+    landmarks: usize,
+    hosts: usize,
+    dim: usize,
+    seed: u64,
+    config: super::ServiceConfig,
+    policy: crate::streaming::StalenessPolicy,
+) -> Result<ServeScenario> {
+    let sub = p2psim_substrate(landmarks, hosts, dim, seed, policy)?;
     let engine = QueryEngine::new(sub.server.clone(), config)?;
     let host_rows: Vec<(Vec<f64>, Vec<f64>)> = sub
         .host_ids
@@ -420,7 +446,31 @@ pub fn synthetic_scenario_sharded(
     shards: usize,
     config: super::ServiceConfig,
 ) -> Result<ServeScenario<ShardedEngine>> {
-    let sub = p2psim_substrate(landmarks, hosts, dim, seed)?;
+    synthetic_scenario_sharded_with_policy(
+        landmarks,
+        hosts,
+        dim,
+        seed,
+        shards,
+        config,
+        crate::streaming::StalenessPolicy::default(),
+    )
+}
+
+/// [`synthetic_scenario_sharded`] with an explicit [`StalenessPolicy`]
+/// (see [`synthetic_scenario_with_policy`]).
+///
+/// [`StalenessPolicy`]: crate::streaming::StalenessPolicy
+pub fn synthetic_scenario_sharded_with_policy(
+    landmarks: usize,
+    hosts: usize,
+    dim: usize,
+    seed: u64,
+    shards: usize,
+    config: super::ServiceConfig,
+    policy: crate::streaming::StalenessPolicy,
+) -> Result<ServeScenario<ShardedEngine>> {
+    let sub = p2psim_substrate(landmarks, hosts, dim, seed, policy)?;
     let engine = ShardedEngine::new(sub.server.clone(), shards, config)?;
     let host_rows: Vec<(Vec<f64>, Vec<f64>)> = sub
         .host_ids
@@ -477,7 +527,14 @@ pub fn scale_scenario(
     let topology = TransitStubTopology::generate(&params, &mut rng);
     let lm_ids: Vec<usize> = (0..landmarks).collect();
     let host_ids: Vec<usize> = (landmarks..n).collect();
-    let sub = ScenarioSubstrate::fit(topology, lm_ids, host_ids, dim, seed)?;
+    let sub = ScenarioSubstrate::fit(
+        topology,
+        lm_ids,
+        host_ids,
+        dim,
+        seed,
+        crate::streaming::StalenessPolicy::default(),
+    )?;
 
     let engine = ShardedEngine::new(sub.server.clone(), shards, config)?;
     let mut nodes: Vec<NodeId> = (0..landmarks).map(NodeId::Landmark).collect();
@@ -616,6 +673,12 @@ pub struct ServeMeasurementConfig {
     pub drift_batch: usize,
     /// Horizontal shards (1 = classic single-engine serving).
     pub shards: usize,
+    /// Override for the streaming server's
+    /// [`min_pipeline_hosts`](crate::streaming::StalenessPolicy::min_pipeline_hosts)
+    /// pipeline clamp (`None` keeps the production default). Small CI
+    /// deployments set `Some(0)` so `drift_batch >= 2` actually engages
+    /// the cross-epoch pipeline and emits overlapping trace spans.
+    pub min_pipeline_hosts: Option<usize>,
 }
 
 impl Default for ServeMeasurementConfig {
@@ -632,6 +695,7 @@ impl Default for ServeMeasurementConfig {
             drift_interval: Duration::from_millis(2),
             drift_batch: 1,
             shards: 1,
+            min_pipeline_hosts: None,
         }
     }
 }
@@ -655,6 +719,10 @@ pub struct ServeSummary {
     /// Epoch-plan shape accumulated by the drift phase's writer (merged
     /// over shards): DAG group counts, antichain widths, critical paths.
     pub epoch_plan: EpochPlanTotals,
+    /// End-of-run engine counters and gauges (summed over shards):
+    /// coalescer queue depth, pair-cache occupancy, snapshot chunk
+    /// sharing.
+    pub stats: ServiceStats,
 }
 
 impl ServeSummary {
@@ -663,23 +731,29 @@ impl ServeSummary {
     /// the admission comparison, then runs the two query phases against
     /// the admitted deployment.
     pub fn measure(config: ServeMeasurementConfig) -> Result<ServeSummary> {
-        let scenario = synthetic_scenario_sharded(
+        let mut policy = crate::streaming::StalenessPolicy::default();
+        if let Some(n) = config.min_pipeline_hosts {
+            policy.min_pipeline_hosts = n;
+        }
+        let scenario = synthetic_scenario_sharded_with_policy(
             config.landmarks,
             config.hosts,
             config.dim,
             config.seed,
             config.shards.max(1),
             config.service,
+            policy,
         )?;
         let admission = admission_comparison(
             || {
-                synthetic_scenario_sharded(
+                synthetic_scenario_sharded_with_policy(
                     config.landmarks,
                     0,
                     config.dim,
                     config.seed,
                     config.shards.max(1),
                     config.service,
+                    policy,
                 )
                 .map(|s| s.engine)
             },
@@ -707,6 +781,7 @@ impl ServeSummary {
         )?;
         let publish = scenario.engine.publish_latency();
         let epoch_plan = scenario.engine.epoch_plan_totals();
+        let stats = scenario.engine.stats();
         Ok(ServeSummary {
             config,
             admission,
@@ -714,7 +789,19 @@ impl ServeSummary {
             drifting,
             publish,
             epoch_plan,
+            stats,
         })
+    }
+
+    /// Query-latency histogram merged across both query phases — the
+    /// exact histogram the CLI's Prometheus exposition renders, so its
+    /// `_count`/`_sum` reconcile bit-for-bit with the
+    /// `telemetry_query_count`/`telemetry_query_sum_ns` JSON keys.
+    pub fn query_latency_merged(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&self.quiescent.query_latency);
+        merged.merge(&self.drifting.query_latency);
+        merged
     }
 
     /// Quiescent query quantile in microseconds.
@@ -776,6 +863,9 @@ impl ServeSummary {
              \"epoch_plan_full_edges\": {}, \"epoch_plan_pruning\": {:.4}, \
              \"epoch_plan_pruned\": {}, \"epoch_pipeline_overlap\": {:.4}, \
              \"drift_batch\": {}, \
+             \"telemetry_query_count\": {}, \"telemetry_query_sum_ns\": {}, \
+             \"coalescer_depth\": {}, \"cache_occupied\": {}, \
+             \"cache_slots\": {}, \"chunk_share_ratio\": {:.4}, \
              \"per_shard\": [{}]}}",
             self.config.landmarks,
             self.config.hosts,
@@ -815,6 +905,12 @@ impl ServeSummary {
             self.epoch_plan.pruned,
             self.epoch_plan.overlap_fraction(),
             self.config.drift_batch.max(1),
+            self.query_latency_merged().count(),
+            self.query_latency_merged().sum_ns(),
+            self.stats.coalescer_depth,
+            self.stats.cache_occupied,
+            self.stats.cache_slots,
+            self.stats.chunk_share_ratio(),
             per_shard.join(", "),
         )
     }
@@ -906,7 +1002,8 @@ mod tests {
         // survivor count lands short of the request and the substrate
         // must regrow the target instead of slicing out of range
         // (regression: `serve --hosts 2000` panicked).
-        let sub = p2psim_substrate(32, 2000, 4, 20040427).expect("substrate");
+        let sub =
+            p2psim_substrate(32, 2000, 4, 20040427, StalenessPolicy::default()).expect("substrate");
         assert_eq!(sub.lm_ids.len(), 32);
         assert_eq!(sub.host_ids.len(), 2000);
     }

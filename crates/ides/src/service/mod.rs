@@ -76,6 +76,7 @@ use parking_lot::Mutex;
 use crate::error::{IdesError, Result};
 use crate::projection::{join_host_with, BatchHostVectors, JoinOptions, JoinSolver, JoinWorkspace};
 use crate::streaming::{EpochOutcome, EpochUpdate, RejoinTables, StreamingServer};
+use crate::telemetry as tm;
 
 pub use metrics::{EpochPlanTotals, LatencyHistogram, ServiceStats};
 pub use shard::ShardedEngine;
@@ -334,6 +335,11 @@ const EMPTY_KEY: u64 = u64::MAX;
 struct PairCache {
     shards: Vec<Mutex<Box<[CacheEntry]>>>,
     capacity: usize,
+    /// Slots currently holding an entry (live or stale) — monotone per
+    /// slot: a slot counts once when it leaves `EMPTY_KEY` and never
+    /// uncounts (lazy eviction overwrites in place). Feeds the
+    /// occupancy gauge in [`ServiceStats`] and the telemetry registry.
+    occupied: AtomicU64,
 }
 
 impl PairCache {
@@ -351,7 +357,18 @@ impl PairCache {
                 .map(|_| Mutex::new(vec![empty; capacity].into_boxed_slice()))
                 .collect(),
             capacity,
+            occupied: AtomicU64::new(0),
         }
+    }
+
+    /// Slots currently holding an entry.
+    fn occupied(&self) -> u64 {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// Total slots across all shards.
+    fn slots(&self) -> u64 {
+        (self.shards.len() * self.capacity) as u64
     }
 
     fn mix(a: u64, b: u64) -> u64 {
@@ -382,13 +399,20 @@ impl PairCache {
             return;
         }
         let (shard, slot) = self.place(Self::mix(a, b));
-        self.shards[shard].lock()[slot] = CacheEntry {
+        let mut entries = self.shards[shard].lock();
+        let was_empty = entries[slot].key_a == EMPTY_KEY;
+        entries[slot] = CacheEntry {
             key_a: a,
             key_b: b,
             ver_a,
             ver_b,
             est,
         };
+        drop(entries);
+        if was_empty {
+            self.occupied.fetch_add(1, Ordering::Relaxed);
+            tm::gauge_add(tm::Gauge::PairCacheOccupied, 1);
+        }
     }
 }
 
@@ -457,6 +481,16 @@ struct GenSlot {
 /// spin budget per join.
 const FOLLOWER_SPIN: usize = 256;
 
+/// One in this many queries records a read-side telemetry span
+/// (`query` / `cache_hit`) when telemetry is enabled; every query still
+/// counts exactly via the engine's always-on [`ServiceStats`] counter,
+/// whose pre-increment value doubles as the sampling tick (no
+/// thread-local or extra RMW on the hot path). Keeps the two clock
+/// reads a span costs off the ~sub-µs cached-query hot path (the
+/// `telemetry_overhead` bench gates the residual at ≥ 0.9× disabled
+/// throughput).
+const QUERY_SPAN_SAMPLING: u64 = 64;
+
 /// Pending coalesced-admission state (see the module docs).
 struct CoalesceState {
     /// Flattened pending measurement rows (`count` rows of `k` each).
@@ -524,6 +558,11 @@ pub struct QueryEngine {
     /// Accumulated epoch-plan shape (recorded by [`QueryEngine::apply_epoch`]
     /// while the writer lock is held).
     plan_totals: Mutex<EpochPlanTotals>,
+    /// Chunk-share of the latest publish: how many coordinate-table
+    /// chunks the new snapshot reused from its predecessor, over the
+    /// table's total chunks (recorded inside [`QueryEngine::publish`]).
+    chunk_shared: AtomicU64,
+    chunk_total: AtomicU64,
     /// Landmark count, immutable for the engine's lifetime.
     k: usize,
 }
@@ -571,15 +610,19 @@ impl QueryEngine {
             join_ws: JoinWorkspace::new(),
         };
         let initial = Arc::new(Self::build_snapshot(&writer)?);
+        let cache = PairCache::new(config.cache_shards, config.cache_capacity);
+        tm::gauge_add(tm::Gauge::PairCacheSlots, cache.slots());
         Ok(QueryEngine {
             snapshot: SnapshotCell::new(initial),
             writer: Mutex::new(writer),
             coalescer: Coalescer::new(),
-            cache: PairCache::new(config.cache_shards, config.cache_capacity),
+            cache,
             config,
             counters: Counters::default(),
             publish_hist: Mutex::new(LatencyHistogram::new()),
             plan_totals: Mutex::new(EpochPlanTotals::default()),
+            chunk_shared: AtomicU64::new(0),
+            chunk_total: AtomicU64::new(0),
             k,
         })
     }
@@ -611,15 +654,30 @@ impl QueryEngine {
     /// [`QueryEngine::estimate`] against a caller-held snapshot (skips the
     /// snapshot load; the cache still tags by that snapshot's version).
     pub fn estimate_on(&self, snap: &Snapshot, a: NodeId, b: NodeId) -> Result<f64> {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        // The always-on stats counter's pre-increment value is a free
+        // per-engine sequence number: span sampling keys off it, so an
+        // enabled query pays exactly one relaxed flag load beyond the
+        // disabled path (queries/cache-hits reach the exposition from
+        // these exact ServiceStats counters, folded in at export time).
+        let q = self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        // Read-side spans are 1-in-N sampled: two clock reads on a
+        // sub-microsecond cached query would be measurable overhead, a
+        // sampled timeline is not (counters still count every query).
+        let t0 = (tm::enabled() && q.is_multiple_of(QUERY_SPAN_SAMPLING)).then(tm::now_ns);
         let (ka, kb) = (a.encode(), b.encode());
         let v = snap.version();
         if let Some(est) = self.cache.get(v, v, ka, kb) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t0) = t0 {
+                tm::record_at(tm::Stage::CacheHit, t0);
+            }
             return Ok(est);
         }
         let est = snap.estimate(a, b)?;
         self.cache.insert(v, v, ka, kb, est);
+        if let Some(t0) = t0 {
+            tm::record_at(tm::Stage::Query, t0);
+        }
         Ok(est)
     }
 
@@ -643,6 +701,7 @@ impl QueryEngine {
     pub fn join(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId> {
         self.validate_measurements(d_out, d_in)?;
         self.counters.joins.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Joins);
 
         let mut st = self.coalescer.state.lock().expect("coalescer lock");
         let index = st.count;
@@ -650,6 +709,7 @@ impl QueryEngine {
         st.d_out.extend_from_slice(d_out);
         st.d_in.extend_from_slice(d_in);
         st.count += 1;
+        tm::gauge_add(tm::Gauge::CoalescerQueueDepth, 1);
 
         if !st.leader_active {
             st.leader_active = true;
@@ -679,6 +739,7 @@ impl QueryEngine {
             st.slot = Arc::new(GenSlot::default());
             st.leader_active = false;
             drop(st);
+            tm::gauge_sub(tm::Gauge::CoalescerQueueDepth, rows as u64);
 
             let ids = Arc::new(
                 self.flush_rows(rows, &batch_out, &batch_in)
@@ -713,6 +774,8 @@ impl QueryEngine {
             }
             // Follower: spin briefly for an in-flight flush, then park on
             // this generation's private slot.
+            tm::count(tm::Counter::CoalescerWaits);
+            let _wait = tm::span(tm::Stage::CoalescerWait);
             for _ in 0..FOLLOWER_SPIN {
                 if slot.published.load(Ordering::Acquire) {
                     break;
@@ -739,6 +802,7 @@ impl QueryEngine {
     pub fn join_direct(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId> {
         self.validate_measurements(d_out, d_in)?;
         self.counters.joins.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Joins);
         let ids = self.flush_rows(1, d_out, d_in)?;
         Ok(NodeId::Host(ids[0]))
     }
@@ -775,6 +839,7 @@ impl QueryEngine {
         self.counters
             .joins
             .fetch_add(rows as u64, Ordering::Relaxed);
+        tm::count_n(tm::Counter::Joins, rows as u64);
         let slots = self.flush_rows(rows, d_out.as_slice(), d_in.as_slice())?;
         Ok(slots.into_iter().map(NodeId::Host).collect())
     }
@@ -791,6 +856,7 @@ impl QueryEngine {
     pub fn join_per_request(&self, d_out: &[f64], d_in: &[f64]) -> Result<NodeId> {
         self.validate_measurements(d_out, d_in)?;
         self.counters.joins.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Joins);
         let mut w = self.writer.lock();
         let hv = {
             let WriterState {
@@ -810,6 +876,7 @@ impl QueryEngine {
         };
         let slot = Self::assign_slot(&mut w, d_out, d_in, &hv.outgoing, &hv.incoming)?;
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Flushes);
         self.publish(&mut w)?;
         Ok(NodeId::Host(slot))
     }
@@ -831,6 +898,7 @@ impl QueryEngine {
         w.live_count -= 1;
         w.free.push(slot);
         self.counters.leaves.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Leaves);
         self.publish(&mut w)
     }
 
@@ -863,6 +931,7 @@ impl QueryEngine {
         self.counters
             .leaves
             .fetch_add(slots.len() as u64, Ordering::Relaxed);
+        tm::count_n(tm::Counter::Leaves, slots.len() as u64);
         self.publish(&mut w)
     }
 
@@ -876,6 +945,8 @@ impl QueryEngine {
     /// [`QueryEngine::epoch_plan_totals`].
     pub fn apply_epoch(&self, update: &EpochUpdate) -> Result<EpochOutcome> {
         let mut w = self.writer.lock();
+        let prev_epoch = tm::set_epoch(update.epoch);
+        let t0 = tm::enabled().then(Instant::now);
         let stats;
         let outcome;
         if w.coords.is_empty() {
@@ -926,7 +997,12 @@ impl QueryEngine {
         }
         self.plan_totals.lock().absorb(&stats);
         self.counters.epochs.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Epochs);
         self.publish(&mut w)?;
+        if let Some(t0) = t0 {
+            tm::time(tm::Timer::EpochApply, t0.elapsed());
+        }
+        tm::set_epoch(prev_epoch);
         Ok(outcome)
     }
 
@@ -995,6 +1071,7 @@ impl QueryEngine {
         self.counters
             .epochs
             .fetch_add(report.outcomes.len() as u64, Ordering::Relaxed);
+        tm::count_n(tm::Counter::Epochs, report.outcomes.len() as u64);
         self.publish(&mut w)?;
         Ok(report.outcomes.into_iter().map(|(o, _)| o).collect())
     }
@@ -1006,8 +1083,11 @@ impl QueryEngine {
     }
 
     /// Counter snapshot (queries served, cache hits, joins, flushes,
-    /// leaves, epochs, published version).
+    /// leaves, epochs, published version) plus the instantaneous gauges
+    /// (coalescer queue depth, pair-cache occupancy, chunk-share of the
+    /// latest publish).
     pub fn stats(&self) -> ServiceStats {
+        let coalescer_depth = self.coalescer.state.lock().expect("coalescer lock").count as u64;
         ServiceStats {
             queries: self.counters.queries.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
@@ -1016,6 +1096,11 @@ impl QueryEngine {
             leaves: self.counters.leaves.load(Ordering::Relaxed),
             epochs: self.counters.epochs.load(Ordering::Relaxed),
             version: self.snapshot().version(),
+            coalescer_depth,
+            cache_occupied: self.cache.occupied(),
+            cache_slots: self.cache.slots(),
+            chunk_shared: self.chunk_shared.load(Ordering::Relaxed),
+            chunk_total: self.chunk_total.load(Ordering::Relaxed),
         }
     }
 
@@ -1052,6 +1137,8 @@ impl QueryEngine {
     /// writer tables, and publishes. Returns the assigned slots in batch
     /// order.
     fn flush_rows(&self, rows: usize, flat_out: &[f64], flat_in: &[f64]) -> Result<Vec<usize>> {
+        let _span = tm::span(tm::Stage::Flush);
+        let t0 = tm::enabled().then(Instant::now);
         let k = self.k;
         let mut w = self.writer.lock();
         w.stage_out.reset_shape(rows, k);
@@ -1088,7 +1175,11 @@ impl QueryEngine {
         }
         w.stage_coords = stage;
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        tm::count(tm::Counter::Flushes);
         self.publish(&mut w)?;
+        if let Some(t0) = t0 {
+            tm::time(tm::Timer::Flush, t0.elapsed());
+        }
         Ok(slots)
     }
 
@@ -1140,11 +1231,26 @@ impl QueryEngine {
     /// [`CachedGram::from_factor`], and swap the pointer. Readers never
     /// wait: the swap is an atomic store.
     fn publish(&self, w: &mut WriterState) -> Result<()> {
+        let _span = tm::span(tm::Stage::Publish);
         let t0 = Instant::now();
         w.version += 1;
         let snap = Arc::new(Self::build_snapshot(w)?);
+        // Chunk-share gauge: how much of the coordinate chunk tree this
+        // publish reused from the snapshot it replaces (pointer-equality
+        // walk, O(chunks)) — the direct measure of the copy-on-write
+        // publish-cost claim.
+        let prev = self.snapshot.load();
+        self.chunk_shared.store(
+            snap.coords.shared_chunks_with(&prev.coords) as u64,
+            Ordering::Relaxed,
+        );
+        self.chunk_total
+            .store(snap.coords.chunk_count() as u64, Ordering::Relaxed);
         self.snapshot.store(snap);
-        self.publish_hist.lock().record(t0.elapsed());
+        let elapsed = t0.elapsed();
+        self.publish_hist.lock().record(elapsed);
+        tm::time(tm::Timer::Publish, elapsed);
+        tm::count(tm::Counter::Publishes);
         Ok(())
     }
 

@@ -37,6 +37,7 @@ use ides_mf::FactorModel;
 
 use crate::error::{IdesError, Result};
 use crate::streaming::{EpochOutcome, EpochUpdate, StreamingServer};
+use crate::telemetry as tm;
 
 use super::metrics::{EpochPlanTotals, LatencyHistogram, ServiceStats};
 use super::{DistanceService, NodeId, PairCache, QueryEngine, ServiceConfig, Snapshot};
@@ -161,7 +162,11 @@ impl ShardedEngine {
         b: NodeId,
         snap_of: impl Fn(usize) -> Arc<Snapshot>,
     ) -> Result<f64> {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        // Like `QueryEngine::estimate_on`: the always-on stats counter's
+        // pre-increment value doubles as the span-sampling tick, so an
+        // enabled query costs one relaxed flag load beyond disabled.
+        let q = self.queries.fetch_add(1, Ordering::Relaxed);
+        let t0 = (tm::enabled() && q.is_multiple_of(super::QUERY_SPAN_SAMPLING)).then(tm::now_ns);
         // Host endpoints anchor the shard choice; a host–landmark pair
         // resolves both rows on the host's shard, landmark–landmark on
         // shard 0.
@@ -177,6 +182,9 @@ impl ShardedEngine {
         let (va, vb) = (snap_a.version(), snap_b.version());
         if let Some(est) = self.cache.get(va, vb, ka, kb) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t0) = t0 {
+                tm::record_at(tm::Stage::CacheHit, t0);
+            }
             return Ok(est);
         }
         let est = FactorModel::dot(
@@ -184,6 +192,9 @@ impl ShardedEngine {
             snap_b.incoming_of(self.to_local(b))?,
         );
         self.cache.insert(va, vb, ka, kb, est);
+        if let Some(t0) = t0 {
+            tm::record_at(tm::Stage::Query, t0);
+        }
         Ok(est)
     }
 
@@ -252,7 +263,12 @@ impl ShardedEngine {
             let mut handles = Vec::with_capacity(n);
             for (shard, (so, si)) in sub_out.iter().zip(sub_in.iter()).enumerate() {
                 let engine = &self.shards[shard];
-                handles.push(scope.spawn(move || engine.join_many(so, si)));
+                handles.push(scope.spawn(move || {
+                    let prev = tm::set_shard(shard as u32);
+                    let r = engine.join_many(so, si);
+                    tm::set_shard(prev);
+                    r
+                }));
             }
             handles
                 .into_iter()
@@ -313,7 +329,15 @@ impl ShardedEngine {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|engine| scope.spawn(move || engine.apply_epoch(update)))
+                .enumerate()
+                .map(|(shard, engine)| {
+                    scope.spawn(move || {
+                        let prev = tm::set_shard(shard as u32);
+                        let r = engine.apply_epoch(update);
+                        tm::set_shard(prev);
+                        r
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -342,7 +366,15 @@ impl ShardedEngine {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|engine| scope.spawn(move || engine.apply_epochs(updates)))
+                .enumerate()
+                .map(|(shard, engine)| {
+                    scope.spawn(move || {
+                        let prev = tm::set_shard(shard as u32);
+                        let r = engine.apply_epochs(updates);
+                        tm::set_shard(prev);
+                        r
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -382,12 +414,22 @@ impl ShardedEngine {
         let mut flushes = 0;
         let mut leaves = 0;
         let mut version = 0;
+        let mut coalescer_depth = 0;
+        let mut cache_occupied = 0;
+        let mut cache_slots = 0;
+        let mut chunk_shared = 0;
+        let mut chunk_total = 0;
         for s in &self.shards {
             let st = s.stats();
             joins += st.joins;
             flushes += st.flushes;
             leaves += st.leaves;
             version += st.version;
+            coalescer_depth += st.coalescer_depth;
+            cache_occupied += st.cache_occupied;
+            cache_slots += st.cache_slots;
+            chunk_shared += st.chunk_shared;
+            chunk_total += st.chunk_total;
         }
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
@@ -397,6 +439,11 @@ impl ShardedEngine {
             leaves,
             epochs: self.shards[0].stats().epochs,
             version,
+            coalescer_depth,
+            cache_occupied,
+            cache_slots,
+            chunk_shared,
+            chunk_total,
         }
     }
 

@@ -76,6 +76,7 @@ use crate::eval::{eval_threads, map_shards_with, shard_ranges};
 use crate::projection::{
     join_hosts_subset_into, BatchHostVectors, JoinOptions, JoinSolver, JoinWorkspace,
 };
+use crate::telemetry as tm;
 
 /// The ordinary-host side of a planned epoch: the full measurement tables
 /// and the coordinate cache whose affected rows the plan's rejoin nodes
@@ -242,6 +243,7 @@ impl StreamingServer {
         update: &EpochUpdate,
         rejoin: Option<&RejoinPlanView<'_>>,
     ) -> Result<PlannedEpoch> {
+        let _span = tm::span(tm::Stage::Plan);
         let k = self.landmark_count();
         for d in &update.deltas {
             if d.from >= k || d.to >= k {
@@ -416,6 +418,7 @@ impl StreamingServer {
                 }
             }
             if refresh {
+                let _span = tm::span(tm::Stage::Refresh);
                 self.refresh()?;
             }
             if !absorbs.is_empty() {
@@ -443,6 +446,7 @@ impl StreamingServer {
         if pool.len() < landmarks.len() {
             pool.resize_with(landmarks.len(), AbsorbSolution::default);
         }
+        let solve_span = tm::span(tm::Stage::AbsorbSolve);
         let solve_result: Result<()> = if threads <= 1 || landmarks.len() <= 1 {
             landmarks
                 .iter()
@@ -478,9 +482,11 @@ impl StreamingServer {
                 .into_iter()
                 .try_for_each(|s| s.expect("every solve thread ran"))
         };
+        drop(solve_span);
         // Commit in node order even if a solve failed part-way: nothing
         // was committed yet, so an error leaves the level unapplied.
         let commit_result = solve_result.and_then(|()| {
+            let _span = tm::span(tm::Stage::AbsorbCommit);
             landmarks
                 .iter()
                 .zip(pool.iter())
@@ -593,6 +599,8 @@ pub(crate) fn run_rejoin_tier(
     threads: usize,
     auto: bool,
 ) -> Result<()> {
+    let _span =
+        (!route.full.is_empty() || !route.groups.is_empty()).then(|| tm::span(tm::Stage::Rejoin));
     if !route.full.is_empty() {
         let t = if auto {
             auto_fanout(route.full.len(), threads, MIN_REJOINS_PER_THREAD)

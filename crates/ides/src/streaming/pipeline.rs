@@ -52,6 +52,7 @@ use super::executor::{run_rejoin_tier, RejoinRoute};
 use super::{EpochOutcome, EpochUpdate, RejoinTables, StreamingServer};
 use crate::error::Result;
 use crate::eval::eval_threads;
+use crate::telemetry as tm;
 use ides_linalg::solve::CachedGram;
 use ides_mf::FactorModel;
 
@@ -140,8 +141,10 @@ impl StreamingServer {
         let Some(tables) = rejoin.as_mut() else {
             // No coordinate table: the absorb tiers are the whole epochs.
             for u in updates {
+                let prev = tm::set_epoch(u.epoch);
                 let planned = self.plan_epoch(u, None)?;
                 self.run_absorb_tier(&planned, t, auto)?;
+                tm::set_epoch(prev);
                 outcomes.push((planned.outcome, planned.stats));
             }
             return Ok(PipelineReport {
@@ -169,6 +172,7 @@ impl StreamingServer {
             // sequence barriered — bit-identical, including the
             // coords-current upgrade the skip elision relies on.
             for u in updates {
+                let prev = tm::set_epoch(u.epoch);
                 let planned = self.plan_epoch(u, Some(&view))?;
                 self.run_absorb_tier(&planned, t, auto)?;
                 run_rejoin_tier(
@@ -180,6 +184,7 @@ impl StreamingServer {
                     t,
                     auto,
                 )?;
+                tm::set_epoch(prev);
                 view.coords_current = true;
                 outcomes.push((planned.outcome, planned.stats));
             }
@@ -192,10 +197,14 @@ impl StreamingServer {
         std::thread::scope(|scope| -> Result<()> {
             // One worker owns the coordinate table for the whole batch and
             // executes rejoin tiers in epoch order as frozen models arrive.
-            let (job_tx, job_rx) = mpsc::channel::<(FrozenModel, RejoinRoute)>();
+            let (job_tx, job_rx) = mpsc::channel::<(FrozenModel, RejoinRoute, f64)>();
             let (done_tx, done_rx) = mpsc::channel::<Result<()>>();
             scope.spawn(move || {
-                for (frozen, route) in job_rx {
+                // Each job carries its epoch so the worker's rejoin spans
+                // are labeled with the epoch they solve, not the one the
+                // main thread has moved on to.
+                for (frozen, route, epoch) in job_rx {
+                    tm::set_epoch(epoch);
                     let r = run_rejoin_tier(&frozen.ctx(), &route, d_out, d_in, coords, t, auto);
                     if done_tx.send(r).is_err() {
                         break;
@@ -213,15 +222,20 @@ impl StreamingServer {
                     // tier on the live server. The stages touch disjoint
                     // bytes (module docs), so the completion barrier
                     // below restores exactly the serial schedule's state.
+                    let prev = tm::set_epoch(u.epoch);
                     let planned = self.plan_epoch(u, Some(&view))?;
                     self.run_absorb_tier(&planned, t, auto)?;
                     if in_flight {
                         done_rx.recv().expect("rejoin worker alive")?;
                         *overlapped += 1;
                     }
-                    job_tx
-                        .send((self.freeze(), planned.route))
-                        .expect("rejoin worker alive");
+                    {
+                        let _handoff = tm::span(tm::Stage::PipelineHandoff);
+                        job_tx
+                            .send((self.freeze(), planned.route, u.epoch))
+                            .expect("rejoin worker alive");
+                    }
+                    tm::set_epoch(prev);
                     in_flight = true;
                     // Every partial-subset host is now rejoined-or-current
                     // once the in-flight tier lands; later plans may elide

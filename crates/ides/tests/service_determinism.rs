@@ -132,6 +132,47 @@ fn replay_is_bit_identical_at_any_thread_count() {
 }
 
 #[test]
+fn replay_is_bit_identical_with_telemetry_enabled() {
+    // Telemetry is observational only: flipping the global enable flag
+    // (counters, gauges, timers, sampled spans all recording) must not
+    // change a single served bit at any thread count. The baseline
+    // replay runs with telemetry off; the 1/2/4-thread replays run with
+    // it on and must match bitwise.
+    let s = setup();
+    let baseline_engine = (s.engine_of)();
+    let baseline = replay::replay(&baseline_engine, &s.workload, 1).expect("replay baseline");
+    assert!(baseline.joins > 0, "workload must admit hosts");
+    ides::telemetry::set_enabled(true);
+    for threads in [1, 2, 4] {
+        let engine = (s.engine_of)();
+        let instrumented = replay::replay(&engine, &s.workload, threads).expect("replay@N");
+        assert_reports_identical(
+            &baseline,
+            &instrumented,
+            &format!("telemetry on, {threads} threads"),
+        );
+        assert_snapshots_identical(
+            &baseline_engine,
+            &engine,
+            &format!("telemetry on, {threads} threads"),
+        );
+    }
+    ides::telemetry::set_enabled(false);
+    // The instrumented replays must actually have recorded something —
+    // otherwise this test silently stops guarding the claim. (Query
+    // totals live in the engine's always-on ServiceStats, not the
+    // registry; the registry counts the write-side stages.)
+    let snap = ides::telemetry::global().snapshot();
+    assert!(
+        snap.counter(ides::telemetry::Counter::Epochs) > 0,
+        "instrumented replays recorded no epochs"
+    );
+    // Drain span buffers so a later test in this binary starts clean.
+    let spans = ides::telemetry::take_spans();
+    assert!(!spans.is_empty(), "instrumented replays recorded no spans");
+}
+
+#[test]
 fn snapshot_reads_are_bit_identical_to_direct_cached_joins() {
     // Admit a batch of hosts through the engine (coalesced and direct
     // paths mixed), then check every served coordinate — and therefore

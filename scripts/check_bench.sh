@@ -40,6 +40,10 @@
 #                        +-30 % run-to-run swing a loaded single-core
 #                        runner shows on these sub-10 ms pairs, so it
 #                        catches only structural regressions
+#   telemetry_overhead   instrumented query path >= MIN_TELEMETRY_RATIO
+#                        (default 0.9) x disabled-telemetry throughput —
+#                        the observability subsystem's <= 10 % overhead
+#                        budget
 # Ratios are used instead of raw medians because CI runners and the
 # machines that commit BENCH_*.json have different CPUs: absolute
 # nanoseconds are not comparable across hosts, but "how much faster is the
@@ -207,6 +211,15 @@ check_abs epoch_pipeline "pipelined_localized/500" "barriered_localized/500" \
 check_abs epoch_pipeline "pipelined_localized/5000" "barriered_localized/5000" \
     "${MIN_PIPELINE_RATIO:-0.6}" \
     "epoch_pipeline/5000 (pipelined vs barriered, localized drift)"
+# Telemetry overhead on the query hot path: instrumented throughput must
+# stay >= MIN_TELEMETRY_RATIO (default 0.9) x the disabled baseline —
+# i.e. disabled_ns / instrumented_ns >= 0.9. Both sides run in the same
+# process against the same admitted deployment, so the ratio isolates
+# exactly the recording cost (striped counter bumps + 1-in-64 sampled
+# spans).
+check_abs telemetry_overhead "query_instrumented/500" "query_disabled/500" \
+    "${MIN_TELEMETRY_RATIO:-0.9}" \
+    "telemetry_overhead/500 (instrumented vs disabled query path)"
 
 if [ "$fail" -ne 0 ]; then
     echo "bench regression gate FAILED" >&2

@@ -25,9 +25,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update epoch_apply epoch_pipeline serve serve_sharded table1}"
+BENCHES="${BENCHES:-kernels factor nmf_convergence projection join_batch streaming_update epoch_apply epoch_pipeline serve serve_sharded telemetry_overhead table1}"
 if [ "${QUICK:-0}" = "1" ]; then
-    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update epoch_apply epoch_pipeline serve serve_sharded}"
+    BENCHES="${BENCHES_OVERRIDE:-kernels factor join_batch streaming_update epoch_apply epoch_pipeline serve serve_sharded telemetry_overhead}"
     export CRITERION_QUICK=1
 fi
 
@@ -206,6 +206,12 @@ jq -r '.benches.epoch_pipeline // [] | map(select(.group == "epoch_pipeline")) |
          "500 hosts \((."barriered_localized/500" / ."pipelined_localized/500") * 100 | round / 100)x, " +
          "5000 hosts \((."barriered_localized/5000" / ."pipelined_localized/5000") * 100 | round / 100)x; " +
          "global drift 5000 hosts \((."barriered_global/5000" / ."pipelined_global/5000") * 100 | round / 100)x"
+       else empty end' "$out" >&2 || true
+jq -r '.benches.telemetry_overhead // [] | map(select(.group == "telemetry_overhead")) |
+       map({(.bench): .median_ns}) | add // {} |
+       if (."query_disabled/500") and (."query_instrumented/500") then
+         "telemetry overhead: instrumented query at \((."query_disabled/500" / ."query_instrumented/500") * 100 | round / 100)x disabled throughput " +
+         "(disabled \(."query_disabled/500" | round)ns, instrumented \(."query_instrumented/500" | round)ns median)"
        else empty end' "$out" >&2 || true
 jq -r 'if (.serving.epoch_plan_epochs // 0) > 0 then
          "serving epoch plans: \(.serving.epoch_plan_epochs) executed, " +
